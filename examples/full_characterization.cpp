@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Full characterization of a microarchitecture, emitted as the
+ * machine-readable XML of Section 6.4 — the artifact published at
+ * uops.info. Optionally restricted to a mnemonic prefix for quick
+ * experiments.
+ *
+ * Usage: full_characterization [UARCH [OUTPUT.xml [MNEMONIC_PREFIX]]]
+ *   e.g.  full_characterization SKL skl.xml
+ *         full_characterization HSW aes.xml AES
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "core/characterize.h"
+#include "isa/parser.h"
+#include "support/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace uops;
+
+    std::string arch_name = argc > 1 ? argv[1] : "SKL";
+    std::string out_path = argc > 2 ? argv[2] : "";
+    std::string prefix = argc > 3 ? argv[3] : "";
+
+    auto db = isa::buildDefaultDb();
+    uarch::UArch arch = uarch::parseUArch(arch_name);
+
+    core::Characterizer::Options options;
+    if (!prefix.empty()) {
+        options.filter = [prefix](const isa::InstrVariant &v) {
+            return startsWith(v.name(), prefix);
+        };
+    }
+
+    std::printf("characterizing %s (%s)...\n",
+                uarch::uarchName(arch).c_str(),
+                uarch::uarchInfo(arch).processor.c_str());
+    auto t0 = std::chrono::steady_clock::now();
+    core::Characterizer tool(*db, arch, options);
+    auto set = tool.run();
+    auto t1 = std::chrono::steady_clock::now();
+    std::printf("  %zu instruction variants in %.1f s\n",
+                set.instrs.size(),
+                std::chrono::duration<double>(t1 - t0).count());
+
+    std::printf("  blocking instructions (SSE set):\n%s",
+                set.sse_blocking.toString().c_str());
+
+    auto xml = core::exportResultsXml(set);
+    std::string text = xml->toString();
+    if (out_path.empty()) {
+        // Print a short excerpt when no output file is given.
+        std::printf("\nfirst 30 lines of the XML output:\n");
+        int lines = 0;
+        for (const auto &line : split(text, '\n', false, true)) {
+            std::printf("%s\n", line.c_str());
+            if (++lines >= 30)
+                break;
+        }
+        std::printf("...\n");
+    } else {
+        std::ofstream out(out_path);
+        out << text;
+        std::printf("\nwrote %zu bytes to %s\n", text.size(),
+                    out_path.c_str());
+    }
+
+    // Hardware-vs-IACA agreement for this uarch (Table 1 columns).
+    auto cmp = core::compareWithIaca(*db, set);
+    if (cmp.variants_compared > 0 && !iaca::versionsFor(arch).empty()) {
+        std::printf("\nIACA comparison: %d variants, µop counts agree "
+                    "%.2f%%, port usage agrees %.2f%%\n",
+                    cmp.variants_compared, cmp.uopsAgreement(),
+                    cmp.portsAgreement());
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hardware-vs-IACA diff report (the workflow behind Table 1 and
+ * Section 7.2): characterize a slice of the instruction set on the
+ * simulated hardware, analyze the same instructions with every
+ * supported IACA version, and print each disagreement.
+ *
+ * Usage: iaca_compare [UARCH [MNEMONIC_PREFIX]]
+ *   e.g.  iaca_compare SKL V
+ *         iaca_compare NHM IMUL
+ */
+
+#include <cstdio>
+
+#include "core/characterize.h"
+#include "isa/parser.h"
+#include "support/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace uops;
+
+    std::string arch_name = argc > 1 ? argv[1] : "SKL";
+    std::string prefix = argc > 2 ? argv[2] : "B";
+
+    auto db = isa::buildDefaultDb();
+    uarch::UArch arch = uarch::parseUArch(arch_name);
+    auto versions = iaca::versionsFor(arch);
+    if (versions.empty()) {
+        std::printf("IACA does not support %s (like the real tool for "
+                    "Kaby/Coffee Lake)\n",
+                    uarch::uarchName(arch).c_str());
+        return 0;
+    }
+
+    core::Characterizer::Options options;
+    options.filter = [&](const isa::InstrVariant &v) {
+        return startsWith(v.name(), prefix);
+    };
+    core::Characterizer tool(*db, arch, options);
+    auto set = tool.run();
+
+    std::printf("%-22s %-22s", "variant", "hardware");
+    for (auto v : versions)
+        std::printf(" %-16s",
+                    ("IACA " + iaca::versionName(v)).c_str());
+    std::printf("\n");
+
+    int diffs = 0;
+    for (const auto &c : set.instrs) {
+        std::string hw = c.ports.usage.toString();
+        std::vector<std::string> cols;
+        bool differs = false;
+        for (auto ver : versions) {
+            iaca::IacaAnalyzer an(*db, arch, ver);
+            auto m = an.model(*c.variant);
+            std::string s = m.usage.toString();
+            if (m.total_uops != c.ports.usage.totalUops())
+                s += "(" + std::to_string(m.total_uops) + "u)";
+            if (s != hw)
+                differs = true;
+            cols.push_back(s);
+        }
+        if (!differs)
+            continue;
+        ++diffs;
+        std::printf("%-22s %-22s", c.variant->name().c_str(),
+                    hw.c_str());
+        for (const auto &s : cols)
+            std::printf(" %-16s", s.c_str());
+        std::printf("\n");
+    }
+    std::printf("\n%d of %zu variants differ from at least one IACA "
+                "version\n",
+                diffs, set.instrs.size());
+
+    auto cmp = core::compareWithIaca(*db, set);
+    std::printf("agreement on this slice: µop counts %.2f%%, port usage "
+                "%.2f%%\n",
+                cmp.uopsAgreement(), cmp.portsAgreement());
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Quickstart: characterize a single instruction on one uarch.
+ *
+ * Demonstrates the public API end to end:
+ *   1. build the instruction database (the XED-derived description),
+ *   2. pick a microarchitecture,
+ *   3. run the latency / port-usage / throughput analyses,
+ *   4. print the results the way the paper's tables do.
+ *
+ * Usage: quickstart [UARCH [VARIANT]]
+ *   e.g.  quickstart SKL AESDEC_X_X
+ *         quickstart NHM PBLENDVB_X_X_Xi
+ */
+
+#include <cstdio>
+
+#include "core/blocking.h"
+#include "core/codegen.h"
+#include "core/latency.h"
+#include "core/port_usage.h"
+#include "core/throughput.h"
+#include "isa/parser.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace uops;
+
+    std::string arch_name = argc > 1 ? argv[1] : "SKL";
+    std::string variant_name = argc > 2 ? argv[2] : "AESDEC_X_X";
+
+    // 1. The instruction set (Section 6.1's machine-readable DB).
+    auto db = isa::buildDefaultDb();
+    const isa::InstrVariant *variant = db->byName(variant_name);
+    if (variant == nullptr) {
+        std::fprintf(stderr, "unknown instruction variant '%s'\n",
+                     variant_name.c_str());
+        return 1;
+    }
+
+    // 2. The target microarchitecture and its measurement harness.
+    uarch::UArch arch = uarch::parseUArch(arch_name);
+    uarch::TimingDb timing(*db, arch);
+    sim::MeasurementHarness harness(timing);
+    std::printf("%s on %s (%s)\n\n", variant->name().c_str(),
+                uarch::uarchName(arch).c_str(),
+                uarch::uarchInfo(arch).processor.c_str());
+
+    // 3a. Latency: one value per (source, destination) operand pair.
+    auto instruments = core::calibrateInstruments(harness);
+    core::LatencyAnalyzer lat(harness, instruments);
+    auto latency = lat.analyze(*variant);
+    std::printf("Latency (Section 5.2):\n");
+    for (const auto &pair : latency.pairs) {
+        std::printf("  lat(op%d -> op%d) %s %.2f cycles\n", pair.src_op,
+                    pair.dst_op, pair.upper_bound ? "<=" : " =",
+                    pair.cycles);
+        for (const auto &[chain, value] : pair.per_chain)
+            std::printf("      via %-12s %.2f\n", chain.c_str(), value);
+    }
+    if (latency.same_reg_cycles)
+        std::printf("  same-register chain: %.2f cycles\n",
+                    *latency.same_reg_cycles);
+    if (latency.store_roundtrip)
+        std::printf("  store->load round trip: %.2f cycles\n",
+                    *latency.store_roundtrip);
+
+    // 3b. Port usage via Algorithm 1.
+    core::BlockingFinder finder(harness);
+    auto sse_set = finder.find(false);
+    auto avx_set =
+        harness.info().hasExtension(isa::Extension::Avx)
+            ? finder.find(true)
+            : sse_set;
+    core::PortUsageAnalyzer ports(harness, sse_set, avx_set);
+    auto usage = ports.analyze(*variant, latency.maxLatency());
+    std::printf("\nPort usage (Algorithm 1): %s  (%d uops, %d blocking "
+                "measurements)\n",
+                usage.usage.toString().c_str(), usage.usage.totalUops(),
+                usage.measurements);
+
+    // 3c. Throughput, both definitions.
+    core::ThroughputAnalyzer tp(harness);
+    auto throughput = tp.analyze(*variant);
+    std::printf("\nThroughput (Section 5.3):\n");
+    std::printf("  measured (Fog definition):      %.2f cycles/instr\n",
+                throughput.measured);
+    if (throughput.with_breakers)
+        std::printf("  with dependency breakers:       %.2f\n",
+                    *throughput.with_breakers);
+    if (throughput.slow_measured)
+        std::printf("  slow divider values:            %.2f\n",
+                    *throughput.slow_measured);
+    if (!variant->attrs().uses_divider && !usage.usage.entries.empty())
+        std::printf("  computed from ports (Intel):    %.2f\n",
+                    core::ThroughputAnalyzer::computeFromPortUsage(
+                        usage.usage, harness.info().num_ports));
+    return 0;
+}

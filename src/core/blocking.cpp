@@ -1,0 +1,137 @@
+#include "blocking.h"
+
+#include <algorithm>
+
+#include "support/status.h"
+
+namespace uops::core {
+
+using isa::InstrVariant;
+using uarch::PortMask;
+
+std::vector<PortMask>
+BlockingSet::sortedCombos() const
+{
+    std::vector<PortMask> out;
+    for (const auto &[mask, instr] : combos)
+        out.push_back(mask);
+    std::sort(out.begin(), out.end(), [](PortMask a, PortMask b) {
+        int ca = uarch::portCount(a), cb = uarch::portCount(b);
+        if (ca != cb)
+            return ca < cb;
+        return a < b;
+    });
+    return out;
+}
+
+std::string
+BlockingSet::toString() const
+{
+    std::string out;
+    for (PortMask mask : sortedCombos()) {
+        const BlockingInstr &b = combos.at(mask);
+        out += uarch::portMaskName(mask) + ": " + b.variant->name() +
+               "\n";
+    }
+    return out;
+}
+
+BlockingFinder::BlockingFinder(const sim::MeasurementHarness &harness)
+    : harness_(harness)
+{
+}
+
+bool
+BlockingFinder::isCandidate(const InstrVariant &variant,
+                            bool avx_mode) const
+{
+    const isa::InstrAttributes &attrs = variant.attrs();
+    if (attrs.is_system || attrs.is_serializing || attrs.is_pause ||
+        attrs.is_nop || attrs.is_cf_reg)
+        return false;
+    if (attrs.has_lock_prefix || attrs.has_rep_prefix)
+        return false;
+    // Zero-latency candidates (eliminatable moves) are excluded: their
+    // port usage is not stable.
+    if (attrs.mov_elim_candidate)
+        return false;
+    // Divider users have value-dependent throughput; they always lose
+    // the highest-throughput contest anyway, so skip the measurements.
+    if (attrs.uses_divider)
+        return false;
+    // Loads (memory reads from distinct locations) are fine and are
+    // the natural blockers for the load-port combos; memory-writing
+    // candidates are excluded (the MOV store is added explicitly for
+    // the store combos).
+    if (variant.writesMemory())
+        return false;
+    if (!harness_.info().supports(variant))
+        return false;
+    // SSE/AVX separation (Section 5.1.1): never mix the two classes.
+    bool vector_legacy = variant.hasVecOperand() && !attrs.is_avx;
+    if (avx_mode && vector_legacy)
+        return false;
+    if (!avx_mode && attrs.is_avx)
+        return false;
+    return true;
+}
+
+IsolationInfo
+BlockingFinder::measureIsolation(const InstrVariant &variant) const
+{
+    RegPool pool(RegPool::Zone::Analyzed);
+    isa::Kernel body = independentSequence(variant, pool, 8);
+    sim::Measurement m = harness_.measure(body);
+
+    IsolationInfo info;
+    info.cycles = m.cycles / 8.0;
+    info.total_uops = m.totalPortUops() / 8.0;
+    for (int p = 0; p < sim::kMaxPorts; ++p)
+        if (m.port_uops[static_cast<size_t>(p)] / 8.0 > 0.04)
+            info.ports |= static_cast<PortMask>(1u << p);
+    return info;
+}
+
+BlockingSet
+BlockingFinder::find(bool avx_mode) const
+{
+    const isa::InstrDb &db = harness_.timingDb().instrDb();
+    const uarch::UArchInfo &info = harness_.info();
+
+    BlockingSet set;
+    for (const InstrVariant *variant : db.all()) {
+        if (!isCandidate(*variant, avx_mode))
+            continue;
+        IsolationInfo iso = measureIsolation(*variant);
+        // Only 1-µop instructions qualify (Section 5.1.1).
+        if (iso.total_uops < 0.95 || iso.total_uops > 1.05)
+            continue;
+        if (iso.ports == 0)
+            continue;
+        auto it = set.combos.find(iso.ports);
+        if (it == set.combos.end() ||
+            iso.cycles < it->second.throughput) {
+            BlockingInstr chosen;
+            chosen.variant = variant;
+            chosen.ports = iso.ports;
+            chosen.throughput = iso.cycles;
+            set.combos[iso.ports] = chosen;
+        }
+    }
+
+    // Store-address / store-data combos: blocked by the MOV store.
+    const InstrVariant *store = db.byName("MOV_M64_R64");
+    panicIf(store == nullptr, "MOV store missing from the DB");
+    for (PortMask mask :
+         {info.store_addr_ports, info.store_data_ports}) {
+        BlockingInstr b;
+        b.variant = store;
+        b.ports = mask;
+        b.is_store = true;
+        b.throughput = 1.0;
+        set.combos[mask] = b;
+    }
+    return set;
+}
+
+} // namespace uops::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Blocking-instruction discovery (Section 5.1.1).
+ *
+ * A blocking instruction for a port combination P is an instruction
+ * whose µops can use all ports in P but no other port sharing a
+ * functional unit with P. The finder:
+ *
+ *  1. measures every eligible 1-µop instruction in isolation and
+ *     groups the candidates by the set of ports they were observed on;
+ *  2. picks the highest-throughput member of each group as the
+ *     blocking instruction for that port combination;
+ *  3. adds the MOV store instruction (2 µops: store-address +
+ *     store-data) as the blocking instruction for the store combos.
+ *
+ * Excluded candidates: system and serializing instructions,
+ * zero-latency instructions (NOPs, eliminated moves), PAUSE, and
+ * register-based control flow. Two separate sets are produced — one
+ * avoiding AVX instructions (for characterizing SSE code) and one
+ * avoiding legacy-SSE vector instructions (for AVX code) — to avoid
+ * SSE-AVX transition penalties.
+ */
+
+#ifndef UOPS_CORE_BLOCKING_H
+#define UOPS_CORE_BLOCKING_H
+
+#include <map>
+
+#include "core/codegen.h"
+#include "sim/harness.h"
+
+namespace uops::core {
+
+/** One chosen blocking instruction. */
+struct BlockingInstr
+{
+    const isa::InstrVariant *variant = nullptr;
+    uarch::PortMask ports = 0;
+    double throughput = 0.0; ///< measured cycles per instruction
+    bool is_store = false;   ///< MOV-store special (2 µops)
+};
+
+/** Blocking instructions for every discovered port combination. */
+struct BlockingSet
+{
+    /** Combination -> instruction, keyed by port mask. */
+    std::map<uarch::PortMask, BlockingInstr> combos;
+
+    /** Combinations sorted by size then mask (Algorithm 1 order). */
+    std::vector<uarch::PortMask> sortedCombos() const;
+
+    std::string toString() const;
+};
+
+/** Per-candidate isolation measurement (reused by Algorithm 1). */
+struct IsolationInfo
+{
+    uarch::PortMask ports = 0;  ///< ports with observed µops
+    double total_uops = 0.0;    ///< µops per instruction (all ports)
+    double cycles = 0.0;        ///< cycles per instruction
+};
+
+/**
+ * Finds blocking instructions on the harness's microarchitecture.
+ */
+class BlockingFinder
+{
+  public:
+    explicit BlockingFinder(const sim::MeasurementHarness &harness);
+
+    /**
+     * Run the discovery.
+     *
+     * @param avx_mode false: SSE set (no AVX instructions);
+     *                 true: AVX set (no legacy-SSE vector instructions).
+     */
+    BlockingSet find(bool avx_mode) const;
+
+    /** Measure a variant in isolation (8 independent copies). */
+    IsolationInfo measureIsolation(const isa::InstrVariant &variant) const;
+
+    /** Candidate filter from Section 5.1.1. */
+    bool isCandidate(const isa::InstrVariant &variant,
+                     bool avx_mode) const;
+
+  private:
+    const sim::MeasurementHarness &harness_;
+};
+
+} // namespace uops::core
+
+#endif // UOPS_CORE_BLOCKING_H

@@ -1,0 +1,67 @@
+#include "fusion.h"
+
+#include "support/status.h"
+
+namespace uops::core {
+
+using isa::InstrVariant;
+using isa::Kernel;
+
+FusionAnalyzer::FusionAnalyzer(const sim::MeasurementHarness &harness)
+    : harness_(harness)
+{
+}
+
+FusionProbe
+FusionAnalyzer::probe(const InstrVariant &producer,
+                      const InstrVariant &branch) const
+{
+    const isa::InstrDb &db = harness_.timingDb().instrDb();
+    const InstrVariant *nop = db.byName("NOP");
+    panicIf(nop == nullptr, "fusion probe needs NOP");
+
+    FusionProbe result;
+    result.producer = &producer;
+    result.branch = &branch;
+
+    auto build = [&](bool separated) {
+        RegPool pool(RegPool::Zone::Analyzed);
+        Kernel body;
+        body.push_back(makeIndependent(producer, pool));
+        if (separated)
+            body.push_back(isa::makeInstance(*nop, {}));
+        body.push_back(isa::makeInstance(branch, {{.imm = 1}}));
+        // Trailing NOP: no fusion across body-copy boundaries.
+        body.push_back(isa::makeInstance(*nop, {}));
+        return body;
+    };
+
+    result.uops_per_pair =
+        harness_.measure(build(false)).totalPortUops();
+    result.uops_separated =
+        harness_.measure(build(true)).totalPortUops();
+    result.fused =
+        result.uops_per_pair < result.uops_separated - 0.5;
+    return result;
+}
+
+std::vector<FusionProbe>
+FusionAnalyzer::sweep() const
+{
+    const isa::InstrDb &db = harness_.timingDb().instrDb();
+    const InstrVariant *jz = db.byName("JZ_I8");
+    panicIf(jz == nullptr, "fusion sweep needs JZ");
+
+    std::vector<FusionProbe> out;
+    for (const char *name :
+         {"CMP_R64_R64", "TEST_R64_R64", "ADD_R64_R64", "SUB_R64_R64",
+          "AND_R64_R64", "INC_R64", "DEC_R64", "SHL_R64_I8",
+          "CMP_R64_M64", "IMUL_R64_R64"}) {
+        const InstrVariant *v = db.byName(name);
+        if (v != nullptr)
+            out.push_back(probe(*v, *jz));
+    }
+    return out;
+}
+
+} // namespace uops::core

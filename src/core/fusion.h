@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Macro-fusion detection (the paper's Section 9 future-work item:
+ * "We would also like to extend our approach to characterize other
+ * undocumented performance-relevant aspects of the pipeline, e.g.,
+ * regarding micro and macro-fusion").
+ *
+ * Detection principle: place a flag-writing instruction immediately
+ * before a conditional branch and measure the number of µops
+ * dispatched to execution ports per pair. A macro-fused pair decodes
+ * into a single branch-unit µop (1 µop/pair); an unfused pair
+ * dispatches two. A NOP-separated control pair distinguishes fusion
+ * from other effects.
+ */
+
+#ifndef UOPS_CORE_FUSION_H
+#define UOPS_CORE_FUSION_H
+
+#include "core/codegen.h"
+#include "sim/harness.h"
+
+namespace uops::core {
+
+/** Result of probing one (producer, branch) pair. */
+struct FusionProbe
+{
+    const isa::InstrVariant *producer = nullptr;
+    const isa::InstrVariant *branch = nullptr;
+    double uops_per_pair = 0.0;     ///< adjacent pair
+    double uops_separated = 0.0;    ///< NOP-separated control
+    bool fused = false;
+};
+
+/**
+ * Measures macro-fusion pairs on the harness's microarchitecture.
+ */
+class FusionAnalyzer
+{
+  public:
+    explicit FusionAnalyzer(const sim::MeasurementHarness &harness);
+
+    /** Probe one producer with one conditional branch. */
+    FusionProbe probe(const isa::InstrVariant &producer,
+                      const isa::InstrVariant &branch) const;
+
+    /**
+     * Sweep the standard fusion candidates (CMP/TEST/ADD/SUB/AND/
+     * INC/DEC register forms plus a memory CMP as a negative case)
+     * against JZ.
+     */
+    std::vector<FusionProbe> sweep() const;
+
+  private:
+    const sim::MeasurementHarness &harness_;
+};
+
+} // namespace uops::core
+
+#endif // UOPS_CORE_FUSION_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Latency inference (Section 5.2).
+ *
+ * Implements the paper's refined latency definition: a separate value
+ * lat(s, d) for every (source operand, destination operand) pair,
+ * measured through automatically constructed dependency chains:
+ *
+ *  - GPR -> GPR: MOVSX chains (immune to move elimination and partial
+ *    register stalls, Section 5.2.1), plus the same-register
+ *    microbenchmark that exposes behaviours like SHLD on Skylake;
+ *  - vector -> vector: integer (PSHUFD / VPSHUFD) and floating-point
+ *    (SHUFPS / VPERMILPS) shuffle chains, run with both flavours to
+ *    expose bypass delays; VEX instruments for AVX instructions so no
+ *    SSE-AVX transition is triggered;
+ *  - GPR <-> vector/MMX: compositions with all matching MOVD/MOVQ
+ *    transfer instructions; reported as an upper bound (min over the
+ *    compositions minus 1), as in the paper;
+ *  - memory -> register: the double-XOR address-dependency trick with
+ *    MOVSX prefix for narrow destinations (Section 5.2.2);
+ *  - flags -> register and register -> flags via TEST / CMOVcc
+ *    (Section 5.2.3);
+ *  - register -> memory: store-to-load round trip (Section 5.2.4,
+ *    reported as such, not as a pure latency);
+ *  - divider instructions: AND/OR value-pinning chains measured with
+ *    both fast and slow operand values (Section 5.2.5).
+ *
+ * Unwanted implicit dependencies (flags, read-written registers that
+ * are not part of the measured pair) are cut with dependency-breaking
+ * instructions (MOV reg,imm; PXOR/VPXOR zero idioms; MOVD for MMX;
+ * TEST for flags).
+ */
+
+#ifndef UOPS_CORE_LATENCY_H
+#define UOPS_CORE_LATENCY_H
+
+#include <map>
+#include <optional>
+
+#include "core/codegen.h"
+#include "sim/harness.h"
+
+namespace uops::core {
+
+/** Latency of one (source, destination) operand pair. */
+struct LatencyPair
+{
+    int src_op = -1;
+    int dst_op = -1;
+    double cycles = 0.0;       ///< best chain-adjusted value
+    bool upper_bound = false;  ///< cross-class composition bound
+    std::optional<double> slow_cycles; ///< divider slow-value latency
+
+    /** Per-instrument adjusted values ("PSHUFD" -> 4.0, ...). */
+    std::map<std::string, double> per_chain;
+
+    std::string toString(const isa::InstrVariant &v) const;
+};
+
+/** Latency analysis result for one instruction variant. */
+struct LatencyResult
+{
+    std::vector<LatencyPair> pairs;
+
+    /** Same-register microbenchmark (Section 5.2.1), when possible. */
+    std::optional<double> same_reg_cycles;
+
+    /** Store-to-load round trip for memory destinations (5.2.4). */
+    std::optional<double> store_roundtrip;
+
+    /** Maximum latency over all pairs (used for blockRep). */
+    int maxLatency() const;
+
+    /** Latency of a specific pair, if measured. */
+    const LatencyPair *pair(int src_op, int dst_op) const;
+};
+
+/**
+ * Runs the latency measurements of Section 5.2.
+ */
+class LatencyAnalyzer
+{
+  public:
+    LatencyAnalyzer(const sim::MeasurementHarness &harness,
+                    const ChainInstruments &instruments);
+
+    /** Analyze all operand pairs of @p variant. */
+    LatencyResult analyze(const isa::InstrVariant &variant) const;
+
+  private:
+    const sim::MeasurementHarness &harness_;
+    const ChainInstruments &ci_;
+};
+
+} // namespace uops::core
+
+#endif // UOPS_CORE_LATENCY_H

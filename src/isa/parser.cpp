@@ -1,0 +1,228 @@
+#include "parser.h"
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace uops::isa {
+
+namespace {
+
+/** Map a DSL kind token to (kind, register class, width). */
+struct KindInfo
+{
+    OpKind kind;
+    RegClass reg_class;
+    int width;
+};
+
+std::optional<KindInfo>
+parseKind(const std::string &token)
+{
+    static const std::map<std::string, KindInfo> table = {
+        {"reg8", {OpKind::Reg, RegClass::Gpr8, 8}},
+        {"reg8h", {OpKind::Reg, RegClass::Gpr8High, 8}},
+        {"reg16", {OpKind::Reg, RegClass::Gpr16, 16}},
+        {"reg32", {OpKind::Reg, RegClass::Gpr32, 32}},
+        {"reg64", {OpKind::Reg, RegClass::Gpr64, 64}},
+        {"mmx", {OpKind::Reg, RegClass::Mmx, 64}},
+        {"xmm", {OpKind::Reg, RegClass::Xmm, 128}},
+        {"ymm", {OpKind::Reg, RegClass::Ymm, 256}},
+        {"mem8", {OpKind::Mem, RegClass::None, 8}},
+        {"mem16", {OpKind::Mem, RegClass::None, 16}},
+        {"mem32", {OpKind::Mem, RegClass::None, 32}},
+        {"mem64", {OpKind::Mem, RegClass::None, 64}},
+        {"mem128", {OpKind::Mem, RegClass::None, 128}},
+        {"mem256", {OpKind::Mem, RegClass::None, 256}},
+        {"imm8", {OpKind::Imm, RegClass::None, 8}},
+        {"imm16", {OpKind::Imm, RegClass::None, 16}},
+        {"imm32", {OpKind::Imm, RegClass::None, 32}},
+        {"imm64", {OpKind::Imm, RegClass::None, 64}},
+    };
+    auto it = table.find(token);
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+applyAttr(const std::string &name, InstrAttributes &attrs, int line_no)
+{
+    if (name == "div")
+        attrs.uses_divider = true;
+    else if (name == "system")
+        attrs.is_system = true;
+    else if (name == "serialize")
+        attrs.is_serializing = true;
+    else if (name == "branch")
+        attrs.is_branch = true;
+    else if (name == "cfreg")
+        attrs.is_cf_reg = true;
+    else if (name == "pause")
+        attrs.is_pause = true;
+    else if (name == "nop")
+        attrs.is_nop = true;
+    else if (name == "zeroidiom")
+        attrs.zero_idiom = true;
+    else if (name == "depbreak")
+        attrs.dep_breaking_same_reg = true;
+    else if (name == "movelim")
+        attrs.mov_elim_candidate = true;
+    else if (name == "lock")
+        attrs.has_lock_prefix = true;
+    else if (name == "rep")
+        attrs.has_rep_prefix = true;
+    else if (name == "avx")
+        attrs.is_avx = true;
+    else
+        fatal("instr table line ", line_no, ": unknown attribute '", name,
+              "'");
+}
+
+/** Parse one operand token into an OperandSpec. */
+OperandSpec
+parseOperandToken(std::string token, int line_no)
+{
+    OperandSpec spec;
+    if (startsWith(token, "*")) {
+        spec.implicit = true;
+        token = token.substr(1);
+    }
+
+    // Split off ":access".
+    std::string access;
+    size_t colon = token.rfind(':');
+    if (colon != std::string::npos) {
+        access = token.substr(colon + 1);
+        token = token.substr(0, colon);
+    }
+
+    // Split off "=FIXEDREG".
+    std::string fixed;
+    size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+        fixed = token.substr(eq + 1);
+        token = token.substr(0, eq);
+        spec.implicit = true;
+    }
+
+    auto kind = parseKind(token);
+    if (!kind)
+        fatal("instr table line ", line_no, ": unknown operand kind '",
+              token, "'");
+    spec.kind = kind->kind;
+    spec.reg_class = kind->reg_class;
+    spec.width = kind->width;
+
+    if (spec.kind == OpKind::Imm) {
+        fatalIf(!access.empty(), "instr table line ", line_no,
+                ": immediates take no access specifier");
+        spec.read = true;
+        return spec;
+    }
+
+    if (access == "r") {
+        spec.read = true;
+    } else if (access == "w") {
+        spec.written = true;
+    } else if (access == "rw") {
+        spec.read = spec.written = true;
+    } else {
+        fatal("instr table line ", line_no, ": operand '", token,
+              "' needs access r|w|rw, got '", access, "'");
+    }
+
+    if (!fixed.empty()) {
+        auto reg = parseRegName(fixed);
+        fatalIf(!reg, "instr table line ", line_no,
+                ": unknown fixed register '", fixed, "'");
+        fatalIf(reg->cls != spec.reg_class, "instr table line ", line_no,
+                ": fixed register '", fixed,
+                "' does not match operand class");
+        spec.fixed_reg = reg->index;
+    }
+    return spec;
+}
+
+} // namespace
+
+size_t
+parseInstrTable(const std::string &text, InstrDb &db)
+{
+    size_t added = 0;
+    int line_no = 0;
+    for (const std::string &raw : split(text, '\n', false, true)) {
+        ++line_no;
+        std::string line = raw;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        auto tokens = splitWhitespace(line);
+        fatalIf(tokens.size() < 1, "instr table line ", line_no,
+                ": empty line");
+        std::string mnemonic = toUpper(tokens[0]);
+
+        std::vector<OperandSpec> operands;
+        FlagMask flags_read, flags_written;
+        Extension ext = Extension::Base;
+        InstrAttributes attrs;
+
+        for (size_t i = 1; i < tokens.size(); ++i) {
+            const std::string &tok = tokens[i];
+            if (startsWith(tok, "rflags:")) {
+                auto m = FlagMask::fromLetters(tok.substr(7));
+                flags_read.cf |= m.cf;
+                flags_read.af |= m.af;
+                flags_read.spazo |= m.spazo;
+            } else if (startsWith(tok, "wflags:")) {
+                auto m = FlagMask::fromLetters(tok.substr(7));
+                flags_written.cf |= m.cf;
+                flags_written.af |= m.af;
+                flags_written.spazo |= m.spazo;
+            } else if (startsWith(tok, "rwflags:")) {
+                auto m = FlagMask::fromLetters(tok.substr(8));
+                flags_read.cf |= m.cf;
+                flags_read.af |= m.af;
+                flags_read.spazo |= m.spazo;
+                flags_written.cf |= m.cf;
+                flags_written.af |= m.af;
+                flags_written.spazo |= m.spazo;
+            } else if (startsWith(tok, "ext=")) {
+                ext = parseExtension(toUpper(tok.substr(4)));
+            } else if (startsWith(tok, "attr=")) {
+                for (const auto &a : split(tok.substr(5), ','))
+                    applyAttr(a, attrs, line_no);
+            } else {
+                operands.push_back(parseOperandToken(tok, line_no));
+            }
+        }
+
+        if (flags_read.any() || flags_written.any()) {
+            OperandSpec flags;
+            flags.kind = OpKind::Flags;
+            flags.implicit = true;
+            flags.flags_read = flags_read;
+            flags.flags_written = flags_written;
+            flags.read = flags_read.any();
+            flags.written = flags_written.any();
+            operands.push_back(flags);
+        }
+
+        db.add(std::move(mnemonic), std::move(operands), ext, attrs);
+        ++added;
+    }
+    return added;
+}
+
+std::unique_ptr<InstrDb>
+buildDefaultDb()
+{
+    auto db = std::make_unique<InstrDb>();
+    parseInstrTable(defaultInstrTableText(), *db);
+    return db;
+}
+
+} // namespace uops::isa

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parser for the XED-style instruction-table DSL.
+ *
+ * The paper extracts its machine-readable instruction description from
+ * the configuration files of Intel XED (Section 6.1). This project uses
+ * a table format playing the same role: one line per instruction
+ * variant, listing operands with kinds/widths/access, implicit fixed
+ * registers, flag effects, ISA extension, and attributes.
+ *
+ * Grammar (per non-comment line, whitespace separated):
+ *
+ *   MNEMONIC operand... [rflags:L] [wflags:L] [rwflags:L]
+ *            [ext=EXT] [attr=a,b,...]
+ *
+ * Operand tokens:
+ *   [*]KIND[=FIXEDREG]:ACCESS      for register/memory operands
+ *   immN                           for immediates (always read)
+ *
+ *   KIND   := reg8 | reg8h | reg16 | reg32 | reg64 | mmx | xmm | ymm
+ *           | mem8 | mem16 | mem32 | mem64 | mem128 | mem256
+ *   ACCESS := r | w | rw
+ *   '*'    marks an implicit operand; '=FIXEDREG' pins it (implies '*').
+ *
+ * Flag letters: C (carry), A (adjust), and S/P/Z/O (the renamed-together
+ * SF/PF/ZF/OF group). All flags tokens merge into one implicit flags
+ * pseudo-operand.
+ *
+ * Attributes: div, system, serialize, branch, pause, nop, zeroidiom,
+ * depbreak, movelim, lock, rep, avx.
+ */
+
+#ifndef UOPS_ISA_PARSER_H
+#define UOPS_ISA_PARSER_H
+
+#include <string>
+
+#include "isa/instruction.h"
+
+namespace uops::isa {
+
+/**
+ * Parse instruction-table text into @p db.
+ *
+ * @param text  DSL text (possibly many lines, '#' comments allowed).
+ * @param db    Database receiving the parsed variants.
+ * @return Number of variants added.
+ * @throws FatalError on malformed input.
+ */
+size_t parseInstrTable(const std::string &text, InstrDb &db);
+
+/**
+ * Build the full bundled instruction database (the project's substitute
+ * for parsing the XED configuration files).
+ */
+std::unique_ptr<InstrDb> buildDefaultDb();
+
+/** The bundled instruction-table text (embedded DSL source). */
+const std::string &defaultInstrTableText();
+
+} // namespace uops::isa
+
+#endif // UOPS_ISA_PARSER_H

@@ -1,0 +1,866 @@
+/**
+ * @file
+ * Bundled instruction-table text (the XED-configuration substitute).
+ *
+ * One line per instruction variant; see parser.h for the grammar.
+ * The set mirrors the structure of the x86 instruction set as covered
+ * by the paper: general-purpose ALU/shift/multiply/divide instructions
+ * in all widths and operand forms (register, immediate, memory), the
+ * MMX/SSE/AVX vector families including the case-study instructions
+ * (AESDEC, SHLD, MOVQ2DQ, MOVDQ2Q, PBLENDVB, VHADDPD, ...), implicit
+ * operands (flags, fixed registers), and the excluded classes (system,
+ * serializing, REP/LOCK-prefixed, register-based control flow).
+ *
+ * Extensions gate per-microarchitecture availability, so the variant
+ * count grows from Nehalem to Coffee Lake exactly as in Table 1.
+ */
+
+#include "parser.h"
+
+namespace uops::isa {
+
+namespace {
+
+// --------------------------------------------------------------------
+// General-purpose integer ALU.
+// --------------------------------------------------------------------
+const char *const kGpAlu = R"TBL(
+# Two-operand ALU: reg-reg, reg-imm, reg-mem, mem-reg for all widths.
+ADD  reg8:rw reg8:r    wflags:CAZSPO
+ADD  reg16:rw reg16:r  wflags:CAZSPO
+ADD  reg32:rw reg32:r  wflags:CAZSPO
+ADD  reg64:rw reg64:r  wflags:CAZSPO
+ADD  reg8:rw imm8      wflags:CAZSPO
+ADD  reg16:rw imm16    wflags:CAZSPO
+ADD  reg32:rw imm32    wflags:CAZSPO
+ADD  reg64:rw imm32    wflags:CAZSPO
+ADD  reg8:rw mem8:r    wflags:CAZSPO
+ADD  reg16:rw mem16:r  wflags:CAZSPO
+ADD  reg32:rw mem32:r  wflags:CAZSPO
+ADD  reg64:rw mem64:r  wflags:CAZSPO
+ADD  mem8:rw reg8:r    wflags:CAZSPO
+ADD  mem16:rw reg16:r  wflags:CAZSPO
+ADD  mem32:rw reg32:r  wflags:CAZSPO
+ADD  mem64:rw reg64:r  wflags:CAZSPO
+SUB  reg8:rw reg8:r    wflags:CAZSPO attr=zeroidiom
+SUB  reg16:rw reg16:r  wflags:CAZSPO attr=zeroidiom
+SUB  reg32:rw reg32:r  wflags:CAZSPO attr=zeroidiom
+SUB  reg64:rw reg64:r  wflags:CAZSPO attr=zeroidiom
+SUB  reg32:rw imm32    wflags:CAZSPO
+SUB  reg64:rw imm32    wflags:CAZSPO
+SUB  reg32:rw mem32:r  wflags:CAZSPO
+SUB  reg64:rw mem64:r  wflags:CAZSPO
+SUB  mem32:rw reg32:r  wflags:CAZSPO
+SUB  mem64:rw reg64:r  wflags:CAZSPO
+AND  reg8:rw reg8:r    wflags:CZSPO
+AND  reg16:rw reg16:r  wflags:CZSPO
+AND  reg32:rw reg32:r  wflags:CZSPO
+AND  reg64:rw reg64:r  wflags:CZSPO
+AND  reg32:rw imm32    wflags:CZSPO
+AND  reg64:rw imm32    wflags:CZSPO
+AND  reg32:rw mem32:r  wflags:CZSPO
+AND  reg64:rw mem64:r  wflags:CZSPO
+AND  mem64:rw reg64:r  wflags:CZSPO
+OR   reg8:rw reg8:r    wflags:CZSPO
+OR   reg16:rw reg16:r  wflags:CZSPO
+OR   reg32:rw reg32:r  wflags:CZSPO
+OR   reg64:rw reg64:r  wflags:CZSPO
+OR   reg32:rw imm32    wflags:CZSPO
+OR   reg64:rw imm32    wflags:CZSPO
+OR   reg32:rw mem32:r  wflags:CZSPO
+OR   reg64:rw mem64:r  wflags:CZSPO
+OR   mem64:rw reg64:r  wflags:CZSPO
+XOR  reg8:rw reg8:r    wflags:CZSPO attr=zeroidiom
+XOR  reg16:rw reg16:r  wflags:CZSPO attr=zeroidiom
+XOR  reg32:rw reg32:r  wflags:CZSPO attr=zeroidiom
+XOR  reg64:rw reg64:r  wflags:CZSPO attr=zeroidiom
+XOR  reg32:rw imm32    wflags:CZSPO
+XOR  reg64:rw imm32    wflags:CZSPO
+XOR  reg32:rw mem32:r  wflags:CZSPO
+XOR  reg64:rw mem64:r  wflags:CZSPO
+XOR  mem64:rw reg64:r  wflags:CZSPO
+CMP  reg8:r reg8:r     wflags:CAZSPO
+CMP  reg16:r reg16:r   wflags:CAZSPO
+CMP  reg32:r reg32:r   wflags:CAZSPO
+CMP  reg64:r reg64:r   wflags:CAZSPO
+CMP  reg32:r imm32     wflags:CAZSPO
+CMP  reg64:r imm32     wflags:CAZSPO
+CMP  reg32:r mem32:r   wflags:CAZSPO
+CMP  reg64:r mem64:r   wflags:CAZSPO
+CMP  mem64:r reg64:r   wflags:CAZSPO
+TEST reg8:r reg8:r     wflags:CZSPO
+TEST reg16:r reg16:r   wflags:CZSPO
+TEST reg32:r reg32:r   wflags:CZSPO
+TEST reg64:r reg64:r   wflags:CZSPO
+TEST reg64:r imm32     wflags:CZSPO
+TEST mem32:r reg32:r   wflags:CZSPO
+TEST mem64:r reg64:r   wflags:CZSPO
+# Carry-consuming ALU (implicit CF input; multi-latency case study).
+ADC  reg8:rw reg8:r    rflags:C wflags:CAZSPO
+ADC  reg16:rw reg16:r  rflags:C wflags:CAZSPO
+ADC  reg32:rw reg32:r  rflags:C wflags:CAZSPO
+ADC  reg64:rw reg64:r  rflags:C wflags:CAZSPO
+ADC  reg32:rw imm32    rflags:C wflags:CAZSPO
+ADC  reg64:rw imm32    rflags:C wflags:CAZSPO
+ADC  reg64:rw mem64:r  rflags:C wflags:CAZSPO
+ADC  mem64:rw reg64:r  rflags:C wflags:CAZSPO
+SBB  reg8:rw reg8:r    rflags:C wflags:CAZSPO
+SBB  reg16:rw reg16:r  rflags:C wflags:CAZSPO
+SBB  reg32:rw reg32:r  rflags:C wflags:CAZSPO
+SBB  reg64:rw reg64:r  rflags:C wflags:CAZSPO
+SBB  reg64:rw imm32    rflags:C wflags:CAZSPO
+SBB  reg64:rw mem64:r  rflags:C wflags:CAZSPO
+# One-operand ALU. INC/DEC leave CF untouched (partial flag update).
+INC  reg8:rw   wflags:AZSPO
+INC  reg16:rw  wflags:AZSPO
+INC  reg32:rw  wflags:AZSPO
+INC  reg64:rw  wflags:AZSPO
+INC  mem64:rw  wflags:AZSPO
+DEC  reg8:rw   wflags:AZSPO
+DEC  reg16:rw  wflags:AZSPO
+DEC  reg32:rw  wflags:AZSPO
+DEC  reg64:rw  wflags:AZSPO
+DEC  mem64:rw  wflags:AZSPO
+NEG  reg32:rw  wflags:CAZSPO
+NEG  reg64:rw  wflags:CAZSPO
+NOT  reg32:rw
+NOT  reg64:rw
+# Exchange / exchange-add (multi-latency case studies).
+XCHG reg32:rw reg32:rw
+XCHG reg64:rw reg64:rw
+XADD reg32:rw reg32:rw wflags:CAZSPO
+XADD reg64:rw reg64:rw wflags:CAZSPO
+)TBL";
+
+// --------------------------------------------------------------------
+// Moves, extensions, LEA, stack.
+// --------------------------------------------------------------------
+const char *const kGpMov = R"TBL(
+MOV  reg8:w reg8:r     attr=movelim
+MOV  reg16:w reg16:r   attr=movelim
+MOV  reg32:w reg32:r   attr=movelim
+MOV  reg64:w reg64:r   attr=movelim
+MOV  reg32:w imm32
+MOV  reg64:w imm64
+MOV  reg8:w mem8:r
+MOV  reg16:w mem16:r
+MOV  reg32:w mem32:r
+MOV  reg64:w mem64:r
+MOV  mem8:w reg8:r
+MOV  mem16:w reg16:r
+MOV  mem32:w reg32:r
+MOV  mem64:w reg64:r
+MOV  mem32:w imm32
+MOV  mem64:w imm32
+MOVSX  reg16:w reg8:r
+MOVSX  reg32:w reg8:r
+MOVSX  reg32:w reg16:r
+MOVSX  reg64:w reg8:r
+MOVSX  reg64:w reg16:r
+MOVSX  reg64:w reg32:r
+MOVSX  reg32:w mem8:r
+MOVSX  reg64:w mem16:r
+MOVZX  reg16:w reg8:r
+MOVZX  reg32:w reg8:r   attr=movelim
+MOVZX  reg32:w reg16:r
+MOVZX  reg64:w reg8:r   attr=movelim
+MOVZX  reg64:w reg16:r
+MOVZX  reg32:w mem8:r
+MOVZX  reg64:w mem16:r
+LEA  reg32:w reg32:r
+LEA  reg64:w reg64:r
+PUSH *mem64:w reg64:r *reg64=RSP:rw
+PUSH *mem64:w imm32 *reg64=RSP:rw
+POP  reg64:w *mem64:r *reg64=RSP:rw
+)TBL";
+
+// --------------------------------------------------------------------
+// Shifts and rotates (flag semantics force implicit dependencies for
+// the CL-count forms; SHLD is the Section 7.3.2 case study).
+// --------------------------------------------------------------------
+const char *const kGpShift = R"TBL(
+SHL  reg16:rw imm8  wflags:CZSPO
+SHL  reg32:rw imm8  wflags:CZSPO
+SHL  reg64:rw imm8  wflags:CZSPO
+SHL  reg32:rw *reg8=CL:r rwflags:CZSPO
+SHL  reg64:rw *reg8=CL:r rwflags:CZSPO
+SHR  reg16:rw imm8  wflags:CZSPO
+SHR  reg32:rw imm8  wflags:CZSPO
+SHR  reg64:rw imm8  wflags:CZSPO
+SHR  reg32:rw *reg8=CL:r rwflags:CZSPO
+SHR  reg64:rw *reg8=CL:r rwflags:CZSPO
+SAR  reg16:rw imm8  wflags:CZSPO
+SAR  reg32:rw imm8  wflags:CZSPO
+SAR  reg64:rw imm8  wflags:CZSPO
+SAR  reg32:rw *reg8=CL:r rwflags:CZSPO
+SAR  reg64:rw *reg8=CL:r rwflags:CZSPO
+ROL  reg32:rw imm8  wflags:CO
+ROL  reg64:rw imm8  wflags:CO
+ROL  reg32:rw *reg8=CL:r rwflags:CO
+ROL  reg64:rw *reg8=CL:r rwflags:CO
+ROR  reg32:rw imm8  wflags:CO
+ROR  reg64:rw imm8  wflags:CO
+ROR  reg32:rw *reg8=CL:r rwflags:CO
+ROR  reg64:rw *reg8=CL:r rwflags:CO
+SHLD reg32:rw reg32:r imm8 wflags:CZSPO
+SHLD reg64:rw reg64:r imm8 wflags:CZSPO
+SHLD reg32:rw reg32:r *reg8=CL:r rwflags:CZSPO
+SHLD reg64:rw reg64:r *reg8=CL:r rwflags:CZSPO
+SHRD reg32:rw reg32:r imm8 wflags:CZSPO
+SHRD reg64:rw reg64:r imm8 wflags:CZSPO
+SHRD reg32:rw reg32:r *reg8=CL:r rwflags:CZSPO
+SHRD reg64:rw reg64:r *reg8=CL:r rwflags:CZSPO
+BSWAP reg32:rw
+BSWAP reg64:rw
+)TBL";
+
+// --------------------------------------------------------------------
+// Multiply / divide (divider attribute drives the value-dependent
+// latency/throughput handling of Sections 5.2.5 and 5.3.1).
+// --------------------------------------------------------------------
+const char *const kGpMulDiv = R"TBL(
+IMUL reg16:rw reg16:r  wflags:CO
+IMUL reg32:rw reg32:r  wflags:CO
+IMUL reg64:rw reg64:r  wflags:CO
+IMUL reg32:w reg32:r imm32 wflags:CO
+IMUL reg64:w reg64:r imm32 wflags:CO
+IMUL reg64:rw mem64:r  wflags:CO
+IMUL *reg16=AX:w *reg8=AL:rw reg8:r wflags:CO
+IMUL *reg16=DX:w *reg16=AX:rw reg16:r wflags:CO
+IMUL *reg32=EDX:w *reg32=EAX:rw reg32:r wflags:CO
+IMUL *reg64=RDX:w *reg64=RAX:rw reg64:r wflags:CO
+MUL  *reg16=AX:w *reg8=AL:rw reg8:r wflags:CO
+MUL  *reg16=DX:w *reg16=AX:rw reg16:r wflags:CO
+MUL  *reg32=EDX:w *reg32=EAX:rw reg32:r wflags:CO
+MUL  *reg64=RDX:w *reg64=RAX:rw reg64:r wflags:CO
+DIV  *reg16=AX:rw reg8:r wflags:CAZSPO attr=div
+DIV  *reg16=DX:rw *reg16=AX:rw reg16:r wflags:CAZSPO attr=div
+DIV  *reg32=EDX:rw *reg32=EAX:rw reg32:r wflags:CAZSPO attr=div
+DIV  *reg64=RDX:rw *reg64=RAX:rw reg64:r wflags:CAZSPO attr=div
+DIV  *reg64=RDX:rw *reg64=RAX:rw mem64:r wflags:CAZSPO attr=div
+IDIV *reg16=AX:rw reg8:r wflags:CAZSPO attr=div
+IDIV *reg32=EDX:rw *reg32=EAX:rw reg32:r wflags:CAZSPO attr=div
+IDIV *reg64=RDX:rw *reg64=RAX:rw reg64:r wflags:CAZSPO attr=div
+)TBL";
+
+// --------------------------------------------------------------------
+// Flags, conditional moves/sets, branches, bit scans.
+// --------------------------------------------------------------------
+const char *const kGpFlags = R"TBL(
+CMC rwflags:C
+STC wflags:C
+CLC wflags:C
+LAHF *reg8h=AH:w rflags:CAZSPO
+SAHF *reg8h=AH:r wflags:CAZSPO
+CDQ *reg32=EDX:w *reg32=EAX:r
+CQO *reg64=RDX:w *reg64=RAX:r
+CMOVZ  reg32:rw reg32:r rflags:Z
+CMOVZ  reg64:rw reg64:r rflags:Z
+CMOVNZ reg32:rw reg32:r rflags:Z
+CMOVNZ reg64:rw reg64:r rflags:Z
+CMOVB  reg32:rw reg32:r rflags:C
+CMOVB  reg64:rw reg64:r rflags:C
+CMOVBE reg32:rw reg32:r rflags:CZ
+CMOVBE reg64:rw reg64:r rflags:CZ
+CMOVNBE reg32:rw reg32:r rflags:CZ
+CMOVNBE reg64:rw reg64:r rflags:CZ
+CMOVS  reg32:rw reg32:r rflags:S
+CMOVS  reg64:rw reg64:r rflags:S
+CMOVO  reg64:rw reg64:r rflags:O
+CMOVBE reg64:rw mem64:r rflags:CZ
+SETZ  reg8:w rflags:Z
+SETNZ reg8:w rflags:Z
+SETB  reg8:w rflags:C
+SETBE reg8:w rflags:CZ
+SETO  reg8:w rflags:O
+JZ   imm8 rflags:Z attr=branch
+JNZ  imm8 rflags:Z attr=branch
+JB   imm8 rflags:C attr=branch
+JBE  imm8 rflags:CZ attr=branch
+JMP  imm8 attr=branch
+JMP  reg64:r attr=branch,cfreg
+CALL reg64:r *mem64:w *reg64=RSP:rw attr=branch,cfreg
+RET  *mem64:r *reg64=RSP:rw attr=branch,cfreg
+BSF  reg32:rw reg32:r wflags:Z
+BSF  reg64:rw reg64:r wflags:Z
+BSR  reg32:rw reg32:r wflags:Z
+BSR  reg64:rw reg64:r wflags:Z
+POPCNT reg32:w reg32:r wflags:CZ ext=SSE42
+POPCNT reg64:w reg64:r wflags:CZ ext=SSE42
+POPCNT reg64:w mem64:r wflags:CZ ext=SSE42
+CRC32 reg32:rw reg8:r ext=SSE42
+CRC32 reg32:rw reg32:r ext=SSE42
+CRC32 reg64:rw reg64:r ext=SSE42
+CRC32 reg64:rw mem64:r ext=SSE42
+)TBL";
+
+// --------------------------------------------------------------------
+// System / special (excluded classes, prefix variants, NOP/PAUSE).
+// --------------------------------------------------------------------
+const char *const kGpSystem = R"TBL(
+NOP  attr=nop
+NOP  reg32:r attr=nop          # multi-byte NOP with a register form
+PAUSE attr=pause
+CPUID *reg32=EAX:rw *reg32=EBX:w *reg32=ECX:rw *reg32=EDX:w attr=system,serialize
+LFENCE attr=serialize
+MFENCE attr=serialize
+SFENCE attr=serialize
+RDTSC *reg32=EDX:w *reg32=EAX:w attr=system
+CLFLUSH mem64:r ext=SSE2 attr=system
+CLFLUSHOPT mem64:r ext=SGX attr=system
+PREFETCHT0 mem64:r
+LOCKADD  mem32:rw reg32:r wflags:CAZSPO attr=lock
+LOCKADD  mem64:rw reg64:r wflags:CAZSPO attr=lock
+LOCKXADD mem64:rw reg64:rw wflags:CAZSPO attr=lock
+LOCKINC  mem64:rw wflags:AZSPO attr=lock
+LOCKDEC  mem64:rw wflags:AZSPO attr=lock
+LOCKCMPXCHG mem64:rw reg64:r *reg64=RAX:rw wflags:CAZSPO attr=lock
+REPMOVSB *reg64=RSI:rw *reg64=RDI:rw *reg64=RCX:rw *mem8:r *mem8:w attr=rep
+REPSTOSB *reg64=RDI:rw *reg64=RCX:rw *reg8=AL:r *mem8:w attr=rep
+)TBL";
+
+// --------------------------------------------------------------------
+// MMX (including the MOVQ2DQ / MOVDQ2Q case studies).
+// --------------------------------------------------------------------
+const char *const kMmx = R"TBL(
+MOVQ   mmx:w mmx:r ext=MMX
+MOVD   mmx:w reg32:r ext=MMX
+MOVD   reg32:w mmx:r ext=MMX
+MOVQ   mmx:w reg64:r ext=MMX
+MOVQ   reg64:w mmx:r ext=MMX
+MOVQ   mmx:w mem64:r ext=MMX
+MOVQ   mem64:w mmx:r ext=MMX
+PADDB  mmx:rw mmx:r ext=MMX
+PADDD  mmx:rw mmx:r ext=MMX
+PSUBB  mmx:rw mmx:r ext=MMX
+PAND   mmx:rw mmx:r ext=MMX
+POR    mmx:rw mmx:r ext=MMX
+PXOR   mmx:rw mmx:r ext=MMX
+PMULLW mmx:rw mmx:r ext=MMX
+PMADDWD mmx:rw mmx:r ext=MMX
+PSLLW  mmx:rw imm8 ext=MMX
+PSRLD  mmx:rw imm8 ext=MMX
+PSHUFW mmx:w mmx:r imm8 ext=SSE
+PCMPEQB mmx:rw mmx:r ext=MMX
+PCMPGTB mmx:rw mmx:r ext=MMX
+MOVQ2DQ xmm:w mmx:r ext=SSE2
+MOVDQ2Q mmx:w xmm:r ext=SSE2
+)TBL";
+
+// --------------------------------------------------------------------
+// SSE integer (XMM).
+// --------------------------------------------------------------------
+const char *const kSseInt = R"TBL(
+PADDB  xmm:rw xmm:r ext=SSE2
+PADDW  xmm:rw xmm:r ext=SSE2
+PADDD  xmm:rw xmm:r ext=SSE2
+PADDQ  xmm:rw xmm:r ext=SSE2
+PADDD  xmm:rw mem128:r ext=SSE2
+PSUBB  xmm:rw xmm:r ext=SSE2
+PSUBD  xmm:rw xmm:r ext=SSE2
+PADDSB xmm:rw xmm:r ext=SSE2
+PADDUSB xmm:rw xmm:r ext=SSE2
+PAVGB  xmm:rw xmm:r ext=SSE2
+PAND   xmm:rw xmm:r ext=SSE2
+PANDN  xmm:rw xmm:r ext=SSE2
+POR    xmm:rw xmm:r ext=SSE2
+PXOR   xmm:rw xmm:r ext=SSE2 attr=zeroidiom
+PXOR   xmm:rw mem128:r ext=SSE2
+PCMPEQB xmm:rw xmm:r ext=SSE2 attr=depbreak
+PCMPEQW xmm:rw xmm:r ext=SSE2 attr=depbreak
+PCMPEQD xmm:rw xmm:r ext=SSE2 attr=depbreak
+PCMPGTB xmm:rw xmm:r ext=SSE2 attr=depbreak
+PCMPGTW xmm:rw xmm:r ext=SSE2 attr=depbreak
+PCMPGTD xmm:rw xmm:r ext=SSE2 attr=depbreak
+PCMPGTQ xmm:rw xmm:r ext=SSE42 attr=depbreak
+PMULLW xmm:rw xmm:r ext=SSE2
+PMULHW xmm:rw xmm:r ext=SSE2
+PMULUDQ xmm:rw xmm:r ext=SSE2
+PMULLD xmm:rw xmm:r ext=SSE41
+PMADDWD xmm:rw xmm:r ext=SSE2
+PSADBW xmm:rw xmm:r ext=SSE2
+PSLLW  xmm:rw imm8 ext=SSE2
+PSLLD  xmm:rw imm8 ext=SSE2
+PSLLQ  xmm:rw imm8 ext=SSE2
+PSRLW  xmm:rw imm8 ext=SSE2
+PSRLD  xmm:rw imm8 ext=SSE2
+PSRLQ  xmm:rw imm8 ext=SSE2
+PSRAW  xmm:rw imm8 ext=SSE2
+PSRAD  xmm:rw imm8 ext=SSE2
+PSLLD  xmm:rw xmm:r ext=SSE2
+PSRLD  xmm:rw xmm:r ext=SSE2
+PSRAD  xmm:rw xmm:r ext=SSE2
+PSHUFD xmm:w xmm:r imm8 ext=SSE2
+PSHUFD xmm:w mem128:r imm8 ext=SSE2
+PSHUFLW xmm:w xmm:r imm8 ext=SSE2
+PSHUFB xmm:rw xmm:r ext=SSSE3
+PALIGNR xmm:rw xmm:r imm8 ext=SSSE3
+PABSB  xmm:w xmm:r ext=SSSE3
+PABSD  xmm:w xmm:r ext=SSSE3
+PSIGNB xmm:rw xmm:r ext=SSSE3
+PHADDW xmm:rw xmm:r ext=SSSE3
+PHADDD xmm:rw xmm:r ext=SSSE3
+PACKSSWB xmm:rw xmm:r ext=SSE2
+PUNPCKLBW xmm:rw xmm:r ext=SSE2
+PUNPCKHBW xmm:rw xmm:r ext=SSE2
+PMOVMSKB reg32:w xmm:r ext=SSE2
+PEXTRW reg32:w xmm:r imm8 ext=SSE2
+PEXTRD reg32:w xmm:r imm8 ext=SSE41
+PEXTRQ reg64:w xmm:r imm8 ext=SSE41
+PINSRW xmm:rw reg32:r imm8 ext=SSE2
+PINSRD xmm:rw reg32:r imm8 ext=SSE41
+PINSRQ xmm:rw reg64:r imm8 ext=SSE41
+PMINSB xmm:rw xmm:r ext=SSE41
+PMINUB xmm:rw xmm:r ext=SSE2
+PMAXSD xmm:rw xmm:r ext=SSE41
+PMINSD xmm:rw xmm:r ext=SSE41
+PBLENDW xmm:rw xmm:r imm8 ext=SSE41
+PBLENDVB xmm:rw xmm:r *xmm=XMM0:r ext=SSE41
+MPSADBW xmm:rw xmm:r imm8 ext=SSE41
+PHMINPOSUW xmm:w xmm:r ext=SSE41
+PTEST xmm:r xmm:r wflags:CZSPO ext=SSE41
+PMOVSXBW xmm:w xmm:r ext=SSE41
+PMOVZXBW xmm:w xmm:r ext=SSE41
+PACKUSDW xmm:rw xmm:r ext=SSE41
+PCLMULQDQ xmm:rw xmm:r imm8 ext=CLMUL
+MOVDQA xmm:w xmm:r ext=SSE2 attr=movelim
+MOVDQA xmm:w mem128:r ext=SSE2
+MOVDQA mem128:w xmm:r ext=SSE2
+MOVDQU xmm:w mem128:r ext=SSE2
+MOVDQU mem128:w xmm:r ext=SSE2
+MOVD xmm:w reg32:r ext=SSE2
+MOVD reg32:w xmm:r ext=SSE2
+MOVQ xmm:w reg64:r ext=SSE2
+MOVQ reg64:w xmm:r ext=SSE2
+MOVQ xmm:w xmm:r ext=SSE2
+MOVQ xmm:w mem64:r ext=SSE2
+MOVQ mem64:w xmm:r ext=SSE2
+)TBL";
+
+// --------------------------------------------------------------------
+// SSE floating point (including AES case-study instructions).
+// --------------------------------------------------------------------
+const char *const kSseFp = R"TBL(
+ADDPS xmm:rw xmm:r ext=SSE
+ADDPD xmm:rw xmm:r ext=SSE2
+ADDSS xmm:rw xmm:r ext=SSE
+ADDSD xmm:rw xmm:r ext=SSE2
+ADDPS xmm:rw mem128:r ext=SSE
+SUBPS xmm:rw xmm:r ext=SSE
+SUBPD xmm:rw xmm:r ext=SSE2
+MULPS xmm:rw xmm:r ext=SSE
+MULPD xmm:rw xmm:r ext=SSE2
+MULSS xmm:rw xmm:r ext=SSE
+MULSD xmm:rw xmm:r ext=SSE2
+MULPS xmm:rw mem128:r ext=SSE
+DIVPS xmm:rw xmm:r ext=SSE attr=div
+DIVPD xmm:rw xmm:r ext=SSE2 attr=div
+DIVSS xmm:rw xmm:r ext=SSE attr=div
+DIVSD xmm:rw xmm:r ext=SSE2 attr=div
+DIVSD xmm:rw mem64:r ext=SSE2 attr=div
+SQRTPS xmm:w xmm:r ext=SSE attr=div
+SQRTPD xmm:w xmm:r ext=SSE2 attr=div
+SQRTSD xmm:w xmm:r ext=SSE2 attr=div
+RCPPS xmm:w xmm:r ext=SSE
+RSQRTPS xmm:w xmm:r ext=SSE
+MAXPS xmm:rw xmm:r ext=SSE
+MAXPD xmm:rw xmm:r ext=SSE2
+MINPS xmm:rw xmm:r ext=SSE
+MINPD xmm:rw xmm:r ext=SSE2
+MINSS xmm:rw xmm:r ext=SSE
+ANDPS xmm:rw xmm:r ext=SSE
+ANDPD xmm:rw xmm:r ext=SSE2
+ANDNPS xmm:rw xmm:r ext=SSE
+ORPS xmm:rw xmm:r ext=SSE
+XORPS xmm:rw xmm:r ext=SSE attr=zeroidiom
+XORPD xmm:rw xmm:r ext=SSE2 attr=zeroidiom
+CMPPS xmm:rw xmm:r imm8 ext=SSE
+CMPPD xmm:rw xmm:r imm8 ext=SSE2
+COMISS xmm:r xmm:r wflags:CZSPO ext=SSE
+UCOMISD xmm:r xmm:r wflags:CZSPO ext=SSE2
+SHUFPS xmm:rw xmm:r imm8 ext=SSE
+SHUFPD xmm:rw xmm:r imm8 ext=SSE2
+UNPCKLPS xmm:rw xmm:r ext=SSE
+UNPCKHPS xmm:rw xmm:r ext=SSE
+MOVAPS xmm:w xmm:r ext=SSE attr=movelim
+MOVAPD xmm:w xmm:r ext=SSE2 attr=movelim
+MOVAPS xmm:w mem128:r ext=SSE
+MOVAPS mem128:w xmm:r ext=SSE
+MOVUPS xmm:w mem128:r ext=SSE
+MOVUPS mem128:w xmm:r ext=SSE
+MOVSS xmm:rw xmm:r ext=SSE
+MOVSD xmm:rw xmm:r ext=SSE2
+MOVHLPS xmm:rw xmm:r ext=SSE
+MOVMSKPS reg32:w xmm:r ext=SSE
+MOVMSKPD reg32:w xmm:r ext=SSE2
+CVTDQ2PS xmm:w xmm:r ext=SSE2
+CVTPS2DQ xmm:w xmm:r ext=SSE2
+CVTTPS2DQ xmm:w xmm:r ext=SSE2
+CVTSI2SS xmm:rw reg32:r ext=SSE
+CVTSI2SD xmm:rw reg64:r ext=SSE2
+CVTSD2SI reg32:w xmm:r ext=SSE2
+CVTSD2SI reg64:w xmm:r ext=SSE2
+CVTSS2SD xmm:rw xmm:r ext=SSE2
+CVTSD2SS xmm:rw xmm:r ext=SSE2
+HADDPS xmm:rw xmm:r ext=SSE3
+HADDPD xmm:rw xmm:r ext=SSE3
+ADDSUBPS xmm:rw xmm:r ext=SSE3
+MOVSLDUP xmm:w xmm:r ext=SSE3
+MOVDDUP xmm:w xmm:r ext=SSE3
+DPPS xmm:rw xmm:r imm8 ext=SSE41
+DPPD xmm:rw xmm:r imm8 ext=SSE41
+ROUNDPS xmm:w xmm:r imm8 ext=SSE41
+ROUNDSS xmm:rw xmm:r imm8 ext=SSE41
+BLENDPS xmm:rw xmm:r imm8 ext=SSE41
+BLENDVPS xmm:rw xmm:r *xmm=XMM0:r ext=SSE41
+BLENDVPD xmm:rw xmm:r *xmm=XMM0:r ext=SSE41
+INSERTPS xmm:rw xmm:r imm8 ext=SSE41
+EXTRACTPS reg32:w xmm:r imm8 ext=SSE41
+AESDEC xmm:rw xmm:r ext=AES
+AESDECLAST xmm:rw xmm:r ext=AES
+AESENC xmm:rw xmm:r ext=AES
+AESENCLAST xmm:rw xmm:r ext=AES
+AESDEC xmm:rw mem128:r ext=AES
+AESDECLAST xmm:rw mem128:r ext=AES
+AESENC xmm:rw mem128:r ext=AES
+AESENCLAST xmm:rw mem128:r ext=AES
+AESIMC xmm:w xmm:r ext=AES
+AESKEYGENASSIST xmm:w xmm:r imm8 ext=AES
+)TBL";
+
+// --------------------------------------------------------------------
+// AVX (VEX-encoded, three-operand; Sandy Bridge onwards).
+// --------------------------------------------------------------------
+const char *const kAvx = R"TBL(
+VADDPS xmm:w xmm:r xmm:r ext=AVX attr=avx
+VADDPS ymm:w ymm:r ymm:r ext=AVX attr=avx
+VADDPD xmm:w xmm:r xmm:r ext=AVX attr=avx
+VADDPD ymm:w ymm:r ymm:r ext=AVX attr=avx
+VADDPS ymm:w ymm:r mem256:r ext=AVX attr=avx
+VSUBPS xmm:w xmm:r xmm:r ext=AVX attr=avx
+VSUBPS ymm:w ymm:r ymm:r ext=AVX attr=avx
+VMULPS xmm:w xmm:r xmm:r ext=AVX attr=avx
+VMULPS ymm:w ymm:r ymm:r ext=AVX attr=avx
+VMULPD ymm:w ymm:r ymm:r ext=AVX attr=avx
+VDIVPS xmm:w xmm:r xmm:r ext=AVX attr=avx,div
+VDIVPS ymm:w ymm:r ymm:r ext=AVX attr=avx,div
+VDIVPD ymm:w ymm:r ymm:r ext=AVX attr=avx,div
+VSQRTPS xmm:w xmm:r ext=AVX attr=avx,div
+VMINPS xmm:w xmm:r xmm:r ext=AVX attr=avx
+VMINPS ymm:w ymm:r ymm:r ext=AVX attr=avx
+VMAXPS xmm:w xmm:r xmm:r ext=AVX attr=avx
+VMAXPS ymm:w ymm:r ymm:r ext=AVX attr=avx
+VANDPS xmm:w xmm:r xmm:r ext=AVX attr=avx
+VANDPS ymm:w ymm:r ymm:r ext=AVX attr=avx
+VORPS ymm:w ymm:r ymm:r ext=AVX attr=avx
+VXORPS xmm:w xmm:r xmm:r ext=AVX attr=avx,zeroidiom
+VXORPS ymm:w ymm:r ymm:r ext=AVX attr=avx,zeroidiom
+VCMPPS ymm:w ymm:r ymm:r imm8 ext=AVX attr=avx
+VSHUFPS xmm:w xmm:r xmm:r imm8 ext=AVX attr=avx
+VSHUFPS ymm:w ymm:r ymm:r imm8 ext=AVX attr=avx
+VPERMILPS xmm:w xmm:r imm8 ext=AVX attr=avx
+VPERMILPS ymm:w ymm:r imm8 ext=AVX attr=avx
+VUNPCKLPS ymm:w ymm:r ymm:r ext=AVX attr=avx
+VHADDPD xmm:w xmm:r xmm:r ext=AVX attr=avx
+VHADDPD ymm:w ymm:r ymm:r ext=AVX attr=avx
+VHADDPS ymm:w ymm:r ymm:r ext=AVX attr=avx
+VADDSUBPS ymm:w ymm:r ymm:r ext=AVX attr=avx
+VBLENDPS ymm:w ymm:r ymm:r imm8 ext=AVX attr=avx
+VBLENDVPS xmm:w xmm:r xmm:r xmm:r ext=AVX attr=avx
+VBLENDVPS ymm:w ymm:r ymm:r ymm:r ext=AVX attr=avx
+VBLENDVPD ymm:w ymm:r ymm:r ymm:r ext=AVX attr=avx
+VPBLENDVB xmm:w xmm:r xmm:r xmm:r ext=AVX attr=avx
+VROUNDPS ymm:w ymm:r imm8 ext=AVX attr=avx
+VUCOMISS xmm:r xmm:r wflags:CZSPO ext=AVX attr=avx
+VMOVAPS xmm:w xmm:r ext=AVX attr=avx,movelim
+VMOVAPS ymm:w ymm:r ext=AVX attr=avx,movelim
+VMOVAPS ymm:w mem256:r ext=AVX attr=avx
+VMOVAPS mem256:w ymm:r ext=AVX attr=avx
+VMOVUPS ymm:w mem256:r ext=AVX attr=avx
+VMOVD xmm:w reg32:r ext=AVX attr=avx
+VMOVD reg32:w xmm:r ext=AVX attr=avx
+VMOVQ xmm:w reg64:r ext=AVX attr=avx
+VMOVQ reg64:w xmm:r ext=AVX attr=avx
+VBROADCASTSS xmm:w mem32:r ext=AVX attr=avx
+VBROADCASTSS ymm:w mem32:r ext=AVX attr=avx
+VINSERTF128 ymm:w ymm:r xmm:r imm8 ext=AVX attr=avx
+VEXTRACTF128 xmm:w ymm:r imm8 ext=AVX attr=avx
+VPERM2F128 ymm:w ymm:r ymm:r imm8 ext=AVX attr=avx
+VZEROUPPER ext=AVX attr=avx
+VCVTDQ2PS ymm:w ymm:r ext=AVX attr=avx
+VCVTPS2DQ ymm:w ymm:r ext=AVX attr=avx
+VPADDD xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPADDB xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPSUBD xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPAND xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPOR xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPXOR xmm:w xmm:r xmm:r ext=AVX attr=avx,zeroidiom
+VPCMPEQD xmm:w xmm:r xmm:r ext=AVX attr=avx,depbreak
+VPCMPGTB xmm:w xmm:r xmm:r ext=AVX attr=avx,depbreak
+VPCMPGTD xmm:w xmm:r xmm:r ext=AVX attr=avx,depbreak
+VPCMPGTQ xmm:w xmm:r xmm:r ext=AVX attr=avx,depbreak
+VPSHUFB xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPSHUFD xmm:w xmm:r imm8 ext=AVX attr=avx
+VPMULLW xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPMULLD xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPMADDWD xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPSLLD xmm:w xmm:r imm8 ext=AVX attr=avx
+VPSRLD xmm:w xmm:r imm8 ext=AVX attr=avx
+VPSRAD xmm:w xmm:r imm8 ext=AVX attr=avx
+VPSLLD xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPSRAW xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPSRLQ xmm:w xmm:r xmm:r ext=AVX attr=avx
+VMPSADBW xmm:w xmm:r xmm:r imm8 ext=AVX attr=avx
+VAESDEC xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPTEST xmm:r xmm:r wflags:CZSPO ext=AVX attr=avx
+VPMOVMSKB reg32:w xmm:r ext=AVX attr=avx
+)TBL";
+
+// --------------------------------------------------------------------
+// AVX2 / BMI / FMA / ADX / F16C (Ivy Bridge through Broadwell adds).
+// --------------------------------------------------------------------
+const char *const kAvx2 = R"TBL(
+VPADDB ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPADDD ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPADDQ ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPADDD ymm:w ymm:r mem256:r ext=AVX2 attr=avx
+VPSUBB ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPAND ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPOR ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPXOR ymm:w ymm:r ymm:r ext=AVX2 attr=avx,zeroidiom
+VPCMPEQD ymm:w ymm:r ymm:r ext=AVX2 attr=avx,depbreak
+VPCMPGTB ymm:w ymm:r ymm:r ext=AVX2 attr=avx,depbreak
+VPCMPGTD ymm:w ymm:r ymm:r ext=AVX2 attr=avx,depbreak
+VPCMPGTQ ymm:w ymm:r ymm:r ext=AVX2 attr=avx,depbreak
+VPSHUFB ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPSHUFD ymm:w ymm:r imm8 ext=AVX2 attr=avx
+VPMULLW ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPMULLD ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPMADDWD ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPSLLD ymm:w ymm:r imm8 ext=AVX2 attr=avx
+VPSRAD ymm:w ymm:r imm8 ext=AVX2 attr=avx
+VPSLLVD xmm:w xmm:r xmm:r ext=AVX2 attr=avx
+VPSLLVD ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPSRAVD ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPERMD ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPERMQ ymm:w ymm:r imm8 ext=AVX2 attr=avx
+VPBROADCASTD xmm:w xmm:r ext=AVX2 attr=avx
+VPBROADCASTD ymm:w xmm:r ext=AVX2 attr=avx
+VPBLENDVB ymm:w ymm:r ymm:r ymm:r ext=AVX2 attr=avx
+VMPSADBW ymm:w ymm:r ymm:r imm8 ext=AVX2 attr=avx
+VINSERTI128 ymm:w ymm:r xmm:r imm8 ext=AVX2 attr=avx
+VEXTRACTI128 xmm:w ymm:r imm8 ext=AVX2 attr=avx
+VPMOVMSKB reg32:w ymm:r ext=AVX2 attr=avx
+ANDN reg32:w reg32:r reg32:r wflags:CZSPO ext=BMI1
+ANDN reg64:w reg64:r reg64:r wflags:CZSPO ext=BMI1
+BEXTR reg32:w reg32:r reg32:r wflags:CZSPO ext=BMI1
+BEXTR reg64:w reg64:r reg64:r wflags:CZSPO ext=BMI1
+BLSI reg64:w reg64:r wflags:CZSPO ext=BMI1
+BLSMSK reg64:w reg64:r wflags:CZSPO ext=BMI1
+BLSR reg64:w reg64:r wflags:CZSPO ext=BMI1
+TZCNT reg32:w reg32:r wflags:CZ ext=BMI1
+TZCNT reg64:w reg64:r wflags:CZ ext=BMI1
+LZCNT reg32:w reg32:r wflags:CZ ext=BMI1
+LZCNT reg64:w reg64:r wflags:CZ ext=BMI1
+BZHI reg64:w reg64:r reg64:r wflags:CZSPO ext=BMI2
+MULX reg64:w reg64:w *reg64=RDX:r reg64:r ext=BMI2
+PDEP reg64:w reg64:r reg64:r ext=BMI2
+PEXT reg64:w reg64:r reg64:r ext=BMI2
+RORX reg64:w reg64:r imm8 ext=BMI2
+SARX reg64:w reg64:r reg64:r ext=BMI2
+SHLX reg64:w reg64:r reg64:r ext=BMI2
+SHRX reg64:w reg64:r reg64:r ext=BMI2
+VFMADD132PS xmm:rw xmm:r xmm:r ext=FMA attr=avx
+VFMADD213PS xmm:rw xmm:r xmm:r ext=FMA attr=avx
+VFMADD231PS xmm:rw xmm:r xmm:r ext=FMA attr=avx
+VFMADD132PS ymm:rw ymm:r ymm:r ext=FMA attr=avx
+VFMADD213PS ymm:rw ymm:r ymm:r ext=FMA attr=avx
+VFMADD231PS ymm:rw ymm:r ymm:r ext=FMA attr=avx
+VFMADD213SD xmm:rw xmm:r xmm:r ext=FMA attr=avx
+VFNMADD213PS ymm:rw ymm:r ymm:r ext=FMA attr=avx
+ADCX reg64:rw reg64:r rwflags:C ext=ADX
+ADOX reg64:rw reg64:r rwflags:O ext=ADX
+VCVTPH2PS xmm:w xmm:r ext=F16C attr=avx
+VCVTPH2PS ymm:w xmm:r ext=F16C attr=avx
+VCVTPS2PH xmm:w xmm:r imm8 ext=F16C attr=avx
+VCVTPS2PH xmm:w ymm:r imm8 ext=F16C attr=avx
+)TBL";
+
+// --------------------------------------------------------------------
+// Additional operand forms and sibling mnemonics (width and memory
+// variants of the families above; coverage breadth for the sweeps).
+// --------------------------------------------------------------------
+const char *const kExtraGp = R"TBL(
+# More ALU width and memory forms.
+SUB  reg8:rw imm8      wflags:CAZSPO
+SUB  reg16:rw imm16    wflags:CAZSPO
+AND  reg16:rw imm16    wflags:CZSPO
+OR   reg16:rw imm16    wflags:CZSPO
+XOR  reg16:rw imm16    wflags:CZSPO
+CMP  reg16:r imm16     wflags:CAZSPO
+CMP  mem32:r reg32:r   wflags:CAZSPO
+CMP  mem8:r reg8:r     wflags:CAZSPO
+TEST reg8:r imm8       wflags:CZSPO
+ADC  reg16:rw imm16    rflags:C wflags:CAZSPO
+SBB  reg32:rw imm32    rflags:C wflags:CAZSPO
+ADC  mem32:rw reg32:r  rflags:C wflags:CAZSPO
+NEG  reg8:rw   wflags:CAZSPO
+NEG  reg16:rw  wflags:CAZSPO
+NOT  reg8:rw
+NOT  reg16:rw
+XCHG reg8:rw reg8:rw
+XCHG reg16:rw reg16:rw
+XADD reg8:rw reg8:rw wflags:CAZSPO
+XADD reg16:rw reg16:rw wflags:CAZSPO
+MOV  mem16:w imm16
+MOVSX reg32:w mem16:r
+MOVZX reg32:w mem16:r
+SHL  reg8:rw imm8  wflags:CZSPO
+SHR  reg8:rw imm8  wflags:CZSPO
+SAR  reg8:rw imm8  wflags:CZSPO
+ROL  reg16:rw imm8 wflags:CO
+ROR  reg16:rw imm8 wflags:CO
+IMUL reg16:w reg16:r imm16 wflags:CO
+IMUL reg32:rw mem32:r  wflags:CO
+CMOVZ  reg16:rw reg16:r rflags:Z
+CMOVB  reg16:rw reg16:r rflags:C
+CMOVNB reg32:rw reg32:r rflags:C
+CMOVNB reg64:rw reg64:r rflags:C
+CMOVL  reg32:rw reg32:r rflags:SO
+CMOVL  reg64:rw reg64:r rflags:SO
+CMOVLE reg32:rw reg32:r rflags:SZO
+CMOVLE reg64:rw reg64:r rflags:SZO
+SETS  reg8:w rflags:S
+SETNB reg8:w rflags:C
+JS   imm8 rflags:S attr=branch
+JNB  imm8 rflags:C attr=branch
+POPCNT reg16:w reg16:r wflags:CZ ext=SSE42
+CRC32 reg32:rw reg16:r ext=SSE42
+BSF  reg16:rw reg16:r wflags:Z
+BSR  reg16:rw reg16:r wflags:Z
+)TBL";
+
+const char *const kExtraSse = R"TBL(
+# More vector integer forms.
+PADDW  xmm:rw mem128:r ext=SSE2
+PADDB  xmm:rw mem128:r ext=SSE2
+PAND   xmm:rw mem128:r ext=SSE2
+POR    xmm:rw mem128:r ext=SSE2
+PCMPEQD xmm:rw mem128:r ext=SSE2
+PMULLW xmm:rw mem128:r ext=SSE2
+PSUBW  xmm:rw xmm:r ext=SSE2
+PSUBQ  xmm:rw xmm:r ext=SSE2
+PMINSW xmm:rw xmm:r ext=SSE2
+PMAXSW xmm:rw xmm:r ext=SSE2
+PMAXUB xmm:rw xmm:r ext=SSE2
+PAVGW  xmm:rw xmm:r ext=SSE2
+PABSW  xmm:w xmm:r ext=SSSE3
+PSIGND xmm:rw xmm:r ext=SSSE3
+PHSUBD xmm:rw xmm:r ext=SSSE3
+PHSUBW xmm:rw xmm:r ext=SSSE3
+PACKSSDW xmm:rw xmm:r ext=SSE2
+PUNPCKLDQ xmm:rw xmm:r ext=SSE2
+PUNPCKHDQ xmm:rw xmm:r ext=SSE2
+PSHUFHW xmm:w xmm:r imm8 ext=SSE2
+# More scalar/packed FP.
+SUBSS  xmm:rw xmm:r ext=SSE
+SUBSD  xmm:rw xmm:r ext=SSE2
+MAXSS  xmm:rw xmm:r ext=SSE
+MAXSD  xmm:rw xmm:r ext=SSE2
+MINSD  xmm:rw xmm:r ext=SSE2
+SUBPS  xmm:rw mem128:r ext=SSE
+MULPD  xmm:rw mem128:r ext=SSE2
+MINPS  xmm:rw mem128:r ext=SSE
+ANDPS  xmm:rw mem128:r ext=SSE
+CMPPS  xmm:rw mem128:r imm8 ext=SSE
+ADDSD  xmm:rw mem64:r ext=SSE2
+UNPCKLPD xmm:rw xmm:r ext=SSE2
+UNPCKHPD xmm:rw xmm:r ext=SSE2
+CVTPD2PS xmm:w xmm:r ext=SSE2
+CVTPS2PD xmm:w xmm:r ext=SSE2
+RSQRTSS xmm:rw xmm:r ext=SSE
+RCPSS  xmm:rw xmm:r ext=SSE
+MOVAPD xmm:w mem128:r ext=SSE2
+MOVAPD mem128:w xmm:r ext=SSE2
+COMISD xmm:r xmm:r wflags:CZSPO ext=SSE2
+UCOMISS xmm:r xmm:r wflags:CZSPO ext=SSE
+DIVPD  xmm:rw mem128:r ext=SSE2 attr=div
+SQRTSS xmm:w xmm:r ext=SSE attr=div
+)TBL";
+
+const char *const kExtraAvx = R"TBL(
+# More VEX forms.
+VSUBPD xmm:w xmm:r xmm:r ext=AVX attr=avx
+VSUBPD ymm:w ymm:r ymm:r ext=AVX attr=avx
+VMULPD xmm:w xmm:r xmm:r ext=AVX attr=avx
+VMINPD ymm:w ymm:r ymm:r ext=AVX attr=avx
+VMAXPD ymm:w ymm:r ymm:r ext=AVX attr=avx
+VANDPD ymm:w ymm:r ymm:r ext=AVX attr=avx
+VXORPD xmm:w xmm:r xmm:r ext=AVX attr=avx,zeroidiom
+VXORPD ymm:w ymm:r ymm:r ext=AVX attr=avx,zeroidiom
+VSQRTPD ymm:w ymm:r ext=AVX attr=avx,div
+VDIVPD xmm:w xmm:r xmm:r ext=AVX attr=avx,div
+VRCPPS xmm:w xmm:r ext=AVX attr=avx
+VRSQRTPS xmm:w xmm:r ext=AVX attr=avx
+VMOVDQA xmm:w xmm:r ext=AVX attr=avx,movelim
+VMOVDQA xmm:w mem128:r ext=AVX attr=avx
+VMOVDQA mem128:w xmm:r ext=AVX attr=avx
+VMOVAPS xmm:w mem128:r ext=AVX attr=avx
+VMOVAPS mem128:w xmm:r ext=AVX attr=avx
+VPANDN xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPADDW xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPSUBW xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPMULHW xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPAVGB xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPABSD xmm:w xmm:r ext=AVX attr=avx
+VPACKSSWB xmm:w xmm:r xmm:r ext=AVX attr=avx
+VPALIGNR xmm:w xmm:r xmm:r imm8 ext=AVX attr=avx
+VPUNPCKLBW xmm:w xmm:r xmm:r ext=AVX attr=avx
+VBLENDPD ymm:w ymm:r ymm:r imm8 ext=AVX attr=avx
+VEXTRACTPS reg32:w xmm:r imm8 ext=AVX attr=avx
+VPINSRD xmm:w xmm:r reg32:r imm8 ext=AVX attr=avx
+VPEXTRD reg32:w xmm:r imm8 ext=AVX attr=avx
+VCVTSI2SD xmm:w xmm:r reg64:r ext=AVX attr=avx
+VCVTTPS2DQ ymm:w ymm:r ext=AVX attr=avx
+VADDPS xmm:w xmm:r mem128:r ext=AVX attr=avx
+VMULPS ymm:w ymm:r mem256:r ext=AVX attr=avx
+# AVX2 / FMA additions.
+VPADDW ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPSUBW ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPABSD ymm:w ymm:r ext=AVX2 attr=avx
+VPAVGB ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPACKSSWB ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VPALIGNR ymm:w ymm:r ymm:r imm8 ext=AVX2 attr=avx
+VPHADDD ymm:w ymm:r ymm:r ext=AVX2 attr=avx
+VFMSUB132PS xmm:rw xmm:r xmm:r ext=FMA attr=avx
+VFMSUB213PS ymm:rw ymm:r ymm:r ext=FMA attr=avx
+VFMADD132PD ymm:rw ymm:r ymm:r ext=FMA attr=avx
+# BMI width variants.
+BZHI reg32:w reg32:r reg32:r wflags:CZSPO ext=BMI2
+RORX reg32:w reg32:r imm8 ext=BMI2
+SHLX reg32:w reg32:r reg32:r ext=BMI2
+SHRX reg32:w reg32:r reg32:r ext=BMI2
+SARX reg32:w reg32:r reg32:r ext=BMI2
+PDEP reg32:w reg32:r reg32:r ext=BMI2
+PEXT reg32:w reg32:r reg32:r ext=BMI2
+BLSI reg32:w reg32:r wflags:CZSPO ext=BMI1
+BLSR reg32:w reg32:r wflags:CZSPO ext=BMI1
+TZCNT reg16:w reg16:r wflags:CZ ext=BMI1
+ADCX reg32:rw reg32:r rwflags:C ext=ADX
+ADOX reg32:rw reg32:r rwflags:O ext=ADX
+)TBL";
+
+} // namespace
+
+const std::string &
+defaultInstrTableText()
+{
+    static const std::string text = std::string(kGpAlu) + kGpMov +
+                                    kGpShift + kGpMulDiv + kGpFlags +
+                                    kGpSystem + kMmx + kSseInt + kSseFp +
+                                    kAvx + kAvx2 + kExtraGp + kExtraSse +
+                                    kExtraAvx;
+    return text;
+}
+
+} // namespace uops::isa

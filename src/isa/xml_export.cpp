@@ -1,0 +1,185 @@
+#include "xml_export.h"
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace uops::isa {
+
+namespace {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Reg: return "reg";
+      case OpKind::Mem: return "mem";
+      case OpKind::Imm: return "imm";
+      case OpKind::Flags: return "flags";
+    }
+    return "?";
+}
+
+OpKind
+parseOpKind(const std::string &name)
+{
+    if (name == "reg")
+        return OpKind::Reg;
+    if (name == "mem")
+        return OpKind::Mem;
+    if (name == "imm")
+        return OpKind::Imm;
+    if (name == "flags")
+        return OpKind::Flags;
+    fatal("xml import: unknown operand kind '", name, "'");
+}
+
+RegClass
+parseRegClassName(const std::string &name)
+{
+    static const std::map<std::string, RegClass> table = {
+        {"GPR8", RegClass::Gpr8},   {"GPR8H", RegClass::Gpr8High},
+        {"GPR16", RegClass::Gpr16}, {"GPR32", RegClass::Gpr32},
+        {"GPR64", RegClass::Gpr64}, {"MMX", RegClass::Mmx},
+        {"XMM", RegClass::Xmm},     {"YMM", RegClass::Ymm},
+        {"NONE", RegClass::None},
+    };
+    auto it = table.find(name);
+    if (it == table.end())
+        fatal("xml import: unknown register class '", name, "'");
+    return it->second;
+}
+
+std::string
+flagLetters(const FlagMask &mask)
+{
+    std::string out;
+    if (mask.cf)
+        out += "C";
+    if (mask.af)
+        out += "A";
+    if (mask.spazo)
+        out += "SPZO";
+    return out;
+}
+
+} // namespace
+
+std::unique_ptr<XmlNode>
+exportInstrDbXml(const InstrDb &db)
+{
+    auto root = std::make_unique<XmlNode>("instructionSet");
+    root->attr("count", static_cast<long>(db.size()));
+    for (const InstrVariant *variant : db.all()) {
+        XmlNode &node = root->addChild("instruction");
+        node.attr("name", variant->name());
+        node.attr("mnemonic", variant->mnemonic());
+        node.attr("extension", extensionName(variant->extension()));
+        node.attr("syntax", variant->syntaxTemplate());
+
+        const InstrAttributes &attrs = variant->attrs();
+        std::vector<std::string> attr_names;
+        if (attrs.uses_divider) attr_names.push_back("div");
+        if (attrs.is_system) attr_names.push_back("system");
+        if (attrs.is_serializing) attr_names.push_back("serialize");
+        if (attrs.is_branch) attr_names.push_back("branch");
+        if (attrs.is_cf_reg) attr_names.push_back("cfreg");
+        if (attrs.is_pause) attr_names.push_back("pause");
+        if (attrs.is_nop) attr_names.push_back("nop");
+        if (attrs.zero_idiom) attr_names.push_back("zeroidiom");
+        if (attrs.dep_breaking_same_reg) attr_names.push_back("depbreak");
+        if (attrs.mov_elim_candidate) attr_names.push_back("movelim");
+        if (attrs.has_lock_prefix) attr_names.push_back("lock");
+        if (attrs.has_rep_prefix) attr_names.push_back("rep");
+        if (attrs.is_avx) attr_names.push_back("avx");
+        if (!attr_names.empty())
+            node.attr("attrs", join(attr_names, ","));
+
+        for (const OperandSpec &op : variant->operands()) {
+            XmlNode &opn = node.addChild("operand");
+            opn.attr("type", opKindName(op.kind));
+            if (op.kind == OpKind::Reg)
+                opn.attr("class", regClassName(op.reg_class));
+            opn.attr("width", static_cast<long>(op.effectiveWidth()));
+            std::string access;
+            if (op.read)
+                access += "r";
+            if (op.written)
+                access += "w";
+            opn.attr("access", access);
+            if (op.implicit)
+                opn.attr("implicit", "1");
+            if (op.fixed_reg >= 0)
+                opn.attr("fixedReg",
+                         regName(Reg{op.reg_class, op.fixed_reg}));
+            if (op.kind == OpKind::Flags) {
+                if (op.flags_read.any())
+                    opn.attr("flagsRead", flagLetters(op.flags_read));
+                if (op.flags_written.any())
+                    opn.attr("flagsWritten",
+                             flagLetters(op.flags_written));
+            }
+        }
+    }
+    return root;
+}
+
+std::unique_ptr<InstrDb>
+importInstrDbXml(const XmlNode &root)
+{
+    fatalIf(root.name() != "instructionSet",
+            "xml import: expected <instructionSet>, got <", root.name(),
+            ">");
+    auto db = std::make_unique<InstrDb>();
+    for (const XmlNode *node : root.childrenNamed("instruction")) {
+        std::vector<OperandSpec> operands;
+        for (const XmlNode *opn : node->childrenNamed("operand")) {
+            OperandSpec spec;
+            spec.kind = parseOpKind(opn->getAttr("type"));
+            if (spec.kind == OpKind::Reg)
+                spec.reg_class = parseRegClassName(opn->getAttr("class"));
+            if (auto w = parseInt(opn->getAttr("width")))
+                spec.width = static_cast<int>(*w);
+            std::string access = opn->getAttr("access");
+            spec.read = access.find('r') != std::string::npos;
+            spec.written = access.find('w') != std::string::npos;
+            spec.implicit = opn->getAttr("implicit") == "1";
+            if (opn->hasAttr("fixedReg")) {
+                auto reg = parseRegName(opn->getAttr("fixedReg"));
+                fatalIf(!reg, "xml import: bad fixedReg");
+                spec.fixed_reg = reg->index;
+                spec.implicit = true;
+            }
+            if (spec.kind == OpKind::Flags) {
+                spec.flags_read =
+                    FlagMask::fromLetters(opn->getAttr("flagsRead"));
+                spec.flags_written =
+                    FlagMask::fromLetters(opn->getAttr("flagsWritten"));
+            }
+            operands.push_back(spec);
+        }
+
+        InstrAttributes attrs;
+        for (const auto &a : split(node->getAttr("attrs"), ',')) {
+            if (a == "div") attrs.uses_divider = true;
+            else if (a == "system") attrs.is_system = true;
+            else if (a == "serialize") attrs.is_serializing = true;
+            else if (a == "branch") attrs.is_branch = true;
+            else if (a == "cfreg") attrs.is_cf_reg = true;
+            else if (a == "pause") attrs.is_pause = true;
+            else if (a == "nop") attrs.is_nop = true;
+            else if (a == "zeroidiom") attrs.zero_idiom = true;
+            else if (a == "depbreak") attrs.dep_breaking_same_reg = true;
+            else if (a == "movelim") attrs.mov_elim_candidate = true;
+            else if (a == "lock") attrs.has_lock_prefix = true;
+            else if (a == "rep") attrs.has_rep_prefix = true;
+            else if (a == "avx") attrs.is_avx = true;
+            else fatal("xml import: unknown attr '", a, "'");
+        }
+
+        db->add(node->getAttr("mnemonic"), std::move(operands),
+                parseExtension(node->getAttr("extension")), attrs);
+    }
+    return db;
+}
+
+} // namespace uops::isa

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Machine-readable XML export of the instruction database.
+ *
+ * Section 6.1: the information extracted from the XED configuration is
+ * converted into "a simpler XML representation that contains enough
+ * information for generating assembler code for each instruction
+ * variant, and that also includes information on implicit operands."
+ * This module emits (and re-imports, for round-trip testing) exactly
+ * that representation.
+ */
+
+#ifndef UOPS_ISA_XML_EXPORT_H
+#define UOPS_ISA_XML_EXPORT_H
+
+#include <memory>
+
+#include "isa/instruction.h"
+#include "support/xml.h"
+
+namespace uops::isa {
+
+/** Emit the whole database as an XML tree. */
+std::unique_ptr<XmlNode> exportInstrDbXml(const InstrDb &db);
+
+/** Rebuild a database from its XML representation. */
+std::unique_ptr<InstrDb> importInstrDbXml(const XmlNode &root);
+
+} // namespace uops::isa
+
+#endif // UOPS_ISA_XML_EXPORT_H

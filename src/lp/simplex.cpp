@@ -1,0 +1,332 @@
+#include "simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/status.h"
+
+namespace uops::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/**
+ * Dense simplex tableau.
+ *
+ * Standard form: minimize c.x subject to A.x = b, x >= 0, b >= 0.
+ * Phase 1 drives artificial variables out of the basis; phase 2
+ * optimizes the real objective. Bland's rule prevents cycling.
+ */
+class Tableau
+{
+  public:
+    Tableau(size_t num_structural, const std::vector<double> &objective)
+        : num_structural_(num_structural), objective_(objective)
+    {
+    }
+
+    /** Append a row already in equality form with non-negative rhs. */
+    void
+    addRow(std::vector<double> coeffs, double rhs)
+    {
+        if (rhs < 0) {
+            for (auto &c : coeffs)
+                c = -c;
+            rhs = -rhs;
+        }
+        rows_.push_back(std::move(coeffs));
+        rhs_.push_back(rhs);
+    }
+
+    Solution
+    solve()
+    {
+        const size_t m = rows_.size();
+        const size_t n = num_structural_;
+        // Columns: structural | artificial (one per row).
+        const size_t total = n + m;
+        a_.assign(m, std::vector<double>(total, 0.0));
+        basis_.assign(m, 0);
+        for (size_t i = 0; i < m; ++i) {
+            for (size_t j = 0; j < n; ++j)
+                a_[i][j] = rows_[i][j];
+            a_[i][n + i] = 1.0;
+            basis_[i] = n + i;
+        }
+        b_ = rhs_;
+
+        // Phase 1: minimize the sum of artificial variables.
+        std::vector<double> phase1(total, 0.0);
+        for (size_t j = n; j < total; ++j)
+            phase1[j] = 1.0;
+        double value = runSimplex(phase1, total);
+        if (value > kEps)
+            return {SolveStatus::Infeasible, 0.0, {}};
+
+        // Drive any remaining artificial variables out of the basis.
+        for (size_t i = 0; i < m; ++i) {
+            if (basis_[i] < n)
+                continue;
+            bool pivoted = false;
+            for (size_t j = 0; j < n; ++j) {
+                if (std::abs(a_[i][j]) > kEps) {
+                    pivot(i, j);
+                    pivoted = true;
+                    break;
+                }
+            }
+            // A fully-zero row is redundant; leave the artificial
+            // variable basic at value zero.
+            (void)pivoted;
+        }
+
+        // Phase 2: real objective; artificial columns are forbidden.
+        std::vector<double> phase2(total, 0.0);
+        for (size_t j = 0; j < n; ++j)
+            phase2[j] = objective_[j];
+        double obj = runSimplex(phase2, n);
+        if (std::isinf(obj))
+            return {SolveStatus::Unbounded, 0.0, {}};
+
+        Solution sol;
+        sol.status = SolveStatus::Optimal;
+        sol.objective = obj;
+        sol.values.assign(n, 0.0);
+        for (size_t i = 0; i < m; ++i)
+            if (basis_[i] < n)
+                sol.values[basis_[i]] = b_[i];
+        return sol;
+    }
+
+  private:
+    /**
+     * Run simplex iterations for the given objective.
+     *
+     * @param cost        Cost coefficients over all columns.
+     * @param allowed_cols Only columns < allowed_cols may enter the basis.
+     * @return Objective value, or +inf when unbounded.
+     */
+    double
+    runSimplex(const std::vector<double> &cost, size_t allowed_cols)
+    {
+        const size_t m = a_.size();
+        while (true) {
+            // Reduced costs: r_j = c_j - c_B . B^-1 A_j. With an
+            // explicit tableau we track it directly.
+            std::vector<double> dual(m);
+            for (size_t i = 0; i < m; ++i)
+                dual[i] = cost[basis_[i]];
+
+            // Bland's rule: first column with negative reduced cost.
+            size_t enter = allowed_cols;
+            for (size_t j = 0; j < allowed_cols; ++j) {
+                double reduced = cost[j];
+                for (size_t i = 0; i < m; ++i)
+                    reduced -= dual[i] * a_[i][j];
+                if (reduced < -kEps) {
+                    enter = j;
+                    break;
+                }
+            }
+            if (enter == allowed_cols)
+                break; // optimal
+
+            // Ratio test (Bland: smallest basis index breaks ties).
+            size_t leave = m;
+            double best_ratio = std::numeric_limits<double>::infinity();
+            for (size_t i = 0; i < m; ++i) {
+                if (a_[i][enter] > kEps) {
+                    double ratio = b_[i] / a_[i][enter];
+                    if (ratio < best_ratio - kEps ||
+                        (std::abs(ratio - best_ratio) <= kEps &&
+                         (leave == m || basis_[i] < basis_[leave]))) {
+                        best_ratio = ratio;
+                        leave = i;
+                    }
+                }
+            }
+            if (leave == m)
+                return std::numeric_limits<double>::infinity();
+            pivot(leave, enter);
+        }
+        double obj = 0.0;
+        for (size_t i = 0; i < m; ++i)
+            obj += cost[basis_[i]] * b_[i];
+        return obj;
+    }
+
+    void
+    pivot(size_t row, size_t col)
+    {
+        const size_t m = a_.size();
+        const size_t total = a_[row].size();
+        double p = a_[row][col];
+        panicIf(std::abs(p) < kEps, "simplex: pivot on ~zero element");
+        for (size_t j = 0; j < total; ++j)
+            a_[row][j] /= p;
+        b_[row] /= p;
+        for (size_t i = 0; i < m; ++i) {
+            if (i == row)
+                continue;
+            double f = a_[i][col];
+            if (std::abs(f) < kEps)
+                continue;
+            for (size_t j = 0; j < total; ++j)
+                a_[i][j] -= f * a_[row][j];
+            b_[i] -= f * b_[row];
+        }
+        basis_[row] = col;
+    }
+
+    size_t num_structural_;
+    std::vector<double> objective_;
+    std::vector<std::vector<double>> rows_;
+    std::vector<double> rhs_;
+
+    std::vector<std::vector<double>> a_;
+    std::vector<double> b_;
+    std::vector<size_t> basis_;
+};
+
+} // namespace
+
+LinearProgram::LinearProgram(size_t num_vars)
+    : num_vars_(num_vars), objective_(num_vars, 0.0)
+{
+}
+
+void
+LinearProgram::setObjective(size_t var, double coeff)
+{
+    panicIf(var >= num_vars_, "lp: objective index out of range");
+    objective_[var] = coeff;
+}
+
+void
+LinearProgram::addConstraint(const Constraint &c)
+{
+    panicIf(c.coeffs.size() != num_vars_,
+            "lp: constraint arity mismatch: ", c.coeffs.size(), " vs ",
+            num_vars_);
+    constraints_.push_back(c);
+}
+
+void
+LinearProgram::addConstraint(const std::vector<double> &coeffs,
+                             Relation rel, double rhs)
+{
+    addConstraint(Constraint{coeffs, rel, rhs});
+}
+
+Solution
+LinearProgram::solve() const
+{
+    // Count slack variables needed for inequalities.
+    size_t slacks = 0;
+    for (const auto &c : constraints_)
+        if (c.rel != Relation::Equal)
+            ++slacks;
+
+    size_t n = num_vars_ + slacks;
+    std::vector<double> obj(n, 0.0);
+    for (size_t j = 0; j < num_vars_; ++j)
+        obj[j] = objective_[j];
+
+    Tableau tableau(n, obj);
+    size_t slack_idx = num_vars_;
+    for (const auto &c : constraints_) {
+        std::vector<double> row(n, 0.0);
+        for (size_t j = 0; j < num_vars_; ++j)
+            row[j] = c.coeffs[j];
+        if (c.rel == Relation::LessEq)
+            row[slack_idx++] = 1.0;
+        else if (c.rel == Relation::GreaterEq)
+            row[slack_idx++] = -1.0;
+        tableau.addRow(std::move(row), c.rhs);
+    }
+
+    Solution sol = tableau.solve();
+    if (sol.status == SolveStatus::Optimal)
+        sol.values.resize(num_vars_);
+    return sol;
+}
+
+double
+minMaxPortLoad(size_t num_ports,
+               const std::vector<std::pair<std::vector<int>, int>> &usage)
+{
+    return minMaxPortLoadDistribution(num_ports, usage).bottleneck;
+}
+
+PortLoadResult
+minMaxPortLoadDistribution(
+    size_t num_ports,
+    const std::vector<std::pair<std::vector<int>, int>> &usage)
+{
+    PortLoadResult result;
+    result.per_port.assign(num_ports, 0.0);
+    if (usage.empty())
+        return result;
+
+    // Variables: f(p, pc) for each (combination, port in combination),
+    // plus the bottleneck variable z (last index). f(p, pc) for ports
+    // outside pc are simply not materialized (they are fixed to zero by
+    // the paper's first constraint).
+    size_t num_f = 0;
+    for (const auto &[ports, count] : usage) {
+        (void)count;
+        num_f += ports.size();
+    }
+    LinearProgram prog(num_f + 1);
+    const size_t z = num_f;
+    prog.setObjective(z, 1.0);
+
+    // sum_p f(p, pc) = mu(pc) for every combination.
+    size_t base = 0;
+    for (const auto &[ports, count] : usage) {
+        std::vector<double> row(num_f + 1, 0.0);
+        for (size_t k = 0; k < ports.size(); ++k)
+            row[base + k] = 1.0;
+        prog.addConstraint(row, Relation::Equal,
+                           static_cast<double>(count));
+        base += ports.size();
+    }
+
+    // For every port p: sum_pc f(p, pc) <= z.
+    for (size_t p = 0; p < num_ports; ++p) {
+        std::vector<double> row(num_f + 1, 0.0);
+        bool any = false;
+        size_t off = 0;
+        for (const auto &[ports, count] : usage) {
+            (void)count;
+            for (size_t k = 0; k < ports.size(); ++k) {
+                if (static_cast<size_t>(ports[k]) == p) {
+                    row[off + k] = 1.0;
+                    any = true;
+                }
+            }
+            off += ports.size();
+        }
+        if (!any)
+            continue;
+        row[z] = -1.0;
+        prog.addConstraint(row, Relation::LessEq, 0.0);
+    }
+
+    Solution sol = prog.solve();
+    panicIf(sol.status != SolveStatus::Optimal,
+            "port-load LP must always be feasible and bounded");
+    result.bottleneck = sol.objective;
+    size_t off = 0;
+    for (const auto &[ports, count] : usage) {
+        (void)count;
+        for (size_t k = 0; k < ports.size(); ++k)
+            result.per_port[static_cast<size_t>(ports[k])] +=
+                sol.values[off + k];
+        off += ports.size();
+    }
+    return result;
+}
+
+} // namespace uops::lp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Dense two-phase simplex solver for small linear programs.
+ *
+ * Section 5.3.2 of the paper computes Intel-definition throughput from the
+ * inferred port usage by solving a linear program: minimize the maximum
+ * per-port load over all feasible assignments of µops to the ports of
+ * their port combinations. The LPs involved are tiny (at most a few dozen
+ * variables), so a dense tableau simplex with Bland's anti-cycling rule
+ * is exact enough and dependency-free.
+ */
+
+#ifndef UOPS_LP_SIMPLEX_H
+#define UOPS_LP_SIMPLEX_H
+
+#include <string>
+#include <vector>
+
+namespace uops::lp {
+
+/** Relation of a linear constraint. */
+enum class Relation { LessEq, Equal, GreaterEq };
+
+/** One linear constraint: coeffs . x (rel) rhs. */
+struct Constraint
+{
+    std::vector<double> coeffs;
+    Relation rel = Relation::LessEq;
+    double rhs = 0.0;
+};
+
+/** Outcome of a solve. */
+enum class SolveStatus { Optimal, Infeasible, Unbounded };
+
+/** Solution of a linear program. */
+struct Solution
+{
+    SolveStatus status = SolveStatus::Infeasible;
+    double objective = 0.0;
+    std::vector<double> values;
+};
+
+/**
+ * A linear program over non-negative variables.
+ *
+ * minimize c . x subject to the added constraints and x >= 0.
+ */
+class LinearProgram
+{
+  public:
+    /** Create a program with @p num_vars non-negative variables. */
+    explicit LinearProgram(size_t num_vars);
+
+    size_t numVars() const { return num_vars_; }
+
+    /** Set the objective coefficient of variable @p var. */
+    void setObjective(size_t var, double coeff);
+
+    /** Add a constraint; its coefficient vector must match numVars(). */
+    void addConstraint(const Constraint &c);
+
+    /** Convenience: add sum(coeffs[i] * x[i]) (rel) rhs. */
+    void addConstraint(const std::vector<double> &coeffs, Relation rel,
+                       double rhs);
+
+    /** Solve with the two-phase simplex method. */
+    Solution solve() const;
+
+  private:
+    size_t num_vars_;
+    std::vector<double> objective_;
+    std::vector<Constraint> constraints_;
+};
+
+/**
+ * Solve the paper's port-load LP directly.
+ *
+ * Given the port usage of an instruction as a list of (port set, #µops)
+ * pairs, compute the minimum achievable maximum per-port load, i.e. the
+ * throughput in cycles per instruction according to Intel's definition
+ * (Definition 1).
+ *
+ * @param num_ports  Number of ports on the microarchitecture.
+ * @param usage      Pairs of (ports usable by the µop group, µop count).
+ * @return The optimal bottleneck load; 0.0 when @p usage is empty.
+ */
+double minMaxPortLoad(
+    size_t num_ports,
+    const std::vector<std::pair<std::vector<int>, int>> &usage);
+
+/** Result of the port-load LP including the per-port distribution. */
+struct PortLoadResult
+{
+    double bottleneck = 0.0;
+    std::vector<double> per_port; ///< size num_ports
+};
+
+/** As minMaxPortLoad, but also returns an optimal distribution. */
+PortLoadResult minMaxPortLoadDistribution(
+    size_t num_ports,
+    const std::vector<std::pair<std::vector<int>, int>> &usage);
+
+} // namespace uops::lp
+
+#endif // UOPS_LP_SIMPLEX_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hardware performance counters (Section 3.3).
+ *
+ * The simulated core exposes the counters the paper's tool relies on:
+ * elapsed core clock cycles and the number of µops dispatched to each
+ * execution port (UOPS_DISPATCHED.PORT_0..7), plus bookkeeping counts
+ * used by tests (issued µops, eliminated µops, retired instructions).
+ */
+
+#ifndef UOPS_SIM_COUNTERS_H
+#define UOPS_SIM_COUNTERS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace uops::sim {
+
+/** Maximum number of execution ports on the modeled cores. */
+constexpr int kMaxPorts = 8;
+
+/** A snapshot of the core's performance counters. */
+struct PerfCounters
+{
+    int64_t cycles = 0;
+    std::array<int64_t, kMaxPorts> port_uops{};
+    int64_t uops_issued = 0;
+    int64_t uops_eliminated = 0;
+    int64_t instrs_retired = 0;
+
+    PerfCounters
+    operator-(const PerfCounters &other) const
+    {
+        PerfCounters d;
+        d.cycles = cycles - other.cycles;
+        for (int p = 0; p < kMaxPorts; ++p)
+            d.port_uops[p] = port_uops[p] - other.port_uops[p];
+        d.uops_issued = uops_issued - other.uops_issued;
+        d.uops_eliminated = uops_eliminated - other.uops_eliminated;
+        d.instrs_retired = instrs_retired - other.instrs_retired;
+        return d;
+    }
+
+    int64_t
+    totalPortUops() const
+    {
+        int64_t total = 0;
+        for (int p = 0; p < kMaxPorts; ++p)
+            total += port_uops[p];
+        return total;
+    }
+
+    std::string
+    toString() const
+    {
+        std::string out = "cycles=" + std::to_string(cycles) + " ports=[";
+        for (int p = 0; p < kMaxPorts; ++p) {
+            if (p)
+                out += ",";
+            out += std::to_string(port_uops[p]);
+        }
+        out += "]";
+        return out;
+    }
+};
+
+} // namespace uops::sim
+
+#endif // UOPS_SIM_COUNTERS_H

@@ -1,0 +1,103 @@
+#include "harness.h"
+
+#include <cmath>
+
+#include "support/status.h"
+
+namespace uops::sim {
+
+using isa::InstrInstance;
+using isa::Kernel;
+
+MeasurementHarness::MeasurementHarness(const uarch::TimingDb &timing,
+                                       HarnessOptions options)
+    : timing_(timing), pipeline_(timing), options_(options)
+{
+    const isa::InstrDb &db = timing.instrDb();
+    serializer_ = db.byName("CPUID_R32i_R32i_R32i_R32i");
+    if (serializer_ == nullptr)
+        serializer_ = db.byName("CPUID");
+    counter_reader_ = db.byName("RDTSC_R32i_R32i");
+    if (counter_reader_ == nullptr)
+        counter_reader_ = db.byName("RDTSC");
+    fatalIf(serializer_ == nullptr || counter_reader_ == nullptr,
+            "harness: CPUID/RDTSC must be present in the instruction DB");
+}
+
+PerfCounters
+MeasurementHarness::runOnce(const Kernel &body, int n) const
+{
+    Kernel code;
+    code.reserve(body.size() * static_cast<size_t>(n) + 8);
+    std::vector<size_t> markers;
+
+    auto append_simple = [&](const isa::InstrVariant *v) {
+        code.push_back(isa::makeInstance(*v, {}));
+    };
+
+    // start <- readPerfCtrs(), wrapped in serializing instructions.
+    append_simple(serializer_);
+    append_simple(counter_reader_);
+    markers.push_back(code.size() - 1);
+    append_simple(serializer_);
+
+    for (int i = 0; i < n; ++i)
+        code.insert(code.end(), body.begin(), body.end());
+
+    // end <- readPerfCtrs().
+    append_simple(serializer_);
+    append_simple(counter_reader_);
+    markers.push_back(code.size() - 1);
+    append_simple(serializer_);
+
+    RunResult result = pipeline_.run(code, markers);
+    return result.snapshots[1] - result.snapshots[0];
+}
+
+Measurement
+MeasurementHarness::measure(const Kernel &body) const
+{
+    panicIf(body.empty(), "harness: empty benchmark body");
+
+    if (options_.warmup)
+        (void)runOnce(body, options_.unroll_small);
+
+    Rng rng(options_.noise_seed);
+    Measurement acc;
+    int reps = std::max(1, options_.repetitions);
+    const double scale =
+        static_cast<double>(options_.unroll_large - options_.unroll_small);
+
+    for (int rep = 0; rep < reps; ++rep) {
+        PerfCounters small = runOnce(body, options_.unroll_small);
+        PerfCounters large = runOnce(body, options_.unroll_large);
+        PerfCounters diff = large - small;
+
+        double cycles = static_cast<double>(diff.cycles);
+        if (options_.noise_stddev > 0.0) {
+            // Triangular-distributed jitter (sum of two uniforms),
+            // seeded: repeatable noise for the averaging tests.
+            double u = rng.nextDouble() + rng.nextDouble() - 1.0;
+            cycles += u * options_.noise_stddev * scale;
+            if (cycles < 0)
+                cycles = 0;
+        }
+        acc.cycles += cycles / scale;
+        for (int p = 0; p < kMaxPorts; ++p)
+            acc.port_uops[static_cast<size_t>(p)] +=
+                static_cast<double>(
+                    diff.port_uops[static_cast<size_t>(p)]) / scale;
+        acc.uops_issued += static_cast<double>(diff.uops_issued) / scale;
+        acc.uops_eliminated +=
+            static_cast<double>(diff.uops_eliminated) / scale;
+    }
+
+    acc.cycles /= reps;
+    for (auto &u : acc.port_uops)
+        u /= reps;
+    acc.uops_issued /= reps;
+    acc.uops_eliminated /= reps;
+    return acc;
+}
+
+} // namespace uops::sim

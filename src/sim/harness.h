@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Measurement harness (Algorithm 2, Section 6.2).
+ *
+ * Reproduces the paper's kernel-space measurement routine on top of
+ * the simulated core:
+ *
+ *   saveState / disablePreemptionAndInterrupts   (no-ops in simulation)
+ *   serializing instruction                       CPUID
+ *   start <- readPerfCtrs()                       RDTSC-modeled reader
+ *   serializing instruction                       CPUID
+ *   AsmCode (n copies of the benchmark body)
+ *   serializing instruction                       CPUID
+ *   end <- readPerfCtrs()
+ *   serializing instruction                       CPUID
+ *
+ * The counter-read and serializing overhead is cancelled exactly as in
+ * the paper: the harness runs once with n = 10 and once with n = 110
+ * copies of the body, subtracts the two measurements and divides by
+ * 100. The result is averaged over a configurable number of repetitions
+ * after a warm-up run; optional seeded noise exercises the averaging
+ * logic in tests.
+ */
+
+#ifndef UOPS_SIM_HARNESS_H
+#define UOPS_SIM_HARNESS_H
+
+#include <array>
+
+#include "isa/kernel.h"
+#include "sim/pipeline.h"
+#include "support/rng.h"
+
+namespace uops::sim {
+
+/** One per-body-execution measurement (averages over the copies). */
+struct Measurement
+{
+    double cycles = 0.0;                       ///< Core cycles per body.
+    std::array<double, kMaxPorts> port_uops{}; ///< µops per port per body.
+    double uops_issued = 0.0;
+    double uops_eliminated = 0.0;
+
+    double
+    totalPortUops() const
+    {
+        double total = 0.0;
+        for (double u : port_uops)
+            total += u;
+        return total;
+    }
+};
+
+/** Harness configuration. */
+struct HarnessOptions
+{
+    int unroll_small = 10;   ///< n for the first run.
+    int unroll_large = 110;  ///< n for the second run.
+    int repetitions = 1;     ///< measurement repetitions (paper: 100).
+    bool warmup = false;     ///< extra untimed run before measuring.
+    double noise_stddev = 0.0; ///< cycles of seeded jitter (0 = exact).
+    uint64_t noise_seed = 42;
+};
+
+/**
+ * Runs benchmark bodies on the simulated core per Algorithm 2.
+ */
+class MeasurementHarness
+{
+  public:
+    MeasurementHarness(const uarch::TimingDb &timing,
+                       HarnessOptions options = {});
+
+    const uarch::UArchInfo &info() const { return pipeline_.info(); }
+    const uarch::TimingDb &timingDb() const { return timing_; }
+
+    /**
+     * Measure one benchmark body.
+     *
+     * @param body The assembler sequence under measurement.
+     * @return Per-body-execution averages.
+     */
+    Measurement measure(const isa::Kernel &body) const;
+
+  private:
+    /** One Algorithm-2 run with @p n body copies; returns the counter
+     *  delta between the two reads. */
+    PerfCounters runOnce(const isa::Kernel &body, int n) const;
+
+    const uarch::TimingDb &timing_;
+    Pipeline pipeline_;
+    HarnessOptions options_;
+    const isa::InstrVariant *serializer_;
+    const isa::InstrVariant *counter_reader_;
+};
+
+} // namespace uops::sim
+
+#endif // UOPS_SIM_HARNESS_H

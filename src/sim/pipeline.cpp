@@ -1,0 +1,605 @@
+#include "pipeline.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "support/status.h"
+
+namespace uops::sim {
+
+using isa::InstrInstance;
+using isa::Kernel;
+using isa::OpKind;
+using isa::OperandSpec;
+using isa::Reg;
+using isa::RegClass;
+using uarch::Domain;
+using uarch::OpRef;
+using uarch::UopSpec;
+
+namespace {
+
+constexpr int64_t kNotReady = std::numeric_limits<int64_t>::max() / 4;
+
+/** Dynamic (renamed) instance of one µop in flight. */
+struct UopDyn
+{
+    const UopSpec *spec = nullptr; ///< nullptr for rename-eliminated.
+    int32_t instr_idx = -1;
+    int16_t port = -1;
+    bool slow = false;
+    bool dispatched = false;
+    int64_t complete = -1;         ///< -1: not finished.
+    std::vector<int32_t> srcs;     ///< value ids
+    std::vector<int32_t> dsts;     ///< value ids, parallel to writes
+};
+
+/** Whole-run mutable state. */
+class Core
+{
+  public:
+    Core(const uarch::TimingDb &timing, const uarch::UArchInfo &info,
+         const SimOptions &options, const Kernel &kernel,
+         const std::vector<size_t> &markers)
+        : timing_(timing), info_(info), options_(options),
+          kernel_(kernel)
+    {
+        for (size_t m : markers)
+            marker_set_.push_back(m);
+        std::sort(marker_set_.begin(), marker_set_.end());
+        // Value 0: power-on state (ready, integer domain).
+        value_ready_.push_back(0);
+        value_domain_.push_back(static_cast<uint8_t>(Domain::Gpr));
+        unit_value_.assign(isa::kNumArchUnits, 0);
+        bound_.resize(static_cast<size_t>(info.num_ports));
+        bound_head_.assign(static_cast<size_t>(info.num_ports), 0);
+        waiting_.assign(static_cast<size_t>(info.num_ports), 0);
+        div_busy_.assign(static_cast<size_t>(info.num_ports), 0);
+        // -1: not yet renamed (blocks the in-order retire cursor).
+        instr_uops_left_.assign(kernel.size(), -1);
+        result_.snapshots.resize(marker_set_.size());
+    }
+
+    RunResult
+    run()
+    {
+        while (!done()) {
+            ++cycle_;
+            panicIf(cycle_ > options_.max_cycles,
+                    "simulation exceeded max_cycles (deadlock?)");
+            dispatch();
+            issue();
+            retire();
+        }
+        counters_.cycles = cycle_;
+        result_.final = counters_;
+        result_.cycles = cycle_;
+        return std::move(result_);
+    }
+
+  private:
+    bool
+    done() const
+    {
+        return next_instr_ >= kernel_.size() &&
+               pending_uops_.empty() && retire_head_ == rob_.size() &&
+               retire_cursor_ >= kernel_.size();
+    }
+
+    // ---- value table -------------------------------------------------
+    int32_t
+    newValue()
+    {
+        value_ready_.push_back(kNotReady);
+        value_domain_.push_back(static_cast<uint8_t>(Domain::Gpr));
+        return static_cast<int32_t>(value_ready_.size() - 1);
+    }
+
+    int64_t
+    effectiveReady(int32_t value, Domain consumer) const
+    {
+        int64_t t = value_ready_[value];
+        if (t >= kNotReady)
+            return t;
+        auto d = static_cast<Domain>(value_domain_[value]);
+        bool cross = (d == Domain::IVec && consumer == Domain::FVec) ||
+                     (d == Domain::FVec && consumer == Domain::IVec);
+        if (cross)
+            t += info_.bypass_delay;
+        return t;
+    }
+
+    // ---- renaming ----------------------------------------------------
+    /** Value id currently bound to an OpRef source. */
+    int32_t
+    resolveRead(const InstrInstance &inst, const OpRef &ref)
+    {
+        switch (ref.kind) {
+          case OpRef::Kind::Operand: {
+            const OperandSpec &op = inst.variant->operand(ref.index);
+            if (op.kind == OpKind::Reg)
+                return unit_value_[isa::regUnit(inst.regOf(ref.index))];
+            panicIf(op.kind != OpKind::Flags,
+                    "resolveRead: unexpected operand kind");
+            // Flags: conservatively take the latest of the read groups
+            // by returning a synthetic max value. To stay exact we
+            // treat each group as a separate source (see expandReads).
+            panic("flags reads must be expanded");
+          }
+          case OpRef::Kind::MemAddr: {
+            const Reg &base = inst.ops[ref.index].mem.base;
+            return unit_value_[isa::regUnit(base)];
+          }
+          case OpRef::Kind::MemData: {
+            auto it = mem_value_.find(inst.ops[ref.index].mem.tag);
+            return it == mem_value_.end() ? 0 : it->second;
+          }
+          case OpRef::Kind::Temp:
+            return temp_value_.at(ref.index);
+        }
+        panic("resolveRead: unreachable");
+    }
+
+    /** Expand a read OpRef into concrete source value ids. */
+    void
+    expandReads(const InstrInstance &inst, const OpRef &ref,
+                std::vector<int32_t> &out, int skip_unit)
+    {
+        if (ref.kind == OpRef::Kind::Operand) {
+            const OperandSpec &op = inst.variant->operand(ref.index);
+            if (op.kind == OpKind::Flags) {
+                for (isa::ArchUnit u : op.flags_read.units())
+                    out.push_back(unit_value_[u]);
+                return;
+            }
+            if (op.kind == OpKind::Reg) {
+                isa::ArchUnit u = isa::regUnit(inst.regOf(ref.index));
+                if (u == skip_unit)
+                    return; // dependency-breaking idiom
+                out.push_back(unit_value_[u]);
+                return;
+            }
+            panic("expandReads: unexpected operand kind for ",
+                  inst.variant->name());
+        }
+        out.push_back(resolveRead(inst, ref));
+    }
+
+    /** Allocate the destination value for a write OpRef and bind it. */
+    int32_t
+    applyWrite(const InstrInstance &inst, const OpRef &ref)
+    {
+        int32_t value = newValue();
+        switch (ref.kind) {
+          case OpRef::Kind::Operand: {
+            const OperandSpec &op = inst.variant->operand(ref.index);
+            if (op.kind == OpKind::Flags) {
+                for (isa::ArchUnit u : op.flags_written.units())
+                    unit_value_[u] = value;
+                return value;
+            }
+            panicIf(op.kind != OpKind::Reg,
+                    "applyWrite: unexpected operand kind");
+            unit_value_[isa::regUnit(inst.regOf(ref.index))] = value;
+            return value;
+          }
+          case OpRef::Kind::MemData:
+            mem_value_[inst.ops[ref.index].mem.tag] = value;
+            return value;
+          case OpRef::Kind::Temp:
+            if (temp_value_.size() <=
+                static_cast<size_t>(ref.index))
+                temp_value_.resize(static_cast<size_t>(ref.index) + 1, 0);
+            temp_value_[static_cast<size_t>(ref.index)] = value;
+            return value;
+          case OpRef::Kind::MemAddr:
+            break;
+        }
+        panic("applyWrite: unreachable");
+    }
+
+    /** Merge-dependency unit for narrow GPR writes / dirty-upper SSE. */
+    int
+    mergeUnit(const InstrInstance &inst, const OpRef &ref) const
+    {
+        if (ref.kind != OpRef::Kind::Operand)
+            return -1;
+        const OperandSpec &op = inst.variant->operand(ref.index);
+        if (op.kind != OpKind::Reg)
+            return -1;
+        RegClass cls = op.reg_class;
+        if (cls == RegClass::Gpr8 || cls == RegClass::Gpr8High ||
+            cls == RegClass::Gpr16)
+            return isa::regUnit(inst.regOf(ref.index));
+        // Dirty-upper merge for legacy-SSE XMM writes.
+        if (info_.sse_avx_transition && dirty_upper_ &&
+            cls == RegClass::Xmm && !inst.variant->attrs().is_avx)
+            return isa::regUnit(inst.regOf(ref.index));
+        return -1;
+    }
+
+    // ---- issue -------------------------------------------------------
+    /** Generate and enqueue the renamed µops of the next instruction. */
+    void
+    renameInstruction(const InstrInstance &inst, int32_t idx)
+    {
+        const uarch::TimingInfo &timing = timing_.timing(*inst.variant);
+        const auto &uops = timing_.uopsFor(inst);
+        bool same_reg = uarch::TimingDb::sameRegOperands(inst);
+        bool idiom = same_reg && timing.dep_breaking_same_reg;
+        bool zero_elim =
+            same_reg && timing.zero_idiom && info_.zero_idiom_elim;
+
+        // The register whose dependency the idiom breaks.
+        int skip_unit = -1;
+        if (idiom) {
+            auto expl = inst.variant->explicitOperands();
+            skip_unit = isa::regUnit(inst.regOf(expl[0]));
+        }
+
+        // Move elimination: reg-reg moves handled by the ROB.
+        bool try_elim = timing.mov_elim && uops.size() == 1;
+        bool eliminated_mov = false;
+        if (try_elim && options_.mov_elim_period > 0) {
+            eliminated_mov =
+                (mov_elim_counter_++ % options_.mov_elim_period) == 0;
+        }
+
+        if (uops.empty() || zero_elim || eliminated_mov) {
+            // Rename-stage execution: one issued-but-not-dispatched µop.
+            UopDyn dyn;
+            dyn.instr_idx = idx;
+            if (eliminated_mov) {
+                // Zero-latency: destination aliases the source value.
+                auto expl = inst.variant->explicitOperands();
+                int32_t src =
+                    unit_value_[isa::regUnit(inst.regOf(expl[1]))];
+                unit_value_[isa::regUnit(inst.regOf(expl[0]))] = src;
+            } else {
+                // NOP / zero idiom: results ready immediately.
+                for (const auto &u : uops)
+                    for (const auto &w : u.writes)
+                        if (w.kind == OpRef::Kind::Operand) {
+                            int32_t v = applyWrite(inst, w);
+                            value_ready_[v] = 0;
+                        }
+            }
+            instr_uops_left_[idx] = 1;
+            pending_uops_.push_back(std::move(dyn));
+            pending_rename_only_.push_back(true);
+            return;
+        }
+
+        temp_value_.assign(temp_value_.size(), 0);
+        int count = 0;
+        for (const auto &spec : uops) {
+            UopDyn dyn;
+            dyn.spec = &spec;
+            dyn.instr_idx = idx;
+            dyn.slow = inst.div_class == isa::DivValueClass::Slow;
+            for (const auto &r : spec.reads)
+                expandReads(inst, r, dyn.srcs, skip_unit);
+            // Partial-register / dirty-upper merges add a read of the
+            // written register's previous value.
+            for (const auto &w : spec.writes) {
+                int mu = mergeUnit(inst, w);
+                if (mu >= 0 && mu != skip_unit)
+                    dyn.srcs.push_back(unit_value_[mu]);
+            }
+            for (const auto &w : spec.writes)
+                dyn.dsts.push_back(applyWrite(inst, w));
+            pending_uops_.push_back(std::move(dyn));
+            pending_rename_only_.push_back(false);
+            ++count;
+        }
+        instr_uops_left_[idx] = count;
+
+        // Track the YMM upper state for the SSE/AVX transition model.
+        if (info_.sse_avx_transition) {
+            if (inst.variant->mnemonic() == "VZEROUPPER") {
+                dirty_upper_ = false;
+            } else if (inst.variant->attrs().is_avx) {
+                for (size_t i = 0; i < inst.variant->numOperands(); ++i) {
+                    const OperandSpec &op = inst.variant->operand(i);
+                    if (op.kind == OpKind::Reg && op.written &&
+                        op.reg_class == RegClass::Ymm)
+                        dirty_upper_ = true;
+                }
+            }
+        }
+    }
+
+    /**
+     * Macro-fusion eligibility: a register/immediate compare or
+     * (from Sandy Bridge) simple ALU instruction writing the flags,
+     * immediately followed by a conditional branch reading them.
+     */
+    bool
+    canFuse(const InstrInstance &prod, const InstrInstance &branch) const
+    {
+        if (!info_.fuses_cmp_jcc)
+            return false;
+        const isa::InstrVariant &pv = *prod.variant;
+        const isa::InstrVariant &bv = *branch.variant;
+        if (!bv.attrs().is_branch || bv.attrs().is_cf_reg)
+            return false;
+        int bf = bv.flagsOperand();
+        if (bf < 0 || !bv.operand(static_cast<size_t>(bf))
+                           .flags_read.any())
+            return false;
+        if (pv.memOperand() >= 0)
+            return false;
+        int pf = pv.flagsOperand();
+        if (pf < 0)
+            return false;
+        const OperandSpec &flags = pv.operand(static_cast<size_t>(pf));
+        if (!flags.flags_written.any() || flags.flags_read.any())
+            return false;
+        // Zero idioms are handled at rename, never fused.
+        if (uarch::TimingDb::sameRegOperands(prod) &&
+            timing_.timing(pv).dep_breaking_same_reg)
+            return false;
+        if (timing_.uopsFor(prod).size() != 1)
+            return false;
+        const std::string &m = pv.mnemonic();
+        if (m == "CMP" || m == "TEST")
+            return true;
+        bool alu_like = m == "ADD" || m == "SUB" || m == "AND" ||
+                        m == "INC" || m == "DEC";
+        return alu_like && info_.fuses_alu_jcc;
+    }
+
+    /** Rename a macro-fused pair into a single branch-unit µop. */
+    void
+    renameFusedPair(const InstrInstance &prod,
+                    const InstrInstance &branch, int32_t idx)
+    {
+        const UopSpec &prod_uop = timing_.uopsFor(prod).front();
+        const UopSpec &branch_uop = timing_.uopsFor(branch).front();
+
+        auto spec = std::make_unique<UopSpec>(prod_uop);
+        spec->ports = branch_uop.ports; // executes on the branch unit
+        spec->latency = 1;
+        spec->domain = Domain::Gpr;
+
+        UopDyn dyn;
+        dyn.spec = spec.get();
+        dyn.instr_idx = idx;
+        for (const auto &r : spec->reads)
+            expandReads(prod, r, dyn.srcs, -1);
+        for (const auto &w : spec->writes)
+            dyn.dsts.push_back(applyWrite(prod, w));
+        fused_specs_.push_back(std::move(spec));
+
+        instr_uops_left_[static_cast<size_t>(idx)] = 1;
+        instr_uops_left_[static_cast<size_t>(idx) + 1] = 0;
+        pending_uops_.push_back(std::move(dyn));
+        pending_rename_only_.push_back(false);
+    }
+
+    void
+    issue()
+    {
+        int issued = 0;
+        while (issued < info_.issue_width) {
+            // Refill the pending queue from the instruction stream.
+            if (pending_uops_.empty()) {
+                if (next_instr_ >= kernel_.size())
+                    return;
+                // A serializing instruction in flight blocks younger
+                // instructions until it has fully retired.
+                if (serializer_in_flight_ >= 0) {
+                    if (instr_uops_left_[static_cast<size_t>(
+                            serializer_in_flight_)] > 0)
+                        return;
+                    serializer_in_flight_ = -1;
+                }
+                const InstrInstance &inst = kernel_[next_instr_];
+                if (inst.variant->attrs().is_serializing) {
+                    // Drain: all older µops must have retired first.
+                    if (retire_head_ != rob_.size())
+                        return;
+                    serializer_in_flight_ =
+                        static_cast<int32_t>(next_instr_);
+                }
+                // Macro-fusion: a flag-writing ALU instruction and an
+                // immediately following Jcc decode into a single µop.
+                if (next_instr_ + 1 < kernel_.size() &&
+                    canFuse(inst, kernel_[next_instr_ + 1])) {
+                    renameFusedPair(
+                        inst, kernel_[next_instr_ + 1],
+                        static_cast<int32_t>(next_instr_));
+                    next_instr_ += 2;
+                    continue;
+                }
+                renameInstruction(inst,
+                                  static_cast<int32_t>(next_instr_));
+                ++next_instr_;
+            }
+            while (!pending_uops_.empty() &&
+                   issued < info_.issue_width) {
+                bool rename_only = pending_rename_only_.front();
+                // Capacity checks.
+                if (rob_.size() - retire_head_ >=
+                    static_cast<size_t>(info_.rob_size))
+                    return;
+                if (!rename_only &&
+                    rs_count_ >= info_.rs_size)
+                    return;
+                UopDyn dyn = std::move(pending_uops_.front());
+                pending_uops_.pop_front();
+                pending_rename_only_.pop_front();
+                ++issued;
+                ++counters_.uops_issued;
+                if (rename_only || dyn.spec == nullptr) {
+                    ++counters_.uops_eliminated;
+                    dyn.complete = cycle_;
+                    rob_.push_back(std::move(dyn));
+                    continue;
+                }
+                // Bind to the least-loaded allowed port.
+                int best = -1;
+                for (int p : uarch::portsOf(dyn.spec->ports)) {
+                    if (p >= info_.num_ports)
+                        continue;
+                    if (best < 0 || waiting_[p] < waiting_[best])
+                        best = p;
+                }
+                panicIf(best < 0, "µop with no valid port");
+                dyn.port = static_cast<int16_t>(best);
+                ++waiting_[best];
+                ++rs_count_;
+                rob_.push_back(std::move(dyn));
+                bound_[best].push_back(rob_.size() - 1);
+            }
+        }
+    }
+
+    // ---- dispatch ----------------------------------------------------
+    void
+    dispatch()
+    {
+        for (int p = 0; p < info_.num_ports; ++p) {
+            auto &queue = bound_[p];
+            size_t &head = bound_head_[p];
+            // Compact fully-drained queues.
+            if (head > 0 && head == queue.size()) {
+                queue.clear();
+                head = 0;
+            }
+            for (size_t i = head; i < queue.size(); ++i) {
+                UopDyn &u = rob_[queue[i]];
+                if (u.dispatched)
+                    continue;
+                const UopSpec &spec = *u.spec;
+                if (spec.div_occupancy > 0 && div_busy_[p] > cycle_)
+                    continue;
+                bool ready = true;
+                for (int32_t s : u.srcs) {
+                    if (effectiveReady(s, spec.domain) > cycle_) {
+                        ready = false;
+                        break;
+                    }
+                }
+                if (!ready)
+                    continue;
+                // Dispatch.
+                u.dispatched = true;
+                int64_t max_done = cycle_ + 1;
+                for (size_t w = 0; w < u.dsts.size(); ++w) {
+                    int lat = spec.writeLatency(w, u.slow);
+                    value_ready_[u.dsts[w]] = cycle_ + lat;
+                    value_domain_[u.dsts[w]] =
+                        static_cast<uint8_t>(spec.domain);
+                    max_done = std::max(max_done,
+                                        cycle_ + static_cast<int64_t>(lat));
+                }
+                max_done = std::max(
+                    max_done, cycle_ + static_cast<int64_t>(spec.latency));
+                u.complete = max_done;
+                ++counters_.port_uops[static_cast<size_t>(p)];
+                --waiting_[p];
+                --rs_count_;
+                if (spec.div_occupancy > 0) {
+                    int occ = u.slow && spec.div_occupancy_slow > 0
+                                  ? spec.div_occupancy_slow
+                                  : spec.div_occupancy;
+                    div_busy_[p] = cycle_ + occ;
+                }
+                // Mark as drained if at the head.
+                if (i == head)
+                    ++head;
+                break; // one µop per port per cycle
+            }
+            // Advance head past dispatched entries.
+            while (head < queue.size() && rob_[queue[head]].dispatched)
+                ++head;
+        }
+    }
+
+    // ---- retire ------------------------------------------------------
+    void
+    retire()
+    {
+        int retired = 0;
+        while (retire_head_ < rob_.size() &&
+               retired < info_.retire_width) {
+            UopDyn &u = rob_[retire_head_];
+            if (u.complete < 0 || u.complete > cycle_)
+                break;
+            --instr_uops_left_[static_cast<size_t>(u.instr_idx)];
+            ++retire_head_;
+            ++retired;
+        }
+        // In-order instruction retirement: an instruction is retired
+        // once all its µops are (fused branches contribute zero µops
+        // and retire together with their producer).
+        while (retire_cursor_ < kernel_.size() &&
+               instr_uops_left_[retire_cursor_] == 0) {
+            ++counters_.instrs_retired;
+            auto it = std::lower_bound(marker_set_.begin(),
+                                       marker_set_.end(),
+                                       retire_cursor_);
+            if (it != marker_set_.end() && *it == retire_cursor_) {
+                counters_.cycles = cycle_;
+                result_.snapshots[static_cast<size_t>(
+                    it - marker_set_.begin())] = counters_;
+            }
+            ++retire_cursor_;
+        }
+    }
+
+    // ---- members -----------------------------------------------------
+    const uarch::TimingDb &timing_;
+    const uarch::UArchInfo &info_;
+    const SimOptions &options_;
+    const Kernel &kernel_;
+    std::vector<size_t> marker_set_;
+
+    int64_t cycle_ = 0;
+    size_t next_instr_ = 0;
+    int32_t serializer_in_flight_ = -1;
+    bool dirty_upper_ = false;
+    uint64_t mov_elim_counter_ = 0;
+
+    std::vector<int64_t> value_ready_;
+    std::vector<uint8_t> value_domain_;
+    std::vector<int32_t> unit_value_;
+    std::map<int, int32_t> mem_value_;
+    std::vector<int32_t> temp_value_;
+
+    std::deque<UopDyn> pending_uops_;
+    std::deque<bool> pending_rename_only_;
+    std::vector<std::unique_ptr<UopSpec>> fused_specs_;
+    std::vector<UopDyn> rob_;
+    size_t retire_head_ = 0;
+    size_t retire_cursor_ = 0;
+    int rs_count_ = 0;
+    std::vector<std::vector<size_t>> bound_;
+    std::vector<size_t> bound_head_;
+    std::vector<int> waiting_;
+    std::vector<int64_t> div_busy_;
+    std::vector<int> instr_uops_left_;
+
+    PerfCounters counters_;
+    RunResult result_;
+};
+
+} // namespace
+
+Pipeline::Pipeline(const uarch::TimingDb &timing, SimOptions options)
+    : timing_(timing), info_(uarchInfo(timing.arch())), options_(options)
+{
+}
+
+RunResult
+Pipeline::run(const isa::Kernel &kernel,
+              const std::vector<size_t> &markers) const
+{
+    Core core(timing_, info_, options_, kernel, markers);
+    return core.run();
+}
+
+} // namespace uops::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cycle-level out-of-order execution-engine simulator.
+ *
+ * This is the project's substitute for the paper's physical Intel Core
+ * processors (see DESIGN.md): it executes benchmark kernels against the
+ * ground-truth µop timing tables and exposes the performance counters
+ * the characterization algorithms consume.
+ *
+ * Modeled (per Figure 1 and Section 3.1 of the paper):
+ *  - in-order issue of µops into the scheduler (4-wide front end);
+ *  - register renaming over architectural units, eliminating false
+ *    dependencies; partial-register writes merge with the old value;
+ *  - the reorder buffer executing special µops directly: NOPs, zero
+ *    idioms (with identical registers), and register-to-register moves
+ *    (move elimination — deliberately succeeding only ~1/3 of the time
+ *    in dependent chains, as the paper observed, so that latency
+ *    measurements must use MOVSX instead of MOV);
+ *  - per-µop port binding by least-load heuristic at issue time and
+ *    oldest-first dispatch of at most one µop per port per cycle;
+ *  - per-(µop, destination) latencies, inter-domain bypass delays, and
+ *    the not-fully-pipelined divider with value-dependent timing;
+ *  - loads, store-address/store-data µops, memory dependencies through
+ *    store-to-load forwarding;
+ *  - SSE/AVX transition behaviour: while the upper YMM state is dirty,
+ *    non-VEX vector writes acquire a merge dependency on their
+ *    destination (why the tool keeps separate SSE/AVX blocking sets);
+ *  - serializing instructions (pipeline drain) and in-order retirement
+ *    with counter snapshots at marker instructions (Algorithm 2).
+ */
+
+#ifndef UOPS_SIM_PIPELINE_H
+#define UOPS_SIM_PIPELINE_H
+
+#include <vector>
+
+#include "isa/kernel.h"
+#include "sim/counters.h"
+#include "uarch/timing_db.h"
+#include "uarch/uarch.h"
+
+namespace uops::sim {
+
+/** Tuning/feature knobs (defaults follow the uarch descriptor). */
+struct SimOptions
+{
+    /** Hard cycle cap: aborts runaway simulations. */
+    int64_t max_cycles = 50'000'000;
+
+    /** Success period of move elimination in dependent chains
+     *  (1 elimination every N candidates; 0 disables elimination). */
+    int mov_elim_period = 3;
+};
+
+/** Result of simulating one kernel. */
+struct RunResult
+{
+    PerfCounters final;                  ///< Counters at end of run.
+    std::vector<PerfCounters> snapshots; ///< At marker retirements.
+    int64_t cycles = 0;                  ///< Total cycles to drain.
+};
+
+/**
+ * The simulated core. Stateless between run() calls except for
+ * configuration; each run starts from power-on register state.
+ */
+class Pipeline
+{
+  public:
+    explicit Pipeline(const uarch::TimingDb &timing,
+                      SimOptions options = {});
+
+    const uarch::UArchInfo &info() const { return info_; }
+
+    /**
+     * Execute @p kernel to completion.
+     *
+     * @param kernel  Straight-line instance sequence.
+     * @param markers Kernel indices at whose retirement the counters
+     *                are snapshotted (Algorithm 2's counter reads).
+     */
+    RunResult run(const isa::Kernel &kernel,
+                  const std::vector<size_t> &markers = {}) const;
+
+  private:
+    const uarch::TimingDb &timing_;
+    const uarch::UArchInfo &info_;
+    SimOptions options_;
+};
+
+} // namespace uops::sim
+
+#endif // UOPS_SIM_PIPELINE_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic behaviour in this project (measurement-noise injection,
+ * IACA bug-registry perturbation selection) is seeded so that every run
+ * of the tool and every test is reproducible bit-for-bit.
+ */
+
+#ifndef UOPS_SUPPORT_RNG_H
+#define UOPS_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace uops {
+
+/** SplitMix64: tiny, high-quality, deterministic generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace uops
+
+#endif // UOPS_SUPPORT_RNG_H

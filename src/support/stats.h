@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small statistics helpers for measurement post-processing.
+ *
+ * The paper's harness repeats each measurement 100 times and averages
+ * (Section 6.2); these helpers implement the aggregation plus the
+ * rounding conventions used when turning cycle counts into reported
+ * latency/throughput values.
+ */
+
+#ifndef UOPS_SUPPORT_STATS_H
+#define UOPS_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace uops {
+
+/** Arithmetic mean; 0 for an empty sample. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+/** Median; 0 for an empty sample. */
+inline double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+/** Minimum; 0 for an empty sample. */
+inline double
+minOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+/**
+ * Round a measured cycle count to the reporting granularity used in the
+ * instruction tables: integers when within @p eps of one, otherwise two
+ * decimals (fractional throughputs like 0.25 stay fractional).
+ */
+inline double
+roundCycles(double x, double eps = 0.05)
+{
+    double nearest = std::round(x);
+    if (std::abs(x - nearest) <= eps)
+        return nearest;
+    return std::round(x * 100.0) / 100.0;
+}
+
+/** True when two cycle counts agree within @p eps. */
+inline bool
+cyclesEqual(double a, double b, double eps = 0.05)
+{
+    return std::abs(a - b) <= eps;
+}
+
+} // namespace uops
+
+#endif // UOPS_SUPPORT_STATS_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Error-reporting helpers shared by all uops libraries.
+ *
+ * Follows the gem5 fatal/panic split: fatal() is for user-caused
+ * conditions (bad configuration, unknown mnemonic, malformed DSL),
+ * panic() is for internal invariant violations (a bug in this library).
+ */
+
+#ifndef UOPS_SUPPORT_STATUS_H
+#define UOPS_SUPPORT_STATUS_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace uops {
+
+/** Thrown for user-caused errors: bad inputs, malformed configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Report a user-caused error.
+ *
+ * @param parts Message fragments, streamed together.
+ */
+template <typename... Parts>
+[[noreturn]] void
+fatal(const Parts &...parts)
+{
+    std::ostringstream os;
+    detail::formatInto(os, parts...);
+    throw FatalError(os.str());
+}
+
+/**
+ * Report an internal invariant violation.
+ *
+ * @param parts Message fragments, streamed together.
+ */
+template <typename... Parts>
+[[noreturn]] void
+panic(const Parts &...parts)
+{
+    std::ostringstream os;
+    detail::formatInto(os, parts...);
+    throw PanicError(os.str());
+}
+
+/**
+ * Check an invariant; panic with a message when it does not hold.
+ */
+template <typename... Parts>
+void
+panicIf(bool condition, const Parts &...parts)
+{
+    if (condition)
+        panic(parts...);
+}
+
+/**
+ * Check a user-facing precondition; fatal with a message when violated.
+ */
+template <typename... Parts>
+void
+fatalIf(bool condition, const Parts &...parts)
+{
+    if (condition)
+        fatal(parts...);
+}
+
+} // namespace uops
+
+#endif // UOPS_SUPPORT_STATUS_H

@@ -1,0 +1,158 @@
+#include "timing.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/status.h"
+
+namespace uops::uarch {
+
+std::string
+OpRef::toString() const
+{
+    switch (kind) {
+      case Kind::Operand: return "op" + std::to_string(index);
+      case Kind::MemAddr: return "addr" + std::to_string(index);
+      case Kind::MemData: return "mem" + std::to_string(index);
+      case Kind::Temp: return "t" + std::to_string(index);
+    }
+    return "?";
+}
+
+int
+UopSpec::writeLatency(size_t w, bool slow) const
+{
+    int base = (slow && latency_slow > 0) ? latency_slow : latency;
+    if (w < write_extra.size())
+        base += write_extra[w];
+    return base;
+}
+
+int
+TimingInfo::maxLatency() const
+{
+    int max_lat = 1;
+    for (const auto &u : uops)
+        for (size_t w = 0; w < u.writes.size(); ++w)
+            max_lat = std::max(max_lat, u.writeLatency(w, true));
+    return max_lat;
+}
+
+void
+PortUsage::add(PortMask mask, int count)
+{
+    if (count == 0)
+        return;
+    for (auto &e : entries) {
+        if (e.first == mask) {
+            e.second += count;
+            return;
+        }
+    }
+    entries.emplace_back(mask, count);
+    std::sort(entries.begin(), entries.end());
+}
+
+int
+PortUsage::totalUops() const
+{
+    int total = 0;
+    for (const auto &e : entries)
+        total += e.second;
+    return total;
+}
+
+bool
+PortUsage::operator==(const PortUsage &other) const
+{
+    return entries == other.entries;
+}
+
+std::string
+PortUsage::toString() const
+{
+    if (entries.empty())
+        return "-";
+    std::string out;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (i)
+            out += "+";
+        out += std::to_string(entries[i].second) + "*" +
+               portMaskName(entries[i].first);
+    }
+    return out;
+}
+
+PortUsage
+PortUsage::ofTiming(const std::vector<UopSpec> &uops)
+{
+    PortUsage usage;
+    for (const auto &u : uops)
+        usage.add(u.ports, 1);
+    return usage;
+}
+
+std::optional<int>
+trueLatency(const std::vector<UopSpec> &uops, int src_op, int dst_op,
+            bool slow)
+{
+    // Value-ready times keyed by OpRef. The source operand (its
+    // address register for memory operands) becomes ready at time 0;
+    // all other external inputs are unconstrained (-inf, i.e. "ready
+    // long ago"), per the paper's latency definition: all other
+    // dependencies are not on the critical path.
+    constexpr long kMinusInf = std::numeric_limits<long>::min() / 4;
+
+    auto ready_key = [](const OpRef &ref) {
+        return std::pair<int, int>(static_cast<int>(ref.kind), ref.index);
+    };
+    std::map<std::pair<int, int>, long> ready;
+
+    auto input_time = [&](const OpRef &ref) -> long {
+        auto it = ready.find(ready_key(ref));
+        if (it != ready.end())
+            return it->second;
+        // External input: the source starts the clock, the rest are
+        // off the critical path.
+        if (ref.kind == OpRef::Kind::Operand && ref.index == src_op)
+            return 0;
+        if (ref.kind == OpRef::Kind::MemAddr && ref.index == src_op)
+            return 0;
+        if (ref.kind == OpRef::Kind::MemData && ref.index == src_op)
+            return 0;
+        return kMinusInf;
+    };
+
+    // µops are listed in dataflow order (temps are written before they
+    // are read); a single forward pass suffices.
+    for (const auto &u : uops) {
+        long dispatch = kMinusInf;
+        for (const auto &r : u.reads)
+            dispatch = std::max(dispatch, input_time(r));
+        for (size_t w = 0; w < u.writes.size(); ++w) {
+            long t = dispatch == kMinusInf
+                         ? kMinusInf
+                         : dispatch + u.writeLatency(w, slow);
+            auto key = ready_key(u.writes[w]);
+            auto it = ready.find(key);
+            if (it == ready.end() || it->second < t)
+                ready[key] = t;
+        }
+    }
+
+    auto it = ready.find({static_cast<int>(OpRef::Kind::Operand), dst_op});
+    if (it == ready.end() || it->second <= 0)
+        return std::nullopt;
+    return static_cast<int>(it->second);
+}
+
+PortMask
+timingPorts(const std::vector<UopSpec> &uops)
+{
+    PortMask mask = 0;
+    for (const auto &u : uops)
+        mask |= u.ports;
+    return mask;
+}
+
+} // namespace uops::uarch

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ground-truth timing synthesis.
+ *
+ * Maps every instruction variant to its µop decomposition on a given
+ * microarchitecture. The synthesis is class-based: each mnemonic
+ * belongs to a functional class (ALU, shift, FP add, vector shuffle,
+ * AES, ...); per-uarch parameter tables assign ports and latencies to
+ * the classes; and memory-operand forms are composed generically from
+ * the register form plus load / store-address / store-data µops.
+ *
+ * Documented per-uarch special cases (the paper's Section 7.3 case
+ * studies) are implanted here: AESDEC's changing µop structure from
+ * Westmere to Skylake, SHLD's same-register fast path on Skylake,
+ * MOVQ2DQ / MOVDQ2Q port sets, BSWAP's 32- vs 64-bit difference, the
+ * two-µop ADC/SBB on pre-Broadwell, PBLENDVB's 2*p05 on Nehalem, and
+ * the (V)PCMPGT dependency-breaking behaviour.
+ */
+
+#ifndef UOPS_UARCH_TIMING_SYNTH_H
+#define UOPS_UARCH_TIMING_SYNTH_H
+
+#include "isa/instruction.h"
+#include "uarch/timing.h"
+#include "uarch/uarch.h"
+
+namespace uops::uarch {
+
+/**
+ * Synthesize the ground-truth timing of @p variant on @p arch.
+ *
+ * @throws FatalError for variants not supported on @p arch.
+ */
+TimingInfo synthesizeTiming(const isa::InstrVariant &variant, UArch arch);
+
+} // namespace uops::uarch
+
+#endif // UOPS_UARCH_TIMING_SYNTH_H

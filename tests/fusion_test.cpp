@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the macro-fusion model (simulator) and the fusion
+ * detection algorithm (the paper's Section 9 future-work item).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fusion.h"
+#include "core/port_usage.h"
+#include "test_util.h"
+
+namespace uops::test {
+namespace {
+
+using core::FusionAnalyzer;
+using uarch::UArch;
+
+double
+pairUops(UArch arch, const std::string &listing)
+{
+    return measure(arch, listing).totalPortUops();
+}
+
+TEST(MacroFusion, CmpJccFusesOnAllGenerations)
+{
+    for (UArch arch : uarch::allUArches()) {
+        // CMP+JZ followed by a NOP fence: 1 fused µop.
+        double uops = pairUops(arch, "CMP RAX, RBX\nJZ 1\nNOP");
+        EXPECT_NEAR(uops, 1.0, 0.05) << uarch::uarchShortName(arch);
+    }
+}
+
+TEST(MacroFusion, AluJccFusesOnlyFromSandyBridge)
+{
+    double nhm = pairUops(UArch::Nehalem, "ADD RAX, RBX\nJZ 1\nNOP");
+    EXPECT_NEAR(nhm, 2.0, 0.05); // not fused: ADD µop + branch µop
+    double snb = pairUops(UArch::SandyBridge,
+                          "ADD RAX, RBX\nJZ 1\nNOP");
+    EXPECT_NEAR(snb, 1.0, 0.05); // fused
+}
+
+TEST(MacroFusion, FusedUopRunsOnBranchPort)
+{
+    auto m = measure(UArch::Skylake, "CMP RAX, RBX\nJZ 1\nNOP");
+    EXPECT_NEAR(m.port_uops[6], 1.0, 0.05); // SKL branch unit on p6
+}
+
+TEST(MacroFusion, SeparatedPairDoesNotFuse)
+{
+    double uops =
+        pairUops(UArch::Skylake, "CMP RAX, RBX\nNOP\nJZ 1\nNOP");
+    EXPECT_NEAR(uops, 2.0, 0.05);
+}
+
+TEST(MacroFusion, MemoryCompareDoesNotFuse)
+{
+    double uops =
+        pairUops(UArch::Skylake, "CMP [RSI], RBX\nJZ 1\nNOP");
+    // load + cmp + branch = 3 µops.
+    EXPECT_NEAR(uops, 3.0, 0.05);
+}
+
+TEST(MacroFusion, NonFlagProducersDoNotFuse)
+{
+    double uops = pairUops(UArch::Skylake, "MOVSX RAX, BX\nJZ 1\nNOP");
+    EXPECT_NEAR(uops, 2.0, 0.05);
+}
+
+TEST(MacroFusion, UnconditionalJmpDoesNotFuse)
+{
+    double uops = pairUops(UArch::Skylake, "CMP RAX, RBX\nJMP 1\nNOP");
+    EXPECT_NEAR(uops, 2.0, 0.05);
+}
+
+TEST(MacroFusion, FrontEndBenefitVisible)
+{
+    // Eight fused pairs issue as 8 µops (2 cycles at 4-wide) instead
+    // of 16 — but only one branch port exists, so the dispatch bound
+    // dominates: 8 fused µops on p6 -> ~1 cycle per pair. Unfused
+    // pairs would also be branch-port bound (1/pair) but with the
+    // extra ALU µops the distinction shows in µop counts, which the
+    // previous tests assert; here we check the cycles stay branch
+    // bound.
+    std::string body;
+    for (int i = 0; i < 4; ++i)
+        body += "CMP RAX, RBX\nJZ 1\n";
+    auto m = measure(UArch::Skylake, body);
+    EXPECT_NEAR(m.cycles / 4.0, 1.0, 0.1); // one fused µop per pair on p6
+}
+
+TEST(MacroFusion, ZeroIdiomPairNotFused)
+{
+    // SUB RAX, RAX is a zero idiom: handled at rename, not fused.
+    auto m = measure(UArch::Skylake, "SUB RAX, RAX\nJZ 1\nNOP");
+    EXPECT_NEAR(m.totalPortUops(), 1.0, 0.05); // only the branch
+}
+
+// ---------------------------------------------------------------------
+// The detection algorithm.
+// ---------------------------------------------------------------------
+
+TEST(FusionDetection, ProbeClassifiesPairs)
+{
+    sim::MeasurementHarness harness(timingDb(UArch::Skylake));
+    FusionAnalyzer analyzer(harness);
+    const auto &db = defaultDb();
+
+    auto cmp = analyzer.probe(*db.byName("CMP_R64_R64"),
+                              *db.byName("JZ_I8"));
+    EXPECT_TRUE(cmp.fused);
+    EXPECT_NEAR(cmp.uops_per_pair, 1.0, 0.05);
+    EXPECT_NEAR(cmp.uops_separated, 2.0, 0.05);
+
+    auto shl = analyzer.probe(*db.byName("SHL_R64_I8"),
+                              *db.byName("JZ_I8"));
+    EXPECT_FALSE(shl.fused);
+}
+
+TEST(FusionDetection, SweepMatrixMatchesModel)
+{
+    // Expected fusibility on Nehalem vs Skylake.
+    auto run = [&](UArch arch) {
+        sim::MeasurementHarness harness(timingDb(arch));
+        FusionAnalyzer analyzer(harness);
+        std::map<std::string, bool> out;
+        for (const auto &p : analyzer.sweep())
+            out[p.producer->name()] = p.fused;
+        return out;
+    };
+    auto nhm = run(UArch::Nehalem);
+    EXPECT_TRUE(nhm.at("CMP_R64_R64"));
+    EXPECT_TRUE(nhm.at("TEST_R64_R64"));
+    EXPECT_FALSE(nhm.at("ADD_R64_R64"));
+    EXPECT_FALSE(nhm.at("INC_R64"));
+    EXPECT_FALSE(nhm.at("CMP_R64_M64"));
+    EXPECT_FALSE(nhm.at("IMUL_R64_R64"));
+
+    auto skl = run(UArch::Skylake);
+    EXPECT_TRUE(skl.at("CMP_R64_R64"));
+    EXPECT_TRUE(skl.at("ADD_R64_R64"));
+    EXPECT_TRUE(skl.at("SUB_R64_R64"));
+    EXPECT_TRUE(skl.at("INC_R64"));
+    EXPECT_FALSE(skl.at("SHL_R64_I8"));
+    EXPECT_FALSE(skl.at("CMP_R64_M64"));
+}
+
+TEST(FusionDetection, PortUsageOfBranchesUnaffectedByGuard)
+{
+    // Algorithm 1 on a Jcc must still work (the NOP fence prevents
+    // accidental fusion with CMP-like blocking instructions).
+    sim::MeasurementHarness harness(timingDb(UArch::Skylake));
+    core::BlockingFinder finder(harness);
+    auto sse = finder.find(false);
+    core::PortUsageAnalyzer analyzer(harness, sse, sse);
+    auto r = analyzer.analyze(*defaultDb().byName("JZ_I8"), 2);
+    EXPECT_EQ(r.usage.toString(), "1*p6");
+
+    auto cmp = analyzer.analyze(*defaultDb().byName("CMP_R64_R64"), 2);
+    EXPECT_EQ(cmp.usage.toString(), "1*p0156");
+}
+
+} // namespace
+} // namespace uops::test

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the IACA clone: version/uarch support matrix, the named
+ * defect registry (Section 7.2 case studies), and loop analysis
+ * behaviour (ignored flag and memory dependencies).
+ */
+
+#include <gtest/gtest.h>
+
+#include "iaca/iaca.h"
+#include "test_util.h"
+
+namespace uops::test {
+namespace {
+
+using iaca::IacaAnalyzer;
+using iaca::Version;
+using uarch::UArch;
+
+TEST(IacaVersions, SupportMatrixMatchesTable1)
+{
+    using V = Version;
+    EXPECT_EQ(iaca::versionsFor(UArch::Nehalem),
+              (std::vector<V>{V::V21, V::V22}));
+    EXPECT_EQ(iaca::versionsFor(UArch::Westmere),
+              (std::vector<V>{V::V21, V::V22}));
+    EXPECT_EQ(iaca::versionsFor(UArch::SandyBridge),
+              (std::vector<V>{V::V21, V::V22, V::V23}));
+    EXPECT_EQ(iaca::versionsFor(UArch::Haswell),
+              (std::vector<V>{V::V21, V::V22, V::V23, V::V30}));
+    EXPECT_EQ(iaca::versionsFor(UArch::Broadwell),
+              (std::vector<V>{V::V22, V::V23, V::V30}));
+    EXPECT_EQ(iaca::versionsFor(UArch::Skylake),
+              (std::vector<V>{V::V23, V::V30}));
+    // "There is currently no support for Kaby Lake and Coffee Lake."
+    EXPECT_TRUE(iaca::versionsFor(UArch::KabyLake).empty());
+    EXPECT_TRUE(iaca::versionsFor(UArch::CoffeeLake).empty());
+    EXPECT_EQ(iaca::versionName(V::V21), "2.1");
+    EXPECT_EQ(iaca::versionName(V::V30), "3.0");
+}
+
+TEST(IacaBugs, ImulMemNehalemMissesLoadUop)
+{
+    IacaAnalyzer an(defaultDb(), UArch::Nehalem, Version::V21);
+    auto m = an.model(*defaultDb().byName("IMUL_R64_M64"));
+    // Ground truth has a load µop on p2; IACA "forgets" it.
+    const auto &truth = timingDb(UArch::Nehalem)
+                            .timing(*defaultDb().byName("IMUL_R64_M64"));
+    EXPECT_EQ(m.total_uops, truth.numUops() - 1);
+    for (const auto &[mask, count] : m.usage.entries)
+        EXPECT_NE(mask, uarch::portMask({2}));
+}
+
+TEST(IacaBugs, TestMemNehalemHasSpuriousStoreUops)
+{
+    IacaAnalyzer an(defaultDb(), UArch::Nehalem, Version::V21);
+    auto m = an.model(*defaultDb().byName("TEST_M64_R64"));
+    const auto &truth = timingDb(UArch::Nehalem)
+                            .timing(*defaultDb().byName("TEST_M64_R64"));
+    EXPECT_EQ(m.total_uops, truth.numUops() + 2);
+    bool has_std = false;
+    for (const auto &[mask, count] : m.usage.entries)
+        if (mask == uarch::portMask({4}))
+            has_std = true;
+    EXPECT_TRUE(has_std);
+}
+
+TEST(IacaBugs, BswapR32SkylakeReportedAsTwoUops)
+{
+    IacaAnalyzer an(defaultDb(), UArch::Skylake, Version::V30);
+    auto m32 = an.model(*defaultDb().byName("BSWAP_R32"));
+    auto m64 = an.model(*defaultDb().byName("BSWAP_R64"));
+    EXPECT_EQ(m32.total_uops, 2); // hardware: 1
+    EXPECT_EQ(m64.total_uops, 2);
+}
+
+TEST(IacaBugs, VhaddpdSkylakeSumMismatch)
+{
+    IacaAnalyzer an(defaultDb(), UArch::Skylake, Version::V30);
+    auto m = an.model(*defaultDb().byName("VHADDPD_X_X_X"));
+    EXPECT_EQ(m.total_uops, 3);
+    // The per-port view shows only one µop: the sums disagree.
+    int port_sum = 0;
+    for (const auto &[mask, count] : m.usage.entries)
+        port_sum += count;
+    EXPECT_EQ(port_sum, 1);
+}
+
+TEST(IacaBugs, VminpsVersionDifference)
+{
+    // "2.3": ports 0,1,5; "3.0" (and hardware): ports 0,1.
+    IacaAnalyzer v23(defaultDb(), UArch::Skylake, Version::V23);
+    IacaAnalyzer v30(defaultDb(), UArch::Skylake, Version::V30);
+    const auto *vminps = defaultDb().byName("VMINPS_X_X_X");
+    auto m23 = v23.model(*vminps);
+    auto m30 = v30.model(*vminps);
+    EXPECT_EQ(m23.usage.toString(), "1*p015");
+    EXPECT_EQ(m30.usage.toString(), "1*p01");
+}
+
+TEST(IacaBugs, SahfHaswellVersionDifference)
+{
+    // Hardware and "2.1": p06; "2.2"+ adds ports 1 and 5.
+    IacaAnalyzer v21(defaultDb(), UArch::Haswell, Version::V21);
+    IacaAnalyzer v22(defaultDb(), UArch::Haswell, Version::V22);
+    const auto *sahf = defaultDb().byName("SAHF_R8Hi");
+    EXPECT_EQ(v21.model(*sahf).usage.toString(), "1*p06");
+    EXPECT_EQ(v22.model(*sahf).usage.toString(), "1*p0156");
+}
+
+TEST(IacaBugs, LatencyOnlyInV21)
+{
+    IacaAnalyzer v21(defaultDb(), UArch::SandyBridge, Version::V21);
+    IacaAnalyzer v22(defaultDb(), UArch::SandyBridge, Version::V22);
+    const auto *add = defaultDb().byName("ADD_R64_R64");
+    EXPECT_TRUE(v21.model(*add).latency.has_value());
+    EXPECT_FALSE(v22.model(*add).latency.has_value());
+}
+
+TEST(IacaBugs, AesdecLatencySandyBridge)
+{
+    // IACA 2.1 reports 7 for AESDEC (hardware: 8 for the state pair)
+    // and 13 for the memory variant (7 + load latency).
+    IacaAnalyzer v21(defaultDb(), UArch::SandyBridge, Version::V21);
+    auto reg = v21.model(*defaultDb().byName("AESDEC_X_X"));
+    ASSERT_TRUE(reg.latency.has_value());
+    EXPECT_EQ(*reg.latency, 7);
+    auto mem = v21.model(*defaultDb().byName("AESDEC_X_M128"));
+    ASSERT_TRUE(mem.latency.has_value());
+    EXPECT_EQ(*mem.latency, 13);
+}
+
+TEST(IacaLoop, CmcThroughputIgnoresFlagsInV30)
+{
+    // Section 7.2: "the CMC instruction is reported to have a
+    // throughput of 0.25 cycles by IACA [3.0]... on the actual
+    // hardware we measured 1 cycle."
+    auto kernel = asm_("CMC");
+    IacaAnalyzer v30(defaultDb(), UArch::Haswell, Version::V30);
+    auto r30 = v30.analyzeLoop(kernel);
+    EXPECT_NEAR(r30.block_throughput, 0.25, 0.01);
+    IacaAnalyzer v23(defaultDb(), UArch::Haswell, Version::V23);
+    auto r23 = v23.analyzeLoop(kernel);
+    EXPECT_NEAR(r23.block_throughput, 1.0, 0.01);
+}
+
+TEST(IacaLoop, MemoryDependenciesIgnored)
+{
+    // "the sequence mov [RAX], RBX; mov RBX, [RAX] is reported to
+    // have a throughput of 1 cycle" — on hardware it is a ~5-6 cycle
+    // store-forwarding round trip.
+    auto kernel = asm_("MOV [RAX], RBX\nMOV RBX, [RAX]");
+    IacaAnalyzer v30(defaultDb(), UArch::Skylake, Version::V30);
+    auto r = v30.analyzeLoop(kernel);
+    EXPECT_LE(r.block_throughput, 1.01);
+
+    auto hw = measure(UArch::Skylake, "MOV [RAX], RBX\nMOV RBX, [RAX]");
+    EXPECT_GT(hw.cycles, 4.0);
+}
+
+TEST(IacaLoop, RegisterDependenciesRespected)
+{
+    // A plain ADD chain is reported at 1 cycle by all versions.
+    auto kernel = asm_("ADD RAX, RBX");
+    IacaAnalyzer v30(defaultDb(), UArch::Skylake, Version::V30);
+    EXPECT_NEAR(v30.analyzeLoop(kernel).block_throughput, 1.0, 0.01);
+}
+
+TEST(IacaLoop, PortPressureDistributed)
+{
+    auto kernel = asm_("PSHUFD XMM1, XMM2, 0\nADD RAX, RBX");
+    IacaAnalyzer v30(defaultDb(), UArch::Skylake, Version::V30);
+    auto r = v30.analyzeLoop(kernel);
+    // The background perturbation may add a phantom µop to one of the
+    // two variants; the structure still holds.
+    EXPECT_GE(r.total_uops, 2);
+    EXPECT_LE(r.total_uops, 3);
+    EXPECT_GT(r.port_pressure[5], 0.9); // shuffle pinned to p5
+}
+
+TEST(IacaPerturbation, DeterministicAcrossRuns)
+{
+    IacaAnalyzer a(defaultDb(), UArch::Skylake, Version::V30);
+    IacaAnalyzer b(defaultDb(), UArch::Skylake, Version::V30);
+    for (const auto *v : defaultDb().all()) {
+        if (!uarchInfo(UArch::Skylake).supports(*v))
+            continue;
+        auto ma = a.model(*v);
+        auto mb = b.model(*v);
+        EXPECT_EQ(ma.total_uops, mb.total_uops) << v->name();
+        EXPECT_TRUE(ma.usage == mb.usage) << v->name();
+    }
+}
+
+TEST(IacaPerturbation, DisagreementRateInBand)
+{
+    // The background perturbation must put the per-uarch µop-count
+    // disagreement roughly in Table 1's 7-9% band.
+    IacaAnalyzer an(defaultDb(), UArch::Skylake, Version::V30);
+    const auto &tdb = timingDb(UArch::Skylake);
+    int total = 0, differ = 0;
+    for (const auto *v : defaultDb().all()) {
+        if (!uarchInfo(UArch::Skylake).supports(*v))
+            continue;
+        if (v->attrs().has_rep_prefix || v->attrs().has_lock_prefix)
+            continue;
+        ++total;
+        if (an.model(*v).total_uops != tdb.timing(*v).numUops())
+            ++differ;
+    }
+    double rate = 100.0 * differ / total;
+    EXPECT_GT(rate, 3.0);
+    EXPECT_LT(rate, 15.0);
+}
+
+} // namespace
+} // namespace uops::test

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the simplex LP solver and the port-load LP (Section 5.3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+
+namespace uops::test {
+namespace {
+
+using lp::Constraint;
+using lp::LinearProgram;
+using lp::minMaxPortLoad;
+using lp::Relation;
+using lp::Solution;
+using lp::SolveStatus;
+
+TEST(Simplex, SimpleMaximizationAsMinimization)
+{
+    // min -x - y  s.t.  x + y <= 4, x <= 3, y <= 2.
+    LinearProgram prog(2);
+    prog.setObjective(0, -1.0);
+    prog.setObjective(1, -1.0);
+    prog.addConstraint({1, 1}, Relation::LessEq, 4);
+    prog.addConstraint({1, 0}, Relation::LessEq, 3);
+    prog.addConstraint({0, 1}, Relation::LessEq, 2);
+    Solution sol = prog.solve();
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, -4.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints)
+{
+    // min x + 2y  s.t.  x + y = 3, x - y = 1  ->  x=2, y=1.
+    LinearProgram prog(2);
+    prog.setObjective(0, 1.0);
+    prog.setObjective(1, 2.0);
+    prog.addConstraint({1, 1}, Relation::Equal, 3);
+    prog.addConstraint({1, -1}, Relation::Equal, 1);
+    Solution sol = prog.solve();
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 4.0, 1e-9);
+    EXPECT_NEAR(sol.values[0], 2.0, 1e-9);
+    EXPECT_NEAR(sol.values[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqual)
+{
+    // min x  s.t.  x >= 5.
+    LinearProgram prog(1);
+    prog.setObjective(0, 1.0);
+    prog.addConstraint({1}, Relation::GreaterEq, 5);
+    Solution sol = prog.solve();
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, Infeasible)
+{
+    LinearProgram prog(1);
+    prog.addConstraint({1}, Relation::LessEq, 1);
+    prog.addConstraint({1}, Relation::GreaterEq, 2);
+    EXPECT_EQ(prog.solve().status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, Unbounded)
+{
+    LinearProgram prog(1);
+    prog.setObjective(0, -1.0);
+    prog.addConstraint({-1}, Relation::LessEq, 0);
+    EXPECT_EQ(prog.solve().status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, DegenerateNoCycle)
+{
+    // Degenerate vertex; Bland's rule must terminate.
+    LinearProgram prog(3);
+    prog.setObjective(0, -0.75);
+    prog.setObjective(1, 150.0);
+    prog.setObjective(2, -0.02);
+    prog.addConstraint({0.25, -60, -0.04}, Relation::LessEq, 0);
+    prog.addConstraint({0.5, -90, -0.02}, Relation::LessEq, 0);
+    prog.addConstraint({0, 0, 1}, Relation::LessEq, 1);
+    Solution sol = prog.solve();
+    EXPECT_EQ(sol.status, SolveStatus::Optimal);
+}
+
+// ---------------------------------------------------------------------
+// Port-load LP.
+// ---------------------------------------------------------------------
+
+TEST(PortLoadLp, SingleUopOverKPorts)
+{
+    // 1 µop over k ports: load 1/k.
+    for (int k = 1; k <= 6; ++k) {
+        std::vector<int> ports;
+        for (int p = 0; p < k; ++p)
+            ports.push_back(p);
+        double load = minMaxPortLoad(8, {{ports, 1}});
+        EXPECT_NEAR(load, 1.0 / k, 1e-9) << "k=" << k;
+    }
+}
+
+TEST(PortLoadLp, EmptyUsage)
+{
+    EXPECT_DOUBLE_EQ(minMaxPortLoad(8, {}), 0.0);
+}
+
+TEST(PortLoadLp, DisjointGroups)
+{
+    // 2 µops on {0}, 3 µops on {1}: bottleneck 3.
+    double load = minMaxPortLoad(8, {{{0}, 2}, {{1}, 3}});
+    EXPECT_NEAR(load, 3.0, 1e-9);
+}
+
+TEST(PortLoadLp, OverlapSharing)
+{
+    // 2*p05 (the PBLENDVB case): spread one µop per port -> 1.0.
+    EXPECT_NEAR(minMaxPortLoad(6, {{{0, 5}, 2}}), 1.0, 1e-9);
+    // 1*p0156 + 1*p06 (the ADC case): 0.5.
+    EXPECT_NEAR(minMaxPortLoad(8, {{{0, 1, 5, 6}, 1}, {{0, 6}, 1}}), 0.5,
+                1e-9);
+    // VHADDPD on SKL: 1*p01 + 2*p5: port 5 is the bottleneck.
+    EXPECT_NEAR(minMaxPortLoad(8, {{{0, 1}, 1}, {{5}, 2}}), 2.0, 1e-9);
+}
+
+TEST(PortLoadLp, FractionalOptimum)
+{
+    // 3 µops on {0,1}: 1.5 per port.
+    EXPECT_NEAR(minMaxPortLoad(8, {{{0, 1}, 3}}), 1.5, 1e-9);
+}
+
+/** Property sweep: LP result matches a brute-force lower bound. */
+class PortLoadProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PortLoadProperty, MatchesCountingBound)
+{
+    // Deterministic pseudo-random usages; check the LP optimum equals
+    // the combinatorial bound max over port subsets S of
+    // (µops restricted to S) / |S|.
+    int seed = GetParam();
+    uint64_t state = static_cast<uint64_t>(seed) * 2654435761u + 12345;
+    auto rnd = [&](int bound) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<int>((state >> 33) % bound);
+    };
+    const int num_ports = 6;
+    std::vector<std::pair<std::vector<int>, int>> usage;
+    int groups = 1 + rnd(4);
+    for (int g = 0; g < groups; ++g) {
+        int mask = 1 + rnd((1 << num_ports) - 1);
+        std::vector<int> ports;
+        for (int p = 0; p < num_ports; ++p)
+            if (mask & (1 << p))
+                ports.push_back(p);
+        usage.emplace_back(ports, 1 + rnd(4));
+    }
+
+    double lp_value = minMaxPortLoad(num_ports, usage);
+
+    // max-flow duality: optimum = max over subsets S of ports of
+    // sum of µops whose port set is contained in S, divided by |S|.
+    double bound = 0.0;
+    for (int s_mask = 1; s_mask < (1 << num_ports); ++s_mask) {
+        int size = __builtin_popcount(static_cast<unsigned>(s_mask));
+        int uops = 0;
+        for (const auto &[ports, count] : usage) {
+            bool inside = true;
+            for (int p : ports)
+                if (!(s_mask & (1 << p)))
+                    inside = false;
+            if (inside)
+                uops += count;
+        }
+        bound = std::max(bound, static_cast<double>(uops) / size);
+    }
+    EXPECT_NEAR(lp_value, bound, 1e-6) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PortLoadProperty,
+                         ::testing::Range(0, 40));
+
+} // namespace
+} // namespace uops::test

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the support library: strings, XML, RNG, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/status.h"
+#include "support/strings.h"
+#include "support/xml.h"
+
+namespace uops::test {
+namespace {
+
+// ---------------------------------------------------------------------
+// Strings.
+// ---------------------------------------------------------------------
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t\n x \r"), "x");
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, Split)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a, b , c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "c"}));
+    EXPECT_EQ(split("a,,c", ',', true, true),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_TRUE(split("", ',').empty());
+}
+
+TEST(Strings, SplitWhitespace)
+{
+    EXPECT_EQ(splitWhitespace("  a\tb  c\n"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b"}, "+"), "a+b");
+    EXPECT_EQ(join({}, "+"), "");
+    EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("MOVSX", "MOV"));
+    EXPECT_FALSE(startsWith("MO", "MOV"));
+    EXPECT_TRUE(endsWith("ADDPS", "PS"));
+    EXPECT_FALSE(endsWith("S", "PS"));
+}
+
+TEST(Strings, Case)
+{
+    EXPECT_EQ(toUpper("xmm0"), "XMM0");
+    EXPECT_EQ(toLower("XMM0"), "xmm0");
+}
+
+TEST(Strings, ParseInt)
+{
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt(" -7 "), -7);
+    EXPECT_FALSE(parseInt("4x").has_value());
+    EXPECT_FALSE(parseInt("").has_value());
+}
+
+TEST(Strings, ParseDouble)
+{
+    EXPECT_DOUBLE_EQ(*parseDouble("0.25"), 0.25);
+    EXPECT_FALSE(parseDouble("1.2.3").has_value());
+}
+
+TEST(Strings, SplitKeyValue)
+{
+    auto [k, v] = splitKeyValue("ext=AVX");
+    EXPECT_EQ(k, "ext");
+    EXPECT_EQ(v, "AVX");
+    auto [k2, v2] = splitKeyValue("flag");
+    EXPECT_EQ(k2, "flag");
+    EXPECT_EQ(v2, "");
+}
+
+// ---------------------------------------------------------------------
+// XML.
+// ---------------------------------------------------------------------
+
+TEST(Xml, EscapeRoundTrip)
+{
+    EXPECT_EQ(xmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(Xml, WriteSimple)
+{
+    XmlNode root("root");
+    root.attr("x", 1L);
+    root.addChild("leaf").attr("name", "a<b");
+    std::string s = root.toString();
+    EXPECT_NE(s.find("<root x=\"1\">"), std::string::npos);
+    EXPECT_NE(s.find("name=\"a&lt;b\""), std::string::npos);
+}
+
+TEST(Xml, ParseRoundTrip)
+{
+    XmlNode root("instructionSet");
+    root.attr("count", 2L);
+    auto &a = root.addChild("instruction");
+    a.attr("name", "ADD_R64_R64");
+    a.addChild("operand").attr("access", "rw");
+    root.addChild("instruction").attr("name", "X<Y");
+
+    auto parsed = parseXml(root.toString());
+    EXPECT_EQ(parsed->name(), "instructionSet");
+    EXPECT_EQ(parsed->getAttr("count"), "2");
+    auto instrs = parsed->childrenNamed("instruction");
+    ASSERT_EQ(instrs.size(), 2u);
+    EXPECT_EQ(instrs[0]->getAttr("name"), "ADD_R64_R64");
+    EXPECT_EQ(instrs[1]->getAttr("name"), "X<Y");
+    ASSERT_NE(instrs[0]->firstChild("operand"), nullptr);
+}
+
+TEST(Xml, ParseWithCommentsAndProlog)
+{
+    auto n = parseXml("<?xml version=\"1.0\"?>\n"
+                      "<!-- header -->\n"
+                      "<a><!-- inner --><b k=\"v\"/></a>");
+    EXPECT_EQ(n->name(), "a");
+    ASSERT_NE(n->firstChild("b"), nullptr);
+    EXPECT_EQ(n->firstChild("b")->getAttr("k"), "v");
+}
+
+TEST(Xml, ParseText)
+{
+    auto n = parseXml("<a>hello &amp; goodbye</a>");
+    EXPECT_EQ(n->text(), "hello & goodbye");
+}
+
+TEST(Xml, ParseErrors)
+{
+    EXPECT_THROW(parseXml("<a>"), FatalError);
+    EXPECT_THROW(parseXml("<a></b>"), FatalError);
+    EXPECT_THROW(parseXml("<a attr></a>"), FatalError);
+    EXPECT_THROW(parseXml("<a/><b/>"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// RNG and stats.
+// ---------------------------------------------------------------------
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        EXPECT_LT(r.nextBelow(10), 10u);
+    }
+}
+
+TEST(Stats, MeanMedianMin)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+    EXPECT_DOUBLE_EQ(minOf({4, 1, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, RoundCycles)
+{
+    EXPECT_DOUBLE_EQ(roundCycles(0.99), 1.0);
+    EXPECT_DOUBLE_EQ(roundCycles(1.02), 1.0);
+    EXPECT_DOUBLE_EQ(roundCycles(0.25), 0.25);
+    EXPECT_DOUBLE_EQ(roundCycles(0.334), 0.33);
+    EXPECT_TRUE(cyclesEqual(1.0, 1.04));
+    EXPECT_FALSE(cyclesEqual(1.0, 1.2));
+}
+
+TEST(Status, FatalAndPanic)
+{
+    EXPECT_THROW(fatal("bad ", 42), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+    EXPECT_NO_THROW(fatalIf(false, "x"));
+    EXPECT_THROW(fatalIf(true, "x"), FatalError);
+    EXPECT_THROW(panicIf(true, "x"), PanicError);
+}
+
+} // namespace
+} // namespace uops::test

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Property tests over the ground-truth timing tables: every supported
+ * (microarchitecture, variant) pair must synthesize a well-formed µop
+ * decomposition, and the documented per-uarch special cases must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "uarch/timing_synth.h"
+
+namespace uops::test {
+namespace {
+
+using uarch::Domain;
+using uarch::OpRef;
+using uarch::PortMask;
+using uarch::portMask;
+using uarch::TimingInfo;
+using uarch::UArch;
+
+class TimingProperties : public ::testing::TestWithParam<UArch>
+{
+};
+
+TEST_P(TimingProperties, AllVariantsWellFormed)
+{
+    UArch arch = GetParam();
+    const auto &info = uarchInfo(arch);
+    const auto &tdb = timingDb(arch);
+    PortMask valid_ports =
+        static_cast<PortMask>((1u << info.num_ports) - 1);
+
+    for (const auto *v : defaultDb().all()) {
+        if (!info.supports(*v))
+            continue;
+        const TimingInfo &t = tdb.timing(*v);
+
+        std::set<int> temps_written;
+        for (const auto &u : t.uops) {
+            // Ports: non-empty and within the machine.
+            EXPECT_NE(u.ports, 0) << v->name();
+            EXPECT_EQ(u.ports & ~valid_ports, 0)
+                << v->name() << " uses ports beyond the machine";
+            // Latency sane.
+            EXPECT_GE(u.latency, 1) << v->name();
+            EXPECT_LE(u.latency, 120) << v->name();
+            if (!u.write_extra.empty())
+                EXPECT_EQ(u.write_extra.size(), u.writes.size())
+                    << v->name();
+            // Dataflow: temps are written before read.
+            for (const auto &r : u.reads) {
+                if (r.kind == OpRef::Kind::Temp)
+                    EXPECT_TRUE(temps_written.count(r.index))
+                        << v->name() << ": temp read before write";
+                if (r.kind == OpRef::Kind::Operand) {
+                    ASSERT_LT(static_cast<size_t>(r.index),
+                              v->numOperands())
+                        << v->name();
+                }
+            }
+            for (const auto &w : u.writes) {
+                if (w.kind == OpRef::Kind::Temp)
+                    temps_written.insert(w.index);
+                // Memory writes only through MemData.
+                EXPECT_NE(w.kind, OpRef::Kind::MemAddr) << v->name();
+            }
+            // Unit/port consistency with the descriptor.
+            if (u.domain == Domain::Load)
+                EXPECT_EQ(u.ports, info.load_ports) << v->name();
+            if (u.domain == Domain::Sta)
+                EXPECT_EQ(u.ports, info.store_addr_ports) << v->name();
+            if (u.domain == Domain::Std)
+                EXPECT_EQ(u.ports, info.store_data_ports) << v->name();
+            // Divider occupancy only with sensible values.
+            if (u.div_occupancy > 0) {
+                EXPECT_TRUE(v->attrs().uses_divider) << v->name();
+                EXPECT_LE(u.div_occupancy, u.latency) << v->name();
+            }
+        }
+
+        // Memory-reading variants must have a load µop; memory-writing
+        // variants a store-address and a store-data µop.
+        auto count_domain = [&](Domain d) {
+            int n = 0;
+            for (const auto &u : t.uops)
+                if (u.domain == d)
+                    ++n;
+            return n;
+        };
+        if (v->readsMemory() && !v->attrs().is_system)
+            EXPECT_GE(count_domain(Domain::Load), 1) << v->name();
+        if (v->writesMemory() && !v->attrs().is_system)
+        {
+            EXPECT_GE(count_domain(Domain::Sta), 1) << v->name();
+            EXPECT_GE(count_domain(Domain::Std), 1) << v->name();
+        }
+
+        // Zero idioms / NOPs aside, each variant executes at least one
+        // µop.
+        if (!v->attrs().is_nop && v->mnemonic() != "VZEROUPPER")
+            EXPECT_GE(t.numUops(), 1) << v->name();
+        EXPECT_LE(t.numUops(), 24) << v->name();
+    }
+}
+
+TEST_P(TimingProperties, LatencyPathsExistForRegisterPairs)
+{
+    // For every (register/flags source, register/flags dest) pair of a
+    // non-divider variant, the µop dataflow must provide a dependency
+    // path (the refined latency definition is total on these pairs).
+    UArch arch = GetParam();
+    const auto &info = uarchInfo(arch);
+    const auto &tdb = timingDb(arch);
+    for (const auto *v : defaultDb().all()) {
+        if (!info.supports(*v))
+            continue;
+        if (v->attrs().is_nop || v->attrs().is_system ||
+            v->attrs().has_rep_prefix || v->mnemonic() == "VZEROUPPER" ||
+            v->mnemonic() == "XCHG" || v->mnemonic() == "XADD")
+            continue;
+        const TimingInfo &t = tdb.timing(*v);
+        if (t.uops.empty())
+            continue;
+        // Implicit RSP updates are renamed away by the stack engine:
+        // PUSH/POP/CALL/RET have no dataflow through RSP by design.
+        auto is_stack_pointer = [&](int op) {
+            const auto &spec = v->operand(static_cast<size_t>(op));
+            return spec.implicit && spec.kind == isa::OpKind::Reg &&
+                   spec.reg_class == isa::RegClass::Gpr64 &&
+                   spec.fixed_reg == 4;
+        };
+        for (int s : v->sourceOperands()) {
+            if (v->operand(s).kind == isa::OpKind::Mem ||
+                is_stack_pointer(s))
+                continue;
+            for (int d : v->destOperands()) {
+                if (v->operand(d).kind == isa::OpKind::Mem ||
+                    is_stack_pointer(d))
+                    continue;
+                auto lat = uarch::trueLatency(t.uops, s, d);
+                EXPECT_TRUE(lat.has_value())
+                    << v->name() << " lat(op" << s << "->op" << d
+                    << ") missing on " << info.short_name;
+                if (lat)
+                    EXPECT_GE(*lat, 1) << v->name();
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUArches, TimingProperties,
+                         ::testing::ValuesIn(uarch::allUArches()),
+                         [](const auto &p) {
+                             return uarch::uarchShortName(p.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Documented per-uarch structures (the paper's case studies).
+// ---------------------------------------------------------------------
+
+TEST(TimingCases, AesdecStructure)
+{
+    auto uops_of = [](UArch arch) {
+        return timingDb(arch).timing(*defaultDb().byName("AESDEC_X_X"));
+    };
+    EXPECT_EQ(uops_of(UArch::Westmere).numUops(), 3);
+    EXPECT_EQ(uops_of(UArch::SandyBridge).numUops(), 2);
+    EXPECT_EQ(uops_of(UArch::IvyBridge).numUops(), 2);
+    EXPECT_EQ(uops_of(UArch::Haswell).numUops(), 1);
+    EXPECT_EQ(uops_of(UArch::Skylake).numUops(), 1);
+
+    // True pair latencies via the dataflow graph.
+    const auto &snb = uops_of(UArch::SandyBridge);
+    EXPECT_EQ(uarch::trueLatency(snb.uops, 0, 0), 8);
+    EXPECT_EQ(uarch::trueLatency(snb.uops, 1, 0), 1);
+    const auto &wsm = uops_of(UArch::Westmere);
+    EXPECT_EQ(uarch::trueLatency(wsm.uops, 0, 0), 6);
+    EXPECT_EQ(uarch::trueLatency(wsm.uops, 1, 0), 6);
+    const auto &hsw = uops_of(UArch::Haswell);
+    EXPECT_EQ(uarch::trueLatency(hsw.uops, 0, 0), 7);
+    EXPECT_EQ(uarch::trueLatency(hsw.uops, 1, 0), 7);
+}
+
+TEST(TimingCases, ShldSameRegOverrideOnlySkylakePlus)
+{
+    const auto *shld = defaultDb().byName("SHLD_R64_R64_I8");
+    EXPECT_FALSE(
+        timingDb(UArch::Nehalem).timing(*shld).same_reg_uops.has_value());
+    EXPECT_FALSE(
+        timingDb(UArch::Haswell).timing(*shld).same_reg_uops.has_value());
+    const auto &skl = timingDb(UArch::Skylake).timing(*shld);
+    ASSERT_TRUE(skl.same_reg_uops.has_value());
+    EXPECT_EQ(skl.same_reg_uops->size(), 1u);
+    EXPECT_EQ((*skl.same_reg_uops)[0].latency, 1);
+    // Kaby Lake and Coffee Lake behave like Skylake.
+    EXPECT_TRUE(timingDb(UArch::KabyLake)
+                    .timing(*shld)
+                    .same_reg_uops.has_value());
+    EXPECT_TRUE(timingDb(UArch::CoffeeLake)
+                    .timing(*shld)
+                    .same_reg_uops.has_value());
+}
+
+TEST(TimingCases, PortUsageStrings)
+{
+    auto usage = [](UArch arch, const char *name) {
+        return uarch::PortUsage::ofTiming(
+                   timingDb(arch).timing(*defaultDb().byName(name)).uops)
+            .toString();
+    };
+    EXPECT_EQ(usage(UArch::Nehalem, "PBLENDVB_X_X_Xi"), "2*p05");
+    EXPECT_EQ(usage(UArch::Haswell, "ADC_R64_R64"), "1*p06+1*p0156");
+    EXPECT_EQ(usage(UArch::Broadwell, "ADC_R64_R64"), "1*p0156");
+    EXPECT_EQ(usage(UArch::Skylake, "MOVQ2DQ_X_MM"), "1*p0+1*p015");
+    EXPECT_EQ(usage(UArch::Skylake, "VHADDPD_X_X_X"), "1*p01+2*p5");
+    EXPECT_EQ(usage(UArch::Haswell, "MOVDQ2Q_MM_X"), "1*p5+1*p015");
+    EXPECT_EQ(usage(UArch::Haswell, "SAHF_R8Hi"), "1*p06");
+    EXPECT_EQ(usage(UArch::Nehalem, "SAHF_R8Hi"), "1*p015");
+}
+
+TEST(TimingCases, MulWideningHasTwoResultLatencies)
+{
+    const auto &t = timingDb(UArch::Skylake)
+                        .timing(*defaultDb().byName("MUL_R64i_R64i_R64"));
+    // Operand 0 = RDX (high), operand 1 = RAX (low).
+    auto lo = uarch::trueLatency(t.uops, 2, 1);
+    auto hi = uarch::trueLatency(t.uops, 2, 0);
+    ASSERT_TRUE(lo && hi);
+    EXPECT_EQ(*lo, 3);
+    EXPECT_EQ(*hi, 4);
+}
+
+TEST(TimingCases, ShiftFlagsLater)
+{
+    const auto *shl = defaultDb().byName("SHL_R64_I8");
+    const auto &t = timingDb(UArch::Skylake).timing(*shl);
+    int flags_op = shl->flagsOperand();
+    auto reg_lat = uarch::trueLatency(t.uops, 0, 0);
+    auto flag_lat = uarch::trueLatency(t.uops, 0, flags_op);
+    ASSERT_TRUE(reg_lat && flag_lat);
+    EXPECT_EQ(*reg_lat, 1);
+    EXPECT_EQ(*flag_lat, 2); // flag result one cycle later
+}
+
+TEST(TimingCases, DividerValueDependence)
+{
+    const auto &t =
+        timingDb(UArch::Haswell).timing(*defaultDb().byName("DIVPS_X_X"));
+    auto fast = uarch::trueLatency(t.uops, 0, 0, false);
+    auto slow = uarch::trueLatency(t.uops, 0, 0, true);
+    ASSERT_TRUE(fast && slow);
+    EXPECT_GT(*slow, *fast);
+    // Skylake's FP divider is value-independent in this model.
+    const auto &skl =
+        timingDb(UArch::Skylake).timing(*defaultDb().byName("DIVPS_X_X"));
+    EXPECT_EQ(uarch::trueLatency(skl.uops, 0, 0, false),
+              uarch::trueLatency(skl.uops, 0, 0, true));
+}
+
+TEST(TimingCases, UnsupportedVariantThrows)
+{
+    // AVX does not exist on Nehalem.
+    EXPECT_THROW(uarch::synthesizeTiming(
+                     *defaultDb().byName("VADDPS_Y_Y_Y"),
+                     UArch::Nehalem),
+                 FatalError);
+}
+
+TEST(PortMaskUtils, NamesAndParsing)
+{
+    EXPECT_EQ(uarch::portMaskName(portMask({0, 1, 5})), "p015");
+    EXPECT_EQ(uarch::portMaskName(0), "p-");
+    EXPECT_EQ(uarch::parsePortMask("p015"), portMask({0, 1, 5}));
+    EXPECT_EQ(uarch::portCount(portMask({2, 3, 7})), 3);
+    EXPECT_THROW(uarch::parsePortMask("xyz"), FatalError);
+}
+
+TEST(UArchInfo, DescriptorSanity)
+{
+    for (auto arch : uarch::allUArches()) {
+        const auto &info = uarchInfo(arch);
+        EXPECT_TRUE(info.num_ports == 6 || info.num_ports == 8);
+        EXPECT_GE(info.rs_size, 30);
+        EXPECT_GE(info.rob_size, info.rs_size);
+        EXPECT_NE(info.load_ports, 0);
+        EXPECT_NE(info.store_addr_ports, 0);
+        EXPECT_EQ(info.store_data_ports, portMask({4}));
+        EXPECT_FALSE(info.processor.empty());
+        // Parse round trip of the short name.
+        EXPECT_EQ(uarch::parseUArch(info.short_name), arch);
+    }
+    EXPECT_EQ(uarchInfo(UArch::Nehalem).num_ports, 6);
+    EXPECT_EQ(uarchInfo(UArch::Haswell).num_ports, 8);
+    EXPECT_FALSE(uarchInfo(UArch::Nehalem).gpr_move_elim);
+    EXPECT_TRUE(uarchInfo(UArch::IvyBridge).gpr_move_elim);
+    EXPECT_FALSE(
+        uarchInfo(UArch::Nehalem).hasExtension(isa::Extension::Aes));
+    EXPECT_TRUE(
+        uarchInfo(UArch::Westmere).hasExtension(isa::Extension::Aes));
+}
+
+} // namespace
+} // namespace uops::test
