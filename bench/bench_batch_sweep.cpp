@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Scaling study of the batch characterization engine: sweep a slice of
+ * the instruction set over two microarchitectures with 1..N worker
+ * threads and report the parallel speedup, then run google-benchmark
+ * timings for the single- and multi-threaded sweeps.
+ *
+ * Full-ISA characterization is embarrassingly parallel per
+ * (variant, uarch) task; the work-stealing pool should scale nearly
+ * linearly until the per-worker Characterizer setup (blocking-set
+ * discovery) dominates.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/batch.h"
+
+namespace uops::bench {
+namespace {
+
+const std::vector<uarch::UArch> kArches = {uarch::UArch::Nehalem,
+                                           uarch::UArch::Skylake};
+
+core::BatchOptions
+sweepOptions(size_t threads)
+{
+    core::BatchOptions options;
+    options.num_threads = threads;
+    // A representative slice: keeps the study to a few seconds while
+    // covering GPR, vector, divider and memory variants.
+    options.characterizer.filter = [](const isa::InstrVariant &v) {
+        return v.id() % 4 == 0;
+    };
+    return options;
+}
+
+void
+printScalingStudy()
+{
+    header("Batch sweep scaling: 2 uarches, 1..8 worker threads");
+
+    size_t hw = std::thread::hardware_concurrency();
+    std::printf("hardware threads: %zu\n\n", hw);
+    std::printf("  %-8s %10s %9s %10s\n", "threads", "tasks", "time",
+                "speedup");
+
+    double base = 0.0;
+    for (size_t threads : {1, 2, 4, 8}) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto report = core::runBatchSweep(db(), kArches,
+                                          sweepOptions(threads));
+        auto t1 = std::chrono::steady_clock::now();
+        double secs = std::chrono::duration<double>(t1 - t0).count();
+        if (threads == 1)
+            base = secs;
+        std::printf("  %-8zu %10zu %8.2fs %9.2fx\n", threads,
+                    report.numTasks(), secs, base / secs);
+    }
+    std::printf("\n");
+}
+
+void
+BM_BatchSweep(benchmark::State &state)
+{
+    size_t threads = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        auto report =
+            core::runBatchSweep(db(), kArches, sweepOptions(threads));
+        benchmark::DoNotOptimize(report.numSucceeded());
+    }
+}
+
+BENCHMARK(BM_BatchSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+} // namespace
+} // namespace uops::bench
+
+int
+main(int argc, char **argv)
+{
+    uops::bench::printScalingStudy();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Parallel batch characterization: sweep every measurable instruction
+ * variant on several microarchitectures at once, using the
+ * work-stealing thread pool, and emit one uops.info-style XML artifact
+ * for all of them (Section 6.4 format, one <uopsInfo> per uarch).
+ *
+ * Usage: batch_sweep [THREADS [OUTPUT.xml [UARCH...]]]
+ *   THREADS  worker count; 0 = one per hardware thread (default)
+ *   e.g.  batch_sweep 8 all.xml NHM SNB HSW SKL
+ *         batch_sweep 0 "" NHM SKL
+ *
+ * Exit status: 0 when every task succeeded, 2 when some variants
+ * failed but others succeeded, 1 when nothing succeeded (or on a
+ * usage/IO error).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/batch.h"
+#include "isa/parser.h"
+
+int
+main(int argc, char **argv)
+try {
+    using namespace uops;
+
+    size_t threads = 0;
+    if (argc > 1) {
+        char *end = nullptr;
+        threads = std::strtoul(argv[1], &end, 10);
+        if (end == argv[1] || *end != '\0') {
+            std::fprintf(stderr, "error: invalid thread count '%s'\n",
+                         argv[1]);
+            return 1;
+        }
+    }
+    std::string out_path = argc > 2 ? argv[2] : "";
+    std::vector<uarch::UArch> arches;
+    for (int i = 3; i < argc; ++i)
+        arches.push_back(uarch::parseUArch(argv[i]));
+    if (arches.empty())
+        arches = {uarch::UArch::Nehalem, uarch::UArch::Skylake};
+
+    auto db = isa::buildDefaultDb();
+
+    std::atomic<size_t> done{0};
+    std::atomic<size_t> failed{0};
+    core::BatchOptions options;
+    options.num_threads = threads;
+    options.on_variant_done = [&](uarch::UArch, const isa::InstrVariant &,
+                                  bool ok) {
+        ++done;
+        if (!ok)
+            ++failed;
+    };
+
+    std::printf("batch sweep over %zu uarches:", arches.size());
+    for (uarch::UArch arch : arches)
+        std::printf(" %s", uarch::uarchShortName(arch).c_str());
+    std::printf("\n");
+
+    auto t0 = std::chrono::steady_clock::now();
+    core::CharacterizationReport report =
+        core::runBatchSweep(*db, arches, options);
+    auto t1 = std::chrono::steady_clock::now();
+
+    for (const core::UArchReport &r : report.uarches)
+        std::printf("  %-4s %4zu variants characterized, %zu failed\n",
+                    uarch::uarchShortName(r.arch).c_str(),
+                    r.numSucceeded(), r.numFailed());
+    std::printf("%zu tasks (%zu hook notifications, %zu hook failures) "
+                "in %.1f s\n",
+                report.numTasks(), done.load(), failed.load(),
+                std::chrono::duration<double>(t1 - t0).count());
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        out << report.toXmlString();
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    if (report.numSucceeded() == 0)
+        return 1;
+    return report.numFailed() > 0 ? 2 : 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+}

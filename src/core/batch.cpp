@@ -1,0 +1,212 @@
+#include "core/batch.h"
+
+#include <memory>
+
+#include "support/status.h"
+#include "support/thread_pool.h"
+
+namespace uops::core {
+
+size_t
+UArchReport::numSucceeded() const
+{
+    size_t n = 0;
+    for (const VariantOutcome &o : outcomes)
+        if (o.ok)
+            ++n;
+    return n;
+}
+
+size_t
+UArchReport::numFailed() const
+{
+    return outcomes.size() - numSucceeded();
+}
+
+CharacterizationSet
+UArchReport::toSet() const
+{
+    CharacterizationSet set;
+    set.arch = arch;
+    for (const VariantOutcome &o : outcomes)
+        if (o.ok)
+            set.instrs.push_back(o.result);
+    return set;
+}
+
+size_t
+CharacterizationReport::numTasks() const
+{
+    size_t n = 0;
+    for (const UArchReport &r : uarches)
+        n += r.outcomes.size();
+    return n;
+}
+
+size_t
+CharacterizationReport::numSucceeded() const
+{
+    size_t n = 0;
+    for (const UArchReport &r : uarches)
+        n += r.numSucceeded();
+    return n;
+}
+
+size_t
+CharacterizationReport::numFailed() const
+{
+    return numTasks() - numSucceeded();
+}
+
+std::unique_ptr<XmlNode>
+CharacterizationReport::toXml() const
+{
+    auto root = std::make_unique<XmlNode>("uopsBatch");
+    root->attr("uarches", static_cast<long>(uarches.size()));
+    root->attr("tasks", static_cast<long>(numTasks()));
+    root->attr("succeeded", static_cast<long>(numSucceeded()));
+    root->attr("failed", static_cast<long>(numFailed()));
+
+    for (const UArchReport &report : uarches) {
+        // The per-uarch payload is exactly the Section 6.4 export.
+        XmlNode &uarch_node =
+            root->addChild(exportResultsXml(report.toSet()));
+        for (const VariantOutcome &o : report.outcomes) {
+            if (o.ok)
+                continue;
+            XmlNode &err = uarch_node.addChild("error");
+            err.attr("name", o.variant->name());
+            err.setText(o.error);
+        }
+    }
+    return root;
+}
+
+std::string
+CharacterizationReport::toXmlString() const
+{
+    return toXml()->toString();
+}
+
+namespace {
+
+/** The (uarch, variant) work list, in deterministic order. */
+struct TaskRef
+{
+    size_t arch_index;
+    size_t slot;
+    const isa::InstrVariant *variant;
+};
+
+} // namespace
+
+CharacterizationReport
+runBatchSweep(const isa::InstrDb &db,
+              const std::vector<uarch::UArch> &arches,
+              const BatchOptions &options)
+{
+    fatalIf(arches.empty(), "runBatchSweep: no microarchitectures given");
+
+    ThreadPool pool(options.num_threads);
+
+    // One Characterizer per (worker, uarch): the simulator pipeline and
+    // the lazily built blocking sets inside it are stateful, so they
+    // must never be shared between workers.
+    std::vector<std::vector<std::unique_ptr<Characterizer>>> workers(
+        pool.numWorkers());
+    for (auto &per_arch : workers) {
+        per_arch.reserve(arches.size());
+        for (uarch::UArch arch : arches)
+            per_arch.push_back(std::make_unique<Characterizer>(
+                db, arch, options.characterizer));
+    }
+
+    // Instrument calibration and blocking-set discovery are a
+    // deterministic function of (db, uarch) and dominate per-worker
+    // cost: run them once per uarch (in parallel), then share the
+    // result with every worker's instance.
+    // A uarch whose setup fails is remembered so that its variant
+    // tasks fail fast with the setup error instead of re-running the
+    // expensive discovery once per variant; the sweep itself never
+    // aborts.
+    std::vector<std::string> setup_errors(arches.size());
+    pool.parallelFor(arches.size(), [&](size_t a, size_t worker) {
+        try {
+            workers[worker][a]->prepare();
+            for (auto &per_arch : workers)
+                per_arch[a]->primeFrom(*workers[worker][a]);
+        } catch (const std::exception &e) {
+            setup_errors[a] = std::string("setup failed: ") + e.what();
+        } catch (...) {
+            setup_errors[a] = "setup failed: unknown error";
+        }
+    });
+
+    // Enumerate the work list up front so every task writes a fixed
+    // slot: the report layout does not depend on scheduling.
+    CharacterizationReport report;
+    report.uarches.resize(arches.size());
+    std::vector<TaskRef> tasks;
+    for (size_t a = 0; a < arches.size(); ++a) {
+        UArchReport &ureport = report.uarches[a];
+        ureport.arch = arches[a];
+        const Characterizer &probe = *workers[0][a];
+        for (const isa::InstrVariant *variant : db.all()) {
+            if (!probe.isMeasurable(*variant))
+                continue;
+            if (options.characterizer.filter &&
+                !options.characterizer.filter(*variant))
+                continue;
+            tasks.push_back({a, ureport.outcomes.size(), variant});
+            VariantOutcome &slot = ureport.outcomes.emplace_back();
+            slot.variant = variant;
+        }
+    }
+
+    pool.parallelFor(tasks.size(), [&](size_t i, size_t worker) {
+        const TaskRef &task = tasks[i];
+        VariantOutcome &slot =
+            report.uarches[task.arch_index].outcomes[task.slot];
+        uarch::UArch arch = arches[task.arch_index];
+        auto describe = [](std::exception_ptr error) -> std::string {
+            try {
+                std::rethrow_exception(error);
+            } catch (const std::exception &e) {
+                return e.what();
+            } catch (...) {
+                return "unknown error";
+            }
+        };
+        if (!setup_errors[task.arch_index].empty()) {
+            slot.ok = false;
+            slot.error = setup_errors[task.arch_index];
+        } else {
+            try {
+                Characterizer &tool = *workers[worker][task.arch_index];
+                slot.result = tool.characterize(*task.variant);
+                slot.ok = true;
+            } catch (...) {
+                slot.ok = false;
+                slot.result = InstrCharacterization{};
+                slot.error = describe(std::current_exception());
+            }
+        }
+        // Notify exactly once per task. A hook exception downgrades a
+        // success to a recorded failure but is never re-notified.
+        if (options.on_variant_done) {
+            try {
+                options.on_variant_done(arch, *task.variant, slot.ok);
+            } catch (...) {
+                if (slot.ok) {
+                    slot.ok = false;
+                    slot.result = InstrCharacterization{};
+                    slot.error = describe(std::current_exception());
+                }
+            }
+        }
+    });
+
+    return report;
+}
+
+} // namespace uops::core

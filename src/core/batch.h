@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Parallel batch characterization across instruction variants and
+ * microarchitectures.
+ *
+ * The paper's pipeline characterizes the entire instruction set on
+ * every tested microarchitecture — thousands of independent
+ * (variant, uarch) experiments. This engine sweeps them concurrently
+ * on a work-stealing thread pool (support/thread_pool.h). Because the
+ * simulator pipeline inside a Characterizer is stateful, every worker
+ * owns one Characterizer per microarchitecture; results are written
+ * into pre-sized slots indexed by task, so the aggregate report is
+ * deterministic — byte-identical to a sequential sweep — regardless of
+ * thread count or scheduling.
+ *
+ * Per-variant failures (simulator aborts, codegen limitations) are
+ * recorded in the report instead of aborting the batch, mirroring how
+ * the uops.info pipeline skips unmeasurable instructions but still
+ * publishes the rest.
+ */
+
+#ifndef UOPS_CORE_BATCH_H
+#define UOPS_CORE_BATCH_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/characterize.h"
+
+namespace uops::core {
+
+/** Configuration of a batch sweep. */
+struct BatchOptions
+{
+    /** Worker threads (0: one per hardware thread). */
+    size_t num_threads = 0;
+
+    /** Per-uarch characterizer configuration (filter, harness). */
+    Characterizer::Options characterizer;
+
+    /**
+     * Progress hook, invoked from worker threads exactly once per
+     * variant, after it finishes (successfully or not). Must be
+     * thread-safe. An exception thrown from the hook is recorded as
+     * that variant's failure; the hook is not re-invoked for it.
+     */
+    std::function<void(uarch::UArch, const isa::InstrVariant &, bool ok)>
+        on_variant_done;
+};
+
+/** Outcome of one (variant, uarch) characterization task. */
+struct VariantOutcome
+{
+    const isa::InstrVariant *variant = nullptr;
+    bool ok = false;
+    std::string error;              ///< failure message when !ok
+    InstrCharacterization result;   ///< valid when ok
+};
+
+/** All outcomes for one microarchitecture, in variant-id order. */
+struct UArchReport
+{
+    uarch::UArch arch = uarch::UArch::Nehalem;
+    std::vector<VariantOutcome> outcomes;
+
+    size_t numSucceeded() const;
+    size_t numFailed() const;
+
+    /** Successful outcomes repackaged for exportResultsXml(). */
+    CharacterizationSet toSet() const;
+};
+
+/** Aggregate result of a sweep over several microarchitectures. */
+struct CharacterizationReport
+{
+    std::vector<UArchReport> uarches;
+
+    size_t numTasks() const;
+    size_t numSucceeded() const;
+    size_t numFailed() const;
+
+    /**
+     * Serializable uops.info-style XML: one <uopsInfo> element per
+     * uarch (Section 6.4 format via exportResultsXml), plus one
+     * <error> element per failed variant.
+     */
+    std::unique_ptr<XmlNode> toXml() const;
+
+    /** toXml() serialized, including the XML declaration. */
+    std::string toXmlString() const;
+};
+
+/**
+ * Characterize every measurable variant of @p db (subject to the
+ * options' filter) on every uarch in @p arches, in parallel.
+ */
+CharacterizationReport runBatchSweep(const isa::InstrDb &db,
+                                     const std::vector<uarch::UArch> &arches,
+                                     const BatchOptions &options = {});
+
+} // namespace uops::core
+
+#endif // UOPS_CORE_BATCH_H

@@ -50,6 +50,27 @@ Characterizer::ensureSetup() const
     setup_done_ = true;
 }
 
+void
+Characterizer::prepare() const
+{
+    ensureSetup();
+}
+
+void
+Characterizer::primeFrom(const Characterizer &other) const
+{
+    panicIf(&other.db_ != &db_ || other.arch_ != arch_,
+            "Characterizer::primeFrom: mismatched db or uarch");
+    panicIf(!other.setup_done_,
+            "Characterizer::primeFrom: source is not set up");
+    if (setup_done_)
+        return;
+    instruments_ = other.instruments_;
+    sse_blocking_ = std::make_unique<BlockingSet>(*other.sse_blocking_);
+    avx_blocking_ = std::make_unique<BlockingSet>(*other.avx_blocking_);
+    setup_done_ = true;
+}
+
 InstrCharacterization
 Characterizer::characterize(const InstrVariant &variant) const
 {

@@ -87,6 +87,21 @@ class Characterizer
     InstrCharacterization characterize(
         const isa::InstrVariant &variant) const;
 
+    /**
+     * Run instrument calibration and blocking-instruction discovery
+     * now instead of on the first characterize() call. Idempotent.
+     */
+    void prepare() const;
+
+    /**
+     * Adopt the completed setup of @p other (same db and uarch)
+     * instead of rediscovering it. Setup is a deterministic function
+     * of (db, uarch), so results are unchanged; the batch engine uses
+     * this to pay the discovery cost once per uarch rather than once
+     * per worker thread.
+     */
+    void primeFrom(const Characterizer &other) const;
+
   private:
     void ensureSetup() const;
 

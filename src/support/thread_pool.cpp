@@ -1,0 +1,124 @@
+#include "support/thread_pool.h"
+
+#include "support/status.h"
+
+namespace uops {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    queues_.resize(num_threads);
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    panicIf(!task, "ThreadPool::submit: empty task");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        panicIf(shutdown_, "ThreadPool::submit after shutdown");
+        queues_[next_queue_].tasks.push_back(std::move(task));
+        next_queue_ = (next_queue_ + 1) % queues_.size();
+        ++in_flight_;
+    }
+    work_available_.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr error = first_error_;
+        first_error_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t, size_t)> &fn)
+{
+    for (size_t i = 0; i < n; ++i)
+        submit([i, &fn](size_t worker) { fn(i, worker); });
+    wait();
+}
+
+bool
+ThreadPool::findTask(size_t worker, Task &out)
+{
+    // Own deque first: newest task (LIFO) for locality.
+    WorkerQueue &own = queues_[worker];
+    if (!own.tasks.empty()) {
+        out = std::move(own.tasks.back());
+        own.tasks.pop_back();
+        return true;
+    }
+    // Steal the oldest task of the first non-empty victim (FIFO).
+    for (size_t k = 1; k < queues_.size(); ++k) {
+        WorkerQueue &victim = queues_[(worker + k) % queues_.size()];
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(size_t worker)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        Task task;
+        if (findTask(worker, task)) {
+            lock.unlock();
+            std::exception_ptr error;
+            try {
+                task(worker);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            lock.lock();
+            if (error && !first_error_)
+                first_error_ = error;
+            --in_flight_;
+            if (in_flight_ == 0)
+                all_done_.notify_all();
+            continue;
+        }
+        if (shutdown_)
+            return;
+        work_available_.wait(lock);
+    }
+}
+
+} // namespace uops

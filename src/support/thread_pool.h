@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A small work-stealing thread pool.
+ *
+ * Built for the batch characterization engine (core/batch.h): full-ISA
+ * sweeps are embarrassingly parallel per (instruction variant, uarch)
+ * task, but task costs vary by orders of magnitude (a NOP vs. a divider
+ * chain), so static partitioning leaves workers idle. Each worker owns
+ * a deque; it pops from the back of its own deque (LIFO, cache-warm)
+ * and steals from the front of a victim's deque (FIFO, oldest — and on
+ * sweeps, typically largest remaining — work first).
+ *
+ * Stealing here is a *scheduling policy*, not a lock-free structure:
+ * all deques are guarded by one pool mutex. Tasks in this codebase
+ * run for milliseconds (a full simulator measurement), so a ~100 ns
+ * critical section per dequeue is irrelevant at the pool sizes the
+ * sweep uses; do not add per-queue locks or atomics without a
+ * workload that shows contention.
+ *
+ * Tasks receive the index of the executing worker, which lets callers
+ * keep per-worker state (e.g. one simulator pipeline per worker)
+ * without locking.
+ */
+
+#ifndef UOPS_SUPPORT_THREAD_POOL_H
+#define UOPS_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uops {
+
+class ThreadPool
+{
+  public:
+    /** A unit of work; receives the executing worker's index. */
+    using Task = std::function<void(size_t worker)>;
+
+    /**
+     * Start @p num_threads workers (0: one per hardware thread,
+     * at least 1).
+     */
+    explicit ThreadPool(size_t num_threads = 0);
+
+    /** Waits for all submitted work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    size_t numWorkers() const { return workers_.size(); }
+
+    /**
+     * Enqueue a task. Distributed round-robin over the worker deques;
+     * idle workers steal, so placement only affects locality.
+     */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task has finished. If any task
+     * threw, the first captured exception is rethrown here (the
+     * remaining tasks still run to completion first).
+     */
+    void wait();
+
+    /**
+     * Run fn(i, worker) for every i in [0, n), spread over the pool,
+     * and wait for completion. Must not be called concurrently with
+     * other submissions.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t i, size_t worker)> &fn);
+
+  private:
+    struct WorkerQueue
+    {
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(size_t worker);
+
+    /** Pop from our own deque's back or steal from a victim's front. */
+    bool findTask(size_t worker, Task &out);
+
+    /** wait() without rethrowing (used by the destructor). */
+    void drain();
+
+    std::vector<WorkerQueue> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_done_;
+    size_t next_queue_ = 0;    ///< round-robin submission cursor
+    size_t in_flight_ = 0;     ///< queued + executing tasks
+    bool shutdown_ = false;
+    std::exception_ptr first_error_;  ///< first exception from a task
+};
+
+} // namespace uops
+
+#endif // UOPS_SUPPORT_THREAD_POOL_H

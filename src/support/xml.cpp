@@ -114,6 +114,14 @@ XmlNode::addChild(const std::string &child_name)
     return *children_.back();
 }
 
+XmlNode &
+XmlNode::addChild(std::unique_ptr<XmlNode> child)
+{
+    panicIf(!child, "XmlNode::addChild: null child");
+    children_.push_back(std::move(child));
+    return *children_.back();
+}
+
 std::vector<const XmlNode *>
 XmlNode::childrenNamed(const std::string &n) const
 {
@@ -295,8 +303,7 @@ class XmlParser
                     ++pos_;
                     break;
                 }
-                auto child = parseElement();
-                node->addChild(child->name()) = std::move(*child);
+                node->addChild(parseElement());
             } else {
                 text_content += text_[pos_++];
             }

@@ -48,6 +48,9 @@ class XmlNode
     /** Append a child element and return a reference to it. */
     XmlNode &addChild(const std::string &child_name);
 
+    /** Adopt an existing element tree as a child. */
+    XmlNode &addChild(std::unique_ptr<XmlNode> child);
+
     const std::vector<std::unique_ptr<XmlNode>> &children() const
     {
         return children_;

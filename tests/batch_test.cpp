@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the work-stealing thread pool and the parallel batch
+ * characterization engine: determinism under threading (the parallel
+ * sweep must be byte-identical to a sequential one) and per-variant
+ * failure accounting.
+ */
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/batch.h"
+#include "support/thread_pool.h"
+#include "test_util.h"
+
+namespace uops::test {
+namespace {
+
+// ---------------------------------------------------------------------
+// Thread pool.
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numWorkers(), 4u);
+
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](size_t i, size_t worker) {
+        ASSERT_LT(worker, pool.numWorkers());
+        ++hits[i];
+    });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, StealingSpreadsUnevenWork)
+{
+    // All tasks are submitted round-robin but one queue's tasks are
+    // slow; idle workers must steal rather than finish early.
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<size_t> seen_workers;
+    pool.parallelFor(64, [&](size_t i, size_t worker) {
+        if (i % 4 == 0) {
+            // Busy work on every 4th task.
+            volatile uint64_t x = 0;
+            for (int k = 0; k < 200000; ++k)
+                x = x + static_cast<uint64_t>(k);
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        seen_workers.insert(worker);
+    });
+    EXPECT_GT(seen_workers.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitFromWithinTask)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&](size_t) {
+            ++count;
+            pool.submit([&](size_t) { ++count; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, TaskExceptionIsRethrownFromWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&, i](size_t) {
+            ++ran;
+            if (i == 3)
+                throw std::runtime_error("task 3 failed");
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The failure does not cancel the remaining tasks.
+    EXPECT_EQ(ran.load(), 8);
+    // The error is delivered once; a later wait() is clean.
+    pool.submit([&](size_t) { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ThreadPool, SingleWorkerRunsAllTasksWithoutRaces)
+{
+    ThreadPool pool(1);
+    std::vector<size_t> order;
+    pool.parallelFor(16, [&](size_t i, size_t worker) {
+        EXPECT_EQ(worker, 0u);
+        order.push_back(i);  // no lock needed: one worker
+    });
+    ASSERT_EQ(order.size(), 16u);
+    std::set<size_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), 16u);
+}
+
+// ---------------------------------------------------------------------
+// Batch characterization.
+// ---------------------------------------------------------------------
+
+/** A small but diverse slice: GPR ALU, zero idioms, SSE and AVX
+ *  vector, divider — AVX variants exist only on SNB+. */
+bool
+sliceFilter(const isa::InstrVariant &v)
+{
+    const std::string &m = v.mnemonic();
+    return m == "ADD" || m == "XOR" || m == "PXOR" || m == "DIV" ||
+           m == "MOVAPS" || m == "VPXOR";
+}
+
+core::BatchOptions
+sliceOptions(size_t threads)
+{
+    core::BatchOptions options;
+    options.num_threads = threads;
+    options.characterizer.filter = sliceFilter;
+    return options;
+}
+
+const std::vector<uarch::UArch> kArches = {uarch::UArch::Nehalem,
+                                           uarch::UArch::Skylake};
+
+TEST(BatchSweep, CoversEveryMeasurableVariantInIdOrder)
+{
+    auto report = core::runBatchSweep(defaultDb(), kArches,
+                                      sliceOptions(2));
+    ASSERT_EQ(report.uarches.size(), 2u);
+    for (const core::UArchReport &r : report.uarches) {
+        core::Characterizer tool(defaultDb(), r.arch);
+        size_t expected = 0;
+        for (const auto *v : defaultDb().all())
+            if (tool.isMeasurable(*v) && sliceFilter(*v))
+                ++expected;
+        EXPECT_EQ(r.outcomes.size(), expected);
+        for (size_t i = 1; i < r.outcomes.size(); ++i)
+            EXPECT_LT(r.outcomes[i - 1].variant->id(),
+                      r.outcomes[i].variant->id());
+        EXPECT_EQ(r.numFailed(), 0u);
+    }
+    // Skylake supports AVX, so it measures strictly more variants.
+    EXPECT_GT(report.uarches[1].outcomes.size(),
+              report.uarches[0].outcomes.size());
+}
+
+TEST(BatchSweep, ParallelSweepIsByteIdenticalToSequential)
+{
+    auto sequential = core::runBatchSweep(defaultDb(), kArches,
+                                          sliceOptions(1));
+    auto parallel = core::runBatchSweep(defaultDb(), kArches,
+                                        sliceOptions(4));
+    ASSERT_EQ(sequential.numTasks(), parallel.numTasks());
+    EXPECT_EQ(sequential.numFailed(), 0u);
+    EXPECT_EQ(sequential.toXmlString(), parallel.toXmlString());
+}
+
+TEST(BatchSweep, MatchesDirectCharacterizer)
+{
+    auto report = core::runBatchSweep(defaultDb(), kArches,
+                                      sliceOptions(4));
+    // The per-uarch payload must agree with a plain Characterizer::run.
+    core::Characterizer::Options copts;
+    copts.filter = sliceFilter;
+    core::Characterizer tool(defaultDb(), uarch::UArch::Skylake, copts);
+    auto direct = tool.run();
+    EXPECT_EQ(core::exportResultsXml(direct)->toString(),
+              core::exportResultsXml(report.uarches[1].toSet())
+                  ->toString());
+}
+
+TEST(BatchSweep, ProgressHookSeesEveryTask)
+{
+    std::atomic<size_t> done{0};
+    std::atomic<size_t> ok_count{0};
+    core::BatchOptions options = sliceOptions(4);
+    options.on_variant_done = [&](uarch::UArch,
+                                  const isa::InstrVariant &, bool ok) {
+        ++done;
+        if (ok)
+            ++ok_count;
+    };
+    auto report = core::runBatchSweep(defaultDb(), kArches, options);
+    EXPECT_EQ(done.load(), report.numTasks());
+    EXPECT_EQ(ok_count.load(), report.numSucceeded());
+}
+
+TEST(BatchSweep, PerVariantFailureIsRecordedNotFatal)
+{
+    std::atomic<size_t> hook_calls{0};
+    core::BatchOptions options = sliceOptions(4);
+    options.on_variant_done = [&](uarch::UArch,
+                                  const isa::InstrVariant &v, bool) {
+        ++hook_calls;
+        if (v.mnemonic() == "PXOR")
+            throw std::runtime_error("injected failure for " + v.name());
+    };
+    auto report = core::runBatchSweep(defaultDb(), kArches, options);
+
+    // Exactly once per task, even for variants whose hook threw.
+    EXPECT_EQ(hook_calls.load(), report.numTasks());
+
+    size_t failed = 0;
+    for (const core::UArchReport &r : report.uarches) {
+        for (const core::VariantOutcome &o : r.outcomes) {
+            if (o.variant->mnemonic() == "PXOR") {
+                ++failed;
+                EXPECT_FALSE(o.ok);
+                EXPECT_NE(o.error.find("injected failure"),
+                          std::string::npos);
+            } else {
+                EXPECT_TRUE(o.ok) << o.variant->name();
+            }
+        }
+    }
+    EXPECT_GT(failed, 0u);
+    EXPECT_EQ(report.numFailed(), failed);
+    EXPECT_EQ(report.numSucceeded() + failed, report.numTasks());
+}
+
+TEST(BatchSweep, XmlReportStructure)
+{
+    core::BatchOptions options = sliceOptions(2);
+    options.on_variant_done = [](uarch::UArch,
+                                 const isa::InstrVariant &v, bool) {
+        if (v.name() == "ADD_R64_R64")
+            throw std::runtime_error("injected");
+    };
+    auto report = core::runBatchSweep(defaultDb(), kArches, options);
+
+    auto xml = parseXml(report.toXmlString());
+    EXPECT_EQ(xml->name(), "uopsBatch");
+    EXPECT_EQ(xml->getAttr("uarches"), "2");
+    EXPECT_EQ(xml->getAttr("failed"),
+              std::to_string(report.numFailed()));
+
+    auto uarch_nodes = xml->childrenNamed("uopsInfo");
+    ASSERT_EQ(uarch_nodes.size(), 2u);
+    EXPECT_EQ(uarch_nodes[0]->getAttr("architecture"), "NHM");
+    EXPECT_EQ(uarch_nodes[1]->getAttr("architecture"), "SKL");
+    for (const XmlNode *node : uarch_nodes) {
+        auto errors = node->childrenNamed("error");
+        ASSERT_EQ(errors.size(), 1u);
+        EXPECT_EQ(errors[0]->getAttr("name"), "ADD_R64_R64");
+        // Failed variants are excluded from the <instruction> payload.
+        for (const XmlNode *instr : node->childrenNamed("instruction"))
+            EXPECT_NE(instr->getAttr("name"), "ADD_R64_R64");
+    }
+}
+
+TEST(BatchSweep, RejectsEmptyUArchList)
+{
+    EXPECT_THROW(core::runBatchSweep(defaultDb(), {}, {}), FatalError);
+}
+
+} // namespace
+} // namespace uops::test

@@ -275,6 +275,48 @@ TEST(Assembler, Errors)
                  FatalError);
 }
 
+TEST(Parser, DefaultTableReparsesIdentically)
+{
+    // parser round trip: the bundled DSL text rebuilds a database
+    // equivalent to the bundled one, variant for variant.
+    const auto &db = defaultDb();
+    isa::InstrDb reparsed;
+    size_t n = isa::parseInstrTable(isa::defaultInstrTableText(),
+                                    reparsed);
+    ASSERT_EQ(n, db.size());
+    for (const auto *orig : db.all()) {
+        const auto *copy = reparsed.byName(orig->name());
+        ASSERT_NE(copy, nullptr) << orig->name();
+        EXPECT_EQ(copy->mnemonic(), orig->mnemonic());
+        EXPECT_EQ(copy->numOperands(), orig->numOperands());
+        EXPECT_EQ(copy->extension(), orig->extension());
+        EXPECT_EQ(copy->syntaxTemplate(), orig->syntaxTemplate());
+    }
+}
+
+TEST(Assembler, KernelTextRoundTrip)
+{
+    // kernel text round trip: parse a listing, render it, re-parse
+    // the rendering; both the text and the chosen variants are stable.
+    const char *listing = "ADD RAX, RBX\n"
+                          "XOR RCX, RCX\n"
+                          "MOV RDX, [RSI+8]\n"
+                          "PSHUFD XMM1, XMM2, 0\n"
+                          "MOV [RDI], RAX\n"
+                          "SHLD RAX, RBX, 1";
+    isa::Kernel kernel = isa::assemble(defaultDb(), listing);
+    std::string rendered = isa::kernelToAsm(kernel);
+    EXPECT_EQ(rendered, std::string(listing) + "\n");
+
+    isa::Kernel again = isa::assemble(defaultDb(), rendered);
+    ASSERT_EQ(again.size(), kernel.size());
+    for (size_t i = 0; i < kernel.size(); ++i) {
+        EXPECT_EQ(again[i].variant, kernel[i].variant) << "line " << i;
+        EXPECT_EQ(again[i].toAsm(), kernel[i].toAsm()) << "line " << i;
+    }
+    EXPECT_EQ(isa::kernelToAsm(again), rendered);
+}
+
 TEST(Assembler, MultiLineListing)
 {
     auto kernel = asm_("ADD RAX, RBX\n# comment\nSUB RCX, RDX\n");

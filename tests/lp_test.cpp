@@ -73,6 +73,106 @@ TEST(Simplex, Unbounded)
     EXPECT_EQ(prog.solve().status, SolveStatus::Unbounded);
 }
 
+TEST(Simplex, InfeasibleEqualitySystem)
+{
+    // x + y = 1 and x + y = 2 cannot both hold.
+    LinearProgram prog(2);
+    prog.setObjective(0, 1.0);
+    prog.addConstraint({1, 1}, Relation::Equal, 1);
+    prog.addConstraint({1, 1}, Relation::Equal, 2);
+    EXPECT_EQ(prog.solve().status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, InfeasibleByNonNegativity)
+{
+    // x <= -1 conflicts with the implicit x >= 0.
+    LinearProgram prog(1);
+    prog.addConstraint({1}, Relation::LessEq, -1);
+    EXPECT_EQ(prog.solve().status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, UnboundedWithoutConstraints)
+{
+    // min -x with x >= 0 and no constraints at all.
+    LinearProgram prog(1);
+    prog.setObjective(0, -1.0);
+    EXPECT_EQ(prog.solve().status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, UnboundedDirectionInsideFeasibleCone)
+{
+    // min -x - y  s.t.  x - y <= 1, y - x <= 1: the diagonal ray
+    // x = y -> infinity stays feasible while the objective drops.
+    LinearProgram prog(2);
+    prog.setObjective(0, -1.0);
+    prog.setObjective(1, -1.0);
+    prog.addConstraint({1, -1}, Relation::LessEq, 1);
+    prog.addConstraint({-1, 1}, Relation::LessEq, 1);
+    EXPECT_EQ(prog.solve().status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, BoundedObjectiveOnUnboundedRegion)
+{
+    // The region is unbounded but the objective is not: min x + y
+    // s.t. x + y >= 2 has optimum 2.
+    LinearProgram prog(2);
+    prog.setObjective(0, 1.0);
+    prog.setObjective(1, 1.0);
+    prog.addConstraint({1, 1}, Relation::GreaterEq, 2);
+    Solution sol = prog.solve();
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateRedundantConstraints)
+{
+    // Three constraints meet in the same vertex (2, 2); the redundant
+    // one creates a degenerate basis that must not cycle.
+    LinearProgram prog(2);
+    prog.setObjective(0, -1.0);
+    prog.setObjective(1, -1.0);
+    prog.addConstraint({1, 0}, Relation::LessEq, 2);
+    prog.addConstraint({0, 1}, Relation::LessEq, 2);
+    prog.addConstraint({1, 1}, Relation::LessEq, 4);
+    Solution sol = prog.solve();
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, -4.0, 1e-9);
+    EXPECT_NEAR(sol.values[0], 2.0, 1e-9);
+    EXPECT_NEAR(sol.values[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateZeroRhs)
+{
+    // All-zero right-hand sides: the origin is the only vertex and
+    // every basis is degenerate (the classic cycling setup for
+    // non-Bland pivot rules).
+    LinearProgram prog(3);
+    prog.setObjective(0, -2.0);
+    prog.setObjective(1, -3.0);
+    prog.setObjective(2, 1.0);
+    prog.addConstraint({1, -1, 0}, Relation::LessEq, 0);
+    prog.addConstraint({0, 1, -1}, Relation::LessEq, 0);
+    prog.addConstraint({1, 1, -2}, Relation::LessEq, 0);
+    Solution sol = prog.solve();
+    // Terminates (Bland's rule); the ray x=(t,t,t) improves forever.
+    EXPECT_EQ(sol.status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, EqualityOnlyFeasiblePoint)
+{
+    // Equalities pin the unique solution; any objective is optimal
+    // there.
+    LinearProgram prog(2);
+    prog.setObjective(0, -5.0);
+    prog.addConstraint({1, 0}, Relation::Equal, 3);
+    prog.addConstraint({0, 1}, Relation::Equal, 0);
+    Solution sol = prog.solve();
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, -15.0, 1e-9);
+    EXPECT_NEAR(sol.values[0], 3.0, 1e-9);
+    EXPECT_NEAR(sol.values[1], 0.0, 1e-9);
+}
+
 TEST(Simplex, DegenerateNoCycle)
 {
     // Degenerate vertex; Bland's rule must terminate.
