@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "sim/measurement_cache.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
 
@@ -119,6 +120,21 @@ runBatchSweep(const isa::InstrDb &db,
         for (uarch::UArch arch : arches)
             per_arch.push_back(std::make_unique<Characterizer>(
                 db, arch, options.characterizer));
+    }
+
+    // One shared measurement memo-cache per uarch: the blocking-kernel
+    // and chain-instrument measurements repeat across variants and
+    // workers, and cached results are bit-identical to recomputation,
+    // so sharing changes wall-clock only, never the report.
+    std::vector<std::unique_ptr<sim::MeasurementCache>> memo_caches;
+    if (options.share_measurements) {
+        memo_caches.reserve(arches.size());
+        for (size_t a = 0; a < arches.size(); ++a)
+            memo_caches.push_back(
+                std::make_unique<sim::MeasurementCache>());
+        for (auto &per_arch : workers)
+            for (size_t a = 0; a < arches.size(); ++a)
+                per_arch[a]->setMeasurementCache(memo_caches[a].get());
     }
 
     // Instrument calibration and blocking-set discovery are a

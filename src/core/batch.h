@@ -40,6 +40,16 @@ struct BatchOptions
     Characterizer::Options characterizer;
 
     /**
+     * Share one measurement memo-cache per uarch across all workers
+     * (sim::MeasurementCache), so byte-identical kernels — the
+     * blocking kernels of Algorithm 1 especially — are simulated once
+     * per uarch instead of once per (variant, worker). Results are
+     * unchanged (cached measurements are bit-identical); disable only
+     * for differential testing or to bound memory.
+     */
+    bool share_measurements = true;
+
+    /**
      * Progress hook, invoked from worker threads exactly once per
      * variant, after it finishes (successfully or not). Must be
      * thread-safe. An exception thrown from the hook is recorded as

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/measurement_cache.h"
 #include "support/stats.h"
 #include "support/status.h"
 
@@ -54,6 +55,12 @@ void
 Characterizer::prepare() const
 {
     ensureSetup();
+}
+
+void
+Characterizer::setMeasurementCache(sim::MeasurementCache *cache)
+{
+    harness_.setCache(cache);
 }
 
 void

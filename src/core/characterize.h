@@ -102,6 +102,15 @@ class Characterizer
      */
     void primeFrom(const Characterizer &other) const;
 
+    /**
+     * Attach a measurement memo-cache to the harness (nullptr
+     * detaches). Cached results are bit-identical to recomputation,
+     * so attaching a cache never changes results; the batch engine
+     * shares one cache per uarch across all workers. The cache must
+     * have been built for the same (db, uarch, harness options).
+     */
+    void setMeasurementCache(sim::MeasurementCache *cache);
+
   private:
     void ensureSetup() const;
 

@@ -1,0 +1,161 @@
+#include "sim/decoded.h"
+
+#include "support/status.h"
+
+namespace uops::sim {
+
+using isa::InstrInstance;
+using isa::Kernel;
+using isa::OperandSpec;
+using isa::OpKind;
+using isa::RegClass;
+using uarch::Domain;
+using uarch::UopSpec;
+
+DecodedKernel::DecodedKernel(const uarch::TimingDb &timing,
+                             const Kernel &prologue, const Kernel &body,
+                             const Kernel &epilogue)
+    : timing_(timing), info_(uarch::uarchInfo(timing.arch())),
+      prologue_size_(prologue.size()), body_size_(body.size())
+{
+    pattern_.reserve(prologue.size() + body.size() + epilogue.size());
+    for (const InstrInstance &inst : prologue)
+        pattern_.push_back(decodeOne(inst));
+    for (const InstrInstance &inst : body)
+        pattern_.push_back(decodeOne(inst));
+    for (const InstrInstance &inst : epilogue)
+        pattern_.push_back(decodeOne(inst));
+
+    // Successor of each pattern position within one pass of the
+    // stream: next element of the same segment, else the first
+    // element of the following non-empty segment.
+    auto successor = [&](size_t pos) -> const InstrInstance * {
+        if (pos + 1 < pattern_.size())
+            return pattern_[pos + 1].inst;
+        return nullptr;
+    };
+    for (size_t pos = 0; pos < pattern_.size(); ++pos) {
+        if (const InstrInstance *next = successor(pos))
+            pattern_[pos].fused_next =
+                fusedSpec(*pattern_[pos].inst, *next);
+    }
+    // Copy-wrapping pair: last body instruction -> first body
+    // instruction of the next copy.
+    if (body_size_ > 0) {
+        DecodedInstr &last = pattern_[prologue_size_ + body_size_ - 1];
+        last.fused_wrap =
+            fusedSpec(*last.inst, *pattern_[prologue_size_].inst);
+    }
+}
+
+DecodedKernel::Ref
+DecodedKernel::at(size_t v, int body_reps) const
+{
+    if (v < prologue_size_)
+        return {&pattern_[v], false};
+    size_t rel = v - prologue_size_;
+    size_t unrolled = body_size_ * static_cast<size_t>(body_reps);
+    if (rel < unrolled) {
+        size_t offset = rel % body_size_;
+        bool last_copy =
+            rel / body_size_ == static_cast<size_t>(body_reps) - 1;
+        return {&pattern_[prologue_size_ + offset],
+                offset == body_size_ - 1 && !last_copy};
+    }
+    return {&pattern_[prologue_size_ + body_size_ + (rel - unrolled)],
+            false};
+}
+
+DecodedInstr
+DecodedKernel::decodeOne(const InstrInstance &inst) const
+{
+    DecodedInstr d;
+    d.inst = &inst;
+    const uarch::TimingInfo &timing = timing_.timing(*inst.variant);
+    d.uops = &timing_.uopsFor(inst);
+    bool same_reg = uarch::TimingDb::sameRegOperands(inst);
+    bool idiom = same_reg && timing.dep_breaking_same_reg;
+    bool zero_elim =
+        same_reg && timing.zero_idiom && info_.zero_idiom_elim;
+    d.rename_direct = d.uops->empty() || zero_elim;
+    d.try_mov_elim = timing.mov_elim && d.uops->size() == 1;
+    d.serializing = inst.variant->attrs().is_serializing;
+    d.slow = inst.div_class == isa::DivValueClass::Slow;
+
+    if (idiom) {
+        auto expl = inst.variant->explicitOperands();
+        d.skip_unit = isa::regUnit(inst.regOf(expl[0]));
+    }
+    if (d.try_mov_elim) {
+        auto expl = inst.variant->explicitOperands();
+        d.elim_dst_unit = isa::regUnit(inst.regOf(expl[0]));
+        d.elim_src_unit = isa::regUnit(inst.regOf(expl[1]));
+    }
+
+    if (inst.variant->mnemonic() == "VZEROUPPER") {
+        d.ymm_effect = DecodedInstr::YmmEffect::ClearUpper;
+    } else if (inst.variant->attrs().is_avx) {
+        for (size_t i = 0; i < inst.variant->numOperands(); ++i) {
+            const OperandSpec &op = inst.variant->operand(i);
+            if (op.kind == OpKind::Reg && op.written &&
+                op.reg_class == RegClass::Ymm)
+                d.ymm_effect = DecodedInstr::YmmEffect::DirtyUpper;
+        }
+    }
+    return d;
+}
+
+bool
+DecodedKernel::canFuse(const InstrInstance &prod,
+                       const InstrInstance &branch) const
+{
+    if (!info_.fuses_cmp_jcc)
+        return false;
+    const isa::InstrVariant &pv = *prod.variant;
+    const isa::InstrVariant &bv = *branch.variant;
+    if (!bv.attrs().is_branch || bv.attrs().is_cf_reg)
+        return false;
+    int bf = bv.flagsOperand();
+    if (bf < 0 ||
+        !bv.operand(static_cast<size_t>(bf)).flags_read.any())
+        return false;
+    if (pv.memOperand() >= 0)
+        return false;
+    int pf = pv.flagsOperand();
+    if (pf < 0)
+        return false;
+    const OperandSpec &flags = pv.operand(static_cast<size_t>(pf));
+    if (!flags.flags_written.any() || flags.flags_read.any())
+        return false;
+    // Zero idioms are handled at rename, never fused.
+    if (uarch::TimingDb::sameRegOperands(prod) &&
+        timing_.timing(pv).dep_breaking_same_reg)
+        return false;
+    if (timing_.uopsFor(prod).size() != 1)
+        return false;
+    const std::string &m = pv.mnemonic();
+    if (m == "CMP" || m == "TEST")
+        return true;
+    bool alu_like = m == "ADD" || m == "SUB" || m == "AND" ||
+                    m == "INC" || m == "DEC";
+    return alu_like && info_.fuses_alu_jcc;
+}
+
+const UopSpec *
+DecodedKernel::fusedSpec(const InstrInstance &prod,
+                         const InstrInstance &branch)
+{
+    if (!canFuse(prod, branch))
+        return nullptr;
+    const UopSpec &prod_uop = timing_.uopsFor(prod).front();
+    const UopSpec &branch_uop = timing_.uopsFor(branch).front();
+
+    auto spec = std::make_unique<UopSpec>(prod_uop);
+    spec->ports = branch_uop.ports; // executes on the branch unit
+    spec->latency = 1;
+    spec->domain = Domain::Gpr;
+    fused_specs_.push_back(std::move(spec));
+    return fused_specs_.back().get();
+}
+
+} // namespace uops::sim

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/measurement_cache.h"
 #include "support/status.h"
 
 namespace uops::sim {
@@ -22,35 +23,28 @@ MeasurementHarness::MeasurementHarness(const uarch::TimingDb &timing,
         counter_reader_ = db.byName("RDTSC");
     fatalIf(serializer_ == nullptr || counter_reader_ == nullptr,
             "harness: CPUID/RDTSC must be present in the instruction DB");
+
+    // start <- readPerfCtrs() / end <- readPerfCtrs(), wrapped in
+    // serializing instructions; fixed for the harness lifetime.
+    for (Kernel *wrapper : {&prologue_, &epilogue_}) {
+        wrapper->push_back(isa::makeInstance(*serializer_, {}));
+        wrapper->push_back(isa::makeInstance(*counter_reader_, {}));
+        wrapper->push_back(isa::makeInstance(*serializer_, {}));
+    }
 }
 
 PerfCounters
-MeasurementHarness::runOnce(const Kernel &body, int n) const
+MeasurementHarness::runOnce(const DecodedKernel &decoded, int n) const
 {
-    Kernel code;
-    code.reserve(body.size() * static_cast<size_t>(n) + 8);
+    // Counter snapshots at the two RDTSC retirements; indices in the
+    // logical stream prologue · body×n · epilogue.
     std::vector<size_t> markers;
+    markers.reserve(2);
+    markers.push_back(1);
+    markers.push_back(decoded.prologueSize() +
+                      decoded.bodySize() * static_cast<size_t>(n) + 1);
 
-    auto append_simple = [&](const isa::InstrVariant *v) {
-        code.push_back(isa::makeInstance(*v, {}));
-    };
-
-    // start <- readPerfCtrs(), wrapped in serializing instructions.
-    append_simple(serializer_);
-    append_simple(counter_reader_);
-    markers.push_back(code.size() - 1);
-    append_simple(serializer_);
-
-    for (int i = 0; i < n; ++i)
-        code.insert(code.end(), body.begin(), body.end());
-
-    // end <- readPerfCtrs().
-    append_simple(serializer_);
-    append_simple(counter_reader_);
-    markers.push_back(code.size() - 1);
-    append_simple(serializer_);
-
-    RunResult result = pipeline_.run(code, markers);
+    RunResult result = pipeline_.run(decoded, n, markers);
     return result.snapshots[1] - result.snapshots[0];
 }
 
@@ -59,18 +53,42 @@ MeasurementHarness::measure(const Kernel &body) const
 {
     panicIf(body.empty(), "harness: empty benchmark body");
 
+    if (cache_ == nullptr)
+        return measureUncached(body);
+
+    std::string key = MeasurementCache::fingerprint(body, options_);
+    if (auto hit = cache_->lookup(key))
+        return *hit;
+    Measurement m = measureUncached(body);
+    cache_->insert(key, m);
+    return m;
+}
+
+Measurement
+MeasurementHarness::measureUncached(const Kernel &body) const
+{
+    // Decode the body (µop selection, idiom and fusion analysis) once;
+    // both unroll factors and all repetitions reuse the template.
+    DecodedKernel decoded(timing_, prologue_, body, epilogue_);
+
     if (options_.warmup)
-        (void)runOnce(body, options_.unroll_small);
+        (void)runOnce(decoded, options_.unroll_small);
 
     Rng rng(options_.noise_seed);
-    Measurement acc;
     int reps = std::max(1, options_.repetitions);
     const double scale =
         static_cast<double>(options_.unroll_large - options_.unroll_small);
 
+    // Accumulate raw counter deltas; normalize by scale and reps once
+    // at the end instead of per repetition and per port.
+    double cycles_sum = 0.0;
+    std::array<int64_t, kMaxPorts> port_sum{};
+    int64_t issued_sum = 0;
+    int64_t eliminated_sum = 0;
+
     for (int rep = 0; rep < reps; ++rep) {
-        PerfCounters small = runOnce(body, options_.unroll_small);
-        PerfCounters large = runOnce(body, options_.unroll_large);
+        PerfCounters small = runOnce(decoded, options_.unroll_small);
+        PerfCounters large = runOnce(decoded, options_.unroll_large);
         PerfCounters diff = large - small;
 
         double cycles = static_cast<double>(diff.cycles);
@@ -82,21 +100,22 @@ MeasurementHarness::measure(const Kernel &body) const
             if (cycles < 0)
                 cycles = 0;
         }
-        acc.cycles += cycles / scale;
+        cycles_sum += cycles;
         for (int p = 0; p < kMaxPorts; ++p)
-            acc.port_uops[static_cast<size_t>(p)] +=
-                static_cast<double>(
-                    diff.port_uops[static_cast<size_t>(p)]) / scale;
-        acc.uops_issued += static_cast<double>(diff.uops_issued) / scale;
-        acc.uops_eliminated +=
-            static_cast<double>(diff.uops_eliminated) / scale;
+            port_sum[static_cast<size_t>(p)] +=
+                diff.port_uops[static_cast<size_t>(p)];
+        issued_sum += diff.uops_issued;
+        eliminated_sum += diff.uops_eliminated;
     }
 
-    acc.cycles /= reps;
-    for (auto &u : acc.port_uops)
-        u /= reps;
-    acc.uops_issued /= reps;
-    acc.uops_eliminated /= reps;
+    const double norm = scale * static_cast<double>(reps);
+    Measurement acc;
+    acc.cycles = cycles_sum / norm;
+    for (int p = 0; p < kMaxPorts; ++p)
+        acc.port_uops[static_cast<size_t>(p)] =
+            static_cast<double>(port_sum[static_cast<size_t>(p)]) / norm;
+    acc.uops_issued = static_cast<double>(issued_sum) / norm;
+    acc.uops_eliminated = static_cast<double>(eliminated_sum) / norm;
     return acc;
 }
 

@@ -20,6 +20,14 @@
  * 100. The result is averaged over a configurable number of repetitions
  * after a warm-up run; optional seeded noise exercises the averaging
  * logic in tests.
+ *
+ * Hot path: the body is decoded into a µop template once per measure()
+ * call and the pipeline unrolls it logically (sim/decoded.h) — the
+ * n-copy kernel is never materialized. When a MeasurementCache is
+ * attached (setCache), byte-identical (body, options) measurements are
+ * served from the cache; cached results are bit-identical to
+ * recomputation because a Measurement is a pure function of the key
+ * on a fixed timing database.
  */
 
 #ifndef UOPS_SIM_HARNESS_H
@@ -32,6 +40,8 @@
 #include "support/rng.h"
 
 namespace uops::sim {
+
+class MeasurementCache;
 
 /** One per-body-execution measurement (averages over the copies). */
 struct Measurement
@@ -73,6 +83,15 @@ class MeasurementHarness
 
     const uarch::UArchInfo &info() const { return pipeline_.info(); }
     const uarch::TimingDb &timingDb() const { return timing_; }
+    const HarnessOptions &options() const { return options_; }
+
+    /**
+     * Attach a measurement memo-cache (nullptr detaches). The cache
+     * must only be shared between harnesses with the same timing
+     * database; it may be shared across threads.
+     */
+    void setCache(MeasurementCache *cache) { cache_ = cache; }
+    MeasurementCache *cache() const { return cache_; }
 
     /**
      * Measure one benchmark body.
@@ -83,15 +102,23 @@ class MeasurementHarness
     Measurement measure(const isa::Kernel &body) const;
 
   private:
-    /** One Algorithm-2 run with @p n body copies; returns the counter
-     *  delta between the two reads. */
-    PerfCounters runOnce(const isa::Kernel &body, int n) const;
+    /** measure() without the memo-cache. */
+    Measurement measureUncached(const isa::Kernel &body) const;
+
+    /** One Algorithm-2 run with @p n logical body copies; returns the
+     *  counter delta between the two reads. */
+    PerfCounters runOnce(const DecodedKernel &decoded, int n) const;
 
     const uarch::TimingDb &timing_;
     Pipeline pipeline_;
     HarnessOptions options_;
     const isa::InstrVariant *serializer_;
     const isa::InstrVariant *counter_reader_;
+    /** Algorithm 2's fixed wrapper code: serializer / counter read /
+     *  serializer, built once and decoded with every body. */
+    isa::Kernel prologue_;
+    isa::Kernel epilogue_;
+    MeasurementCache *cache_ = nullptr;
 };
 
 } // namespace uops::sim

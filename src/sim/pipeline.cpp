@@ -1,10 +1,9 @@
 #include "pipeline.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
-#include <map>
 
+#include "support/small_vector.h"
 #include "support/status.h"
 
 namespace uops::sim {
@@ -31,34 +30,85 @@ struct UopDyn
     int16_t port = -1;
     bool slow = false;
     bool dispatched = false;
-    int64_t complete = -1;         ///< -1: not finished.
-    std::vector<int32_t> srcs;     ///< value ids
-    std::vector<int32_t> dsts;     ///< value ids, parallel to writes
+    int64_t complete = -1;                ///< -1: not finished.
+    SmallVector<int32_t, 4> srcs;         ///< value ids
+    SmallVector<int32_t, 4> dsts;         ///< value ids, per write
 };
 
-/** Whole-run mutable state. */
+} // namespace
+
+/**
+ * Whole-run working memory, owned by the Pipeline and reused across
+ * runs. Every container is reset (not reallocated) at the start of a
+ * run, so the simulated core still observes pristine power-on state
+ * while steady-state runs stay allocation-free.
+ */
+class PipelineScratch
+{
+  public:
+    std::vector<size_t> marker_set;
+
+    std::vector<int64_t> value_ready;
+    std::vector<uint8_t> value_domain;
+    std::vector<int32_t> unit_value;
+    /** Memory-location values, flat (tag, value) pairs: kernels touch
+     *  a handful of distinct tags, so linear scans beat a std::map. */
+    std::vector<std::pair<int, int32_t>> mem_value;
+    std::vector<int32_t> temp_value;
+
+    std::vector<UopDyn> pending_uops;
+    std::vector<uint8_t> pending_rename_only;
+    std::vector<UopDyn> rob;
+    std::vector<std::vector<size_t>> bound;
+    std::vector<size_t> bound_head;
+    std::vector<int> waiting;
+    std::vector<int64_t> div_busy;
+    std::vector<int> instr_uops_left;
+};
+
+namespace {
+
+/** Whole-run simulation over a decoded virtual instruction stream. */
 class Core
 {
   public:
     Core(const uarch::TimingDb &timing, const uarch::UArchInfo &info,
-         const SimOptions &options, const Kernel &kernel,
-         const std::vector<size_t> &markers)
+         const SimOptions &options, const DecodedKernel &decoded,
+         int body_reps, const std::vector<size_t> &markers,
+         PipelineScratch &s)
         : timing_(timing), info_(info), options_(options),
-          kernel_(kernel)
+          decoded_(decoded), body_reps_(body_reps),
+          total_(decoded.totalSize(body_reps)),
+          marker_set_(s.marker_set), value_ready_(s.value_ready),
+          value_domain_(s.value_domain), unit_value_(s.unit_value),
+          mem_value_(s.mem_value), temp_value_(s.temp_value),
+          pending_uops_(s.pending_uops),
+          pending_rename_only_(s.pending_rename_only), rob_(s.rob),
+          bound_(s.bound), bound_head_(s.bound_head),
+          waiting_(s.waiting), div_busy_(s.div_busy),
+          instr_uops_left_(s.instr_uops_left)
     {
-        for (size_t m : markers)
-            marker_set_.push_back(m);
+        marker_set_.assign(markers.begin(), markers.end());
         std::sort(marker_set_.begin(), marker_set_.end());
         // Value 0: power-on state (ready, integer domain).
+        value_ready_.clear();
         value_ready_.push_back(0);
+        value_domain_.clear();
         value_domain_.push_back(static_cast<uint8_t>(Domain::Gpr));
         unit_value_.assign(isa::kNumArchUnits, 0);
+        mem_value_.clear();
+        temp_value_.clear();
+        pending_uops_.clear();
+        pending_rename_only_.clear();
+        rob_.clear();
         bound_.resize(static_cast<size_t>(info.num_ports));
+        for (auto &queue : bound_)
+            queue.clear();
         bound_head_.assign(static_cast<size_t>(info.num_ports), 0);
         waiting_.assign(static_cast<size_t>(info.num_ports), 0);
         div_busy_.assign(static_cast<size_t>(info.num_ports), 0);
         // -1: not yet renamed (blocks the in-order retire cursor).
-        instr_uops_left_.assign(kernel.size(), -1);
+        instr_uops_left_.assign(total_, -1);
         result_.snapshots.resize(marker_set_.size());
     }
 
@@ -69,9 +119,12 @@ class Core
             ++cycle_;
             panicIf(cycle_ > options_.max_cycles,
                     "simulation exceeded max_cycles (deadlock?)");
+            activity_ = false;
             dispatch();
             issue();
             retire();
+            if (!activity_ && options_.skip_idle)
+                skipIdleCycles();
         }
         counters_.cycles = cycle_;
         result_.final = counters_;
@@ -83,9 +136,21 @@ class Core
     bool
     done() const
     {
-        return next_instr_ >= kernel_.size() &&
-               pending_uops_.empty() && retire_head_ == rob_.size() &&
-               retire_cursor_ >= kernel_.size();
+        return next_instr_ >= total_ && pendingEmpty() &&
+               retire_head_ == rob_.size() && retire_cursor_ >= total_;
+    }
+
+    bool
+    pendingEmpty() const
+    {
+        return pending_head_ == pending_uops_.size();
+    }
+
+    void
+    pendingPush(UopDyn &&dyn, bool rename_only)
+    {
+        pending_uops_.push_back(std::move(dyn));
+        pending_rename_only_.push_back(rename_only ? 1 : 0);
     }
 
     // ---- value table -------------------------------------------------
@@ -133,11 +198,14 @@ class Core
             return unit_value_[isa::regUnit(base)];
           }
           case OpRef::Kind::MemData: {
-            auto it = mem_value_.find(inst.ops[ref.index].mem.tag);
-            return it == mem_value_.end() ? 0 : it->second;
+            int tag = inst.ops[ref.index].mem.tag;
+            for (const auto &[t, v] : mem_value_)
+                if (t == tag)
+                    return v;
+            return 0;
           }
           case OpRef::Kind::Temp:
-            return temp_value_.at(ref.index);
+            return temp_value_.at(static_cast<size_t>(ref.index));
         }
         panic("resolveRead: unreachable");
     }
@@ -145,7 +213,7 @@ class Core
     /** Expand a read OpRef into concrete source value ids. */
     void
     expandReads(const InstrInstance &inst, const OpRef &ref,
-                std::vector<int32_t> &out, int skip_unit)
+                SmallVector<int32_t, 4> &out, int skip_unit)
     {
         if (ref.kind == OpRef::Kind::Operand) {
             const OperandSpec &op = inst.variant->operand(ref.index);
@@ -185,13 +253,21 @@ class Core
             unit_value_[isa::regUnit(inst.regOf(ref.index))] = value;
             return value;
           }
-          case OpRef::Kind::MemData:
-            mem_value_[inst.ops[ref.index].mem.tag] = value;
+          case OpRef::Kind::MemData: {
+            int tag = inst.ops[ref.index].mem.tag;
+            for (auto &[t, v] : mem_value_) {
+                if (t == tag) {
+                    v = value;
+                    return value;
+                }
+            }
+            mem_value_.emplace_back(tag, value);
             return value;
+          }
           case OpRef::Kind::Temp:
-            if (temp_value_.size() <=
-                static_cast<size_t>(ref.index))
-                temp_value_.resize(static_cast<size_t>(ref.index) + 1, 0);
+            if (temp_value_.size() <= static_cast<size_t>(ref.index))
+                temp_value_.resize(static_cast<size_t>(ref.index) + 1,
+                                   0);
             temp_value_[static_cast<size_t>(ref.index)] = value;
             return value;
           case OpRef::Kind::MemAddr:
@@ -221,42 +297,31 @@ class Core
     }
 
     // ---- issue -------------------------------------------------------
-    /** Generate and enqueue the renamed µops of the next instruction. */
+    /** Generate and enqueue the renamed µops of the next instruction.
+     *  The static decode (µop selection, idiom classification) comes
+     *  precomputed from the template; only the renaming is per-copy. */
     void
-    renameInstruction(const InstrInstance &inst, int32_t idx)
+    renameInstruction(const DecodedInstr &d, int32_t idx)
     {
-        const uarch::TimingInfo &timing = timing_.timing(*inst.variant);
-        const auto &uops = timing_.uopsFor(inst);
-        bool same_reg = uarch::TimingDb::sameRegOperands(inst);
-        bool idiom = same_reg && timing.dep_breaking_same_reg;
-        bool zero_elim =
-            same_reg && timing.zero_idiom && info_.zero_idiom_elim;
-
-        // The register whose dependency the idiom breaks.
-        int skip_unit = -1;
-        if (idiom) {
-            auto expl = inst.variant->explicitOperands();
-            skip_unit = isa::regUnit(inst.regOf(expl[0]));
-        }
+        activity_ = true;
+        const InstrInstance &inst = *d.inst;
+        const std::vector<UopSpec> &uops = *d.uops;
 
         // Move elimination: reg-reg moves handled by the ROB.
-        bool try_elim = timing.mov_elim && uops.size() == 1;
         bool eliminated_mov = false;
-        if (try_elim && options_.mov_elim_period > 0) {
+        if (d.try_mov_elim && options_.mov_elim_period > 0) {
             eliminated_mov =
                 (mov_elim_counter_++ % options_.mov_elim_period) == 0;
         }
 
-        if (uops.empty() || zero_elim || eliminated_mov) {
+        if (d.rename_direct || eliminated_mov) {
             // Rename-stage execution: one issued-but-not-dispatched µop.
             UopDyn dyn;
             dyn.instr_idx = idx;
             if (eliminated_mov) {
                 // Zero-latency: destination aliases the source value.
-                auto expl = inst.variant->explicitOperands();
-                int32_t src =
-                    unit_value_[isa::regUnit(inst.regOf(expl[1]))];
-                unit_value_[isa::regUnit(inst.regOf(expl[0]))] = src;
+                unit_value_[d.elim_dst_unit] =
+                    unit_value_[d.elim_src_unit];
             } else {
                 // NOP / zero idiom: results ready immediately.
                 for (const auto &u : uops)
@@ -266,9 +331,8 @@ class Core
                             value_ready_[v] = 0;
                         }
             }
-            instr_uops_left_[idx] = 1;
-            pending_uops_.push_back(std::move(dyn));
-            pending_rename_only_.push_back(true);
+            instr_uops_left_[static_cast<size_t>(idx)] = 1;
+            pendingPush(std::move(dyn), true);
             return;
         }
 
@@ -278,105 +342,51 @@ class Core
             UopDyn dyn;
             dyn.spec = &spec;
             dyn.instr_idx = idx;
-            dyn.slow = inst.div_class == isa::DivValueClass::Slow;
+            dyn.slow = d.slow;
             for (const auto &r : spec.reads)
-                expandReads(inst, r, dyn.srcs, skip_unit);
+                expandReads(inst, r, dyn.srcs, d.skip_unit);
             // Partial-register / dirty-upper merges add a read of the
             // written register's previous value.
             for (const auto &w : spec.writes) {
                 int mu = mergeUnit(inst, w);
-                if (mu >= 0 && mu != skip_unit)
+                if (mu >= 0 && mu != d.skip_unit)
                     dyn.srcs.push_back(unit_value_[mu]);
             }
             for (const auto &w : spec.writes)
                 dyn.dsts.push_back(applyWrite(inst, w));
-            pending_uops_.push_back(std::move(dyn));
-            pending_rename_only_.push_back(false);
+            pendingPush(std::move(dyn), false);
             ++count;
         }
-        instr_uops_left_[idx] = count;
+        instr_uops_left_[static_cast<size_t>(idx)] = count;
 
         // Track the YMM upper state for the SSE/AVX transition model.
         if (info_.sse_avx_transition) {
-            if (inst.variant->mnemonic() == "VZEROUPPER") {
+            if (d.ymm_effect == DecodedInstr::YmmEffect::ClearUpper)
                 dirty_upper_ = false;
-            } else if (inst.variant->attrs().is_avx) {
-                for (size_t i = 0; i < inst.variant->numOperands(); ++i) {
-                    const OperandSpec &op = inst.variant->operand(i);
-                    if (op.kind == OpKind::Reg && op.written &&
-                        op.reg_class == RegClass::Ymm)
-                        dirty_upper_ = true;
-                }
-            }
+            else if (d.ymm_effect == DecodedInstr::YmmEffect::DirtyUpper)
+                dirty_upper_ = true;
         }
     }
 
-    /**
-     * Macro-fusion eligibility: a register/immediate compare or
-     * (from Sandy Bridge) simple ALU instruction writing the flags,
-     * immediately followed by a conditional branch reading them.
-     */
-    bool
-    canFuse(const InstrInstance &prod, const InstrInstance &branch) const
-    {
-        if (!info_.fuses_cmp_jcc)
-            return false;
-        const isa::InstrVariant &pv = *prod.variant;
-        const isa::InstrVariant &bv = *branch.variant;
-        if (!bv.attrs().is_branch || bv.attrs().is_cf_reg)
-            return false;
-        int bf = bv.flagsOperand();
-        if (bf < 0 || !bv.operand(static_cast<size_t>(bf))
-                           .flags_read.any())
-            return false;
-        if (pv.memOperand() >= 0)
-            return false;
-        int pf = pv.flagsOperand();
-        if (pf < 0)
-            return false;
-        const OperandSpec &flags = pv.operand(static_cast<size_t>(pf));
-        if (!flags.flags_written.any() || flags.flags_read.any())
-            return false;
-        // Zero idioms are handled at rename, never fused.
-        if (uarch::TimingDb::sameRegOperands(prod) &&
-            timing_.timing(pv).dep_breaking_same_reg)
-            return false;
-        if (timing_.uopsFor(prod).size() != 1)
-            return false;
-        const std::string &m = pv.mnemonic();
-        if (m == "CMP" || m == "TEST")
-            return true;
-        bool alu_like = m == "ADD" || m == "SUB" || m == "AND" ||
-                        m == "INC" || m == "DEC";
-        return alu_like && info_.fuses_alu_jcc;
-    }
-
-    /** Rename a macro-fused pair into a single branch-unit µop. */
+    /** Rename a macro-fused pair into a single branch-unit µop; the
+     *  fused spec itself is precomputed by the template. */
     void
-    renameFusedPair(const InstrInstance &prod,
-                    const InstrInstance &branch, int32_t idx)
+    renameFusedPair(const DecodedInstr &d, const UopSpec &spec,
+                    int32_t idx)
     {
-        const UopSpec &prod_uop = timing_.uopsFor(prod).front();
-        const UopSpec &branch_uop = timing_.uopsFor(branch).front();
-
-        auto spec = std::make_unique<UopSpec>(prod_uop);
-        spec->ports = branch_uop.ports; // executes on the branch unit
-        spec->latency = 1;
-        spec->domain = Domain::Gpr;
-
+        activity_ = true;
+        const InstrInstance &prod = *d.inst;
         UopDyn dyn;
-        dyn.spec = spec.get();
+        dyn.spec = &spec;
         dyn.instr_idx = idx;
-        for (const auto &r : spec->reads)
+        for (const auto &r : spec.reads)
             expandReads(prod, r, dyn.srcs, -1);
-        for (const auto &w : spec->writes)
+        for (const auto &w : spec.writes)
             dyn.dsts.push_back(applyWrite(prod, w));
-        fused_specs_.push_back(std::move(spec));
 
         instr_uops_left_[static_cast<size_t>(idx)] = 1;
         instr_uops_left_[static_cast<size_t>(idx) + 1] = 0;
-        pending_uops_.push_back(std::move(dyn));
-        pending_rename_only_.push_back(false);
+        pendingPush(std::move(dyn), false);
     }
 
     void
@@ -385,8 +395,8 @@ class Core
         int issued = 0;
         while (issued < info_.issue_width) {
             // Refill the pending queue from the instruction stream.
-            if (pending_uops_.empty()) {
-                if (next_instr_ >= kernel_.size())
+            if (pendingEmpty()) {
+                if (next_instr_ >= total_)
                     return;
                 // A serializing instruction in flight blocks younger
                 // instructions until it has fully retired.
@@ -396,8 +406,10 @@ class Core
                         return;
                     serializer_in_flight_ = -1;
                 }
-                const InstrInstance &inst = kernel_[next_instr_];
-                if (inst.variant->attrs().is_serializing) {
+                DecodedKernel::Ref ref =
+                    decoded_.at(next_instr_, body_reps_);
+                const DecodedInstr &d = *ref.instr;
+                if (d.serializing) {
                     // Drain: all older µops must have retired first.
                     if (retire_head_ != rob_.size())
                         return;
@@ -406,32 +418,38 @@ class Core
                 }
                 // Macro-fusion: a flag-writing ALU instruction and an
                 // immediately following Jcc decode into a single µop.
-                if (next_instr_ + 1 < kernel_.size() &&
-                    canFuse(inst, kernel_[next_instr_ + 1])) {
-                    renameFusedPair(
-                        inst, kernel_[next_instr_ + 1],
-                        static_cast<int32_t>(next_instr_));
+                // The eligible pair (and its fused spec) was decided
+                // once at decode time.
+                const UopSpec *fused =
+                    ref.wraps ? d.fused_wrap : d.fused_next;
+                if (fused != nullptr && next_instr_ + 1 < total_) {
+                    renameFusedPair(d, *fused,
+                                    static_cast<int32_t>(next_instr_));
                     next_instr_ += 2;
                     continue;
                 }
-                renameInstruction(inst,
+                renameInstruction(d,
                                   static_cast<int32_t>(next_instr_));
                 ++next_instr_;
             }
-            while (!pending_uops_.empty() &&
-                   issued < info_.issue_width) {
-                bool rename_only = pending_rename_only_.front();
+            while (!pendingEmpty() && issued < info_.issue_width) {
+                bool rename_only =
+                    pending_rename_only_[pending_head_] != 0;
                 // Capacity checks.
                 if (rob_.size() - retire_head_ >=
                     static_cast<size_t>(info_.rob_size))
                     return;
-                if (!rename_only &&
-                    rs_count_ >= info_.rs_size)
+                if (!rename_only && rs_count_ >= info_.rs_size)
                     return;
-                UopDyn dyn = std::move(pending_uops_.front());
-                pending_uops_.pop_front();
-                pending_rename_only_.pop_front();
+                UopDyn dyn = std::move(pending_uops_[pending_head_]);
+                ++pending_head_;
+                if (pendingEmpty()) {
+                    pending_uops_.clear();
+                    pending_rename_only_.clear();
+                    pending_head_ = 0;
+                }
                 ++issued;
+                activity_ = true;
                 ++counters_.uops_issued;
                 if (rename_only || dyn.spec == nullptr) {
                     ++counters_.uops_eliminated;
@@ -439,10 +457,13 @@ class Core
                     rob_.push_back(std::move(dyn));
                     continue;
                 }
-                // Bind to the least-loaded allowed port.
+                // Bind to the least-loaded allowed port. Scans the
+                // mask bits directly (ascending, like portsOf) — this
+                // runs once per issued µop, too hot for a vector.
                 int best = -1;
-                for (int p : uarch::portsOf(dyn.spec->ports)) {
-                    if (p >= info_.num_ports)
+                uarch::PortMask mask = dyn.spec->ports;
+                for (int p = 0; p < info_.num_ports; ++p) {
+                    if (!(mask & static_cast<uarch::PortMask>(1u << p)))
                         continue;
                     if (best < 0 || waiting_[p] < waiting_[best])
                         best = p;
@@ -452,7 +473,8 @@ class Core
                 ++waiting_[best];
                 ++rs_count_;
                 rob_.push_back(std::move(dyn));
-                bound_[best].push_back(rob_.size() - 1);
+                bound_[static_cast<size_t>(best)].push_back(
+                    rob_.size() - 1);
             }
         }
     }
@@ -462,8 +484,8 @@ class Core
     dispatch()
     {
         for (int p = 0; p < info_.num_ports; ++p) {
-            auto &queue = bound_[p];
-            size_t &head = bound_head_[p];
+            auto &queue = bound_[static_cast<size_t>(p)];
+            size_t &head = bound_head_[static_cast<size_t>(p)];
             // Compact fully-drained queues.
             if (head > 0 && head == queue.size()) {
                 queue.clear();
@@ -487,17 +509,19 @@ class Core
                     continue;
                 // Dispatch.
                 u.dispatched = true;
+                activity_ = true;
                 int64_t max_done = cycle_ + 1;
                 for (size_t w = 0; w < u.dsts.size(); ++w) {
                     int lat = spec.writeLatency(w, u.slow);
                     value_ready_[u.dsts[w]] = cycle_ + lat;
                     value_domain_[u.dsts[w]] =
                         static_cast<uint8_t>(spec.domain);
-                    max_done = std::max(max_done,
-                                        cycle_ + static_cast<int64_t>(lat));
+                    max_done = std::max(
+                        max_done, cycle_ + static_cast<int64_t>(lat));
                 }
                 max_done = std::max(
-                    max_done, cycle_ + static_cast<int64_t>(spec.latency));
+                    max_done,
+                    cycle_ + static_cast<int64_t>(spec.latency));
                 u.complete = max_done;
                 ++counters_.port_uops[static_cast<size_t>(p)];
                 --waiting_[p];
@@ -532,13 +556,15 @@ class Core
             --instr_uops_left_[static_cast<size_t>(u.instr_idx)];
             ++retire_head_;
             ++retired;
+            activity_ = true;
         }
         // In-order instruction retirement: an instruction is retired
         // once all its µops are (fused branches contribute zero µops
         // and retire together with their producer).
-        while (retire_cursor_ < kernel_.size() &&
+        while (retire_cursor_ < total_ &&
                instr_uops_left_[retire_cursor_] == 0) {
             ++counters_.instrs_retired;
+            activity_ = true;
             auto it = std::lower_bound(marker_set_.begin(),
                                        marker_set_.end(),
                                        retire_cursor_);
@@ -551,37 +577,81 @@ class Core
         }
     }
 
+    // ---- idle-cycle skip ---------------------------------------------
+    /**
+     * Nothing dispatched, issued, renamed, or retired this cycle, so
+     * every blocked µop waits on a purely time-based condition: a
+     * source value becoming ready (plus bypass), the divider freeing
+     * up, or the oldest ROB entry completing. Until the earliest such
+     * threshold no architectural state can change, so jumping the
+     * clock there is exact. With no finite threshold the simulation
+     * is genuinely deadlocked; fall through to normal stepping and
+     * let the max_cycles guard fire as before.
+     */
+    void
+    skipIdleCycles()
+    {
+        int64_t next = kNotReady;
+        if (retire_head_ < rob_.size()) {
+            const UopDyn &u = rob_[retire_head_];
+            if (u.complete > cycle_)
+                next = std::min(next, u.complete);
+        }
+        for (int p = 0; p < info_.num_ports; ++p) {
+            const auto &queue = bound_[static_cast<size_t>(p)];
+            for (size_t i = bound_head_[static_cast<size_t>(p)];
+                 i < queue.size(); ++i) {
+                const UopDyn &u = rob_[queue[i]];
+                if (u.dispatched)
+                    continue;
+                const UopSpec &spec = *u.spec;
+                if (spec.div_occupancy > 0 && div_busy_[p] > cycle_)
+                    next = std::min(next, div_busy_[p]);
+                for (int32_t s : u.srcs) {
+                    int64_t r = effectiveReady(s, spec.domain);
+                    if (r > cycle_ && r < kNotReady)
+                        next = std::min(next, r);
+                }
+            }
+        }
+        if (next < kNotReady && next - 1 > cycle_)
+            cycle_ = next - 1;
+    }
+
     // ---- members -----------------------------------------------------
     const uarch::TimingDb &timing_;
     const uarch::UArchInfo &info_;
     const SimOptions &options_;
-    const Kernel &kernel_;
-    std::vector<size_t> marker_set_;
+    const DecodedKernel &decoded_;
+    const int body_reps_;
+    const size_t total_; ///< virtual stream length
 
     int64_t cycle_ = 0;
     size_t next_instr_ = 0;
     int32_t serializer_in_flight_ = -1;
     bool dirty_upper_ = false;
+    bool activity_ = false;
     uint64_t mov_elim_counter_ = 0;
 
-    std::vector<int64_t> value_ready_;
-    std::vector<uint8_t> value_domain_;
-    std::vector<int32_t> unit_value_;
-    std::map<int, int32_t> mem_value_;
-    std::vector<int32_t> temp_value_;
+    std::vector<size_t> &marker_set_;
+    std::vector<int64_t> &value_ready_;
+    std::vector<uint8_t> &value_domain_;
+    std::vector<int32_t> &unit_value_;
+    std::vector<std::pair<int, int32_t>> &mem_value_;
+    std::vector<int32_t> &temp_value_;
 
-    std::deque<UopDyn> pending_uops_;
-    std::deque<bool> pending_rename_only_;
-    std::vector<std::unique_ptr<UopSpec>> fused_specs_;
-    std::vector<UopDyn> rob_;
+    std::vector<UopDyn> &pending_uops_;
+    std::vector<uint8_t> &pending_rename_only_;
+    size_t pending_head_ = 0;
+    std::vector<UopDyn> &rob_;
     size_t retire_head_ = 0;
     size_t retire_cursor_ = 0;
     int rs_count_ = 0;
-    std::vector<std::vector<size_t>> bound_;
-    std::vector<size_t> bound_head_;
-    std::vector<int> waiting_;
-    std::vector<int64_t> div_busy_;
-    std::vector<int> instr_uops_left_;
+    std::vector<std::vector<size_t>> &bound_;
+    std::vector<size_t> &bound_head_;
+    std::vector<int> &waiting_;
+    std::vector<int64_t> &div_busy_;
+    std::vector<int> &instr_uops_left_;
 
     PerfCounters counters_;
     RunResult result_;
@@ -590,15 +660,32 @@ class Core
 } // namespace
 
 Pipeline::Pipeline(const uarch::TimingDb &timing, SimOptions options)
-    : timing_(timing), info_(uarchInfo(timing.arch())), options_(options)
+    : timing_(timing), info_(uarchInfo(timing.arch())),
+      options_(options), scratch_(std::make_unique<PipelineScratch>())
 {
 }
+
+Pipeline::~Pipeline() = default;
 
 RunResult
 Pipeline::run(const isa::Kernel &kernel,
               const std::vector<size_t> &markers) const
 {
-    Core core(timing_, info_, options_, kernel, markers);
+    static const isa::Kernel kEmpty;
+    DecodedKernel decoded(timing_, kEmpty, kernel, kEmpty);
+    return run(decoded, 1, markers);
+}
+
+RunResult
+Pipeline::run(const DecodedKernel &decoded, int body_reps,
+              const std::vector<size_t> &markers) const
+{
+    panicIf(decoded.bodySize() > 0 && body_reps < 1,
+            "Pipeline::run: body_reps must be >= 1");
+    if (decoded.bodySize() == 0)
+        body_reps = 0;
+    Core core(timing_, info_, options_, decoded, body_reps, markers,
+              *scratch_);
     return core.run();
 }
 

@@ -27,19 +27,39 @@
  *    destination (why the tool keeps separate SSE/AVX blocking sets);
  *  - serializing instructions (pipeline drain) and in-order retirement
  *    with counter snapshots at marker instructions (Algorithm 2).
+ *
+ * Performance: run() executes either a materialized kernel or a
+ * DecodedKernel template with logical body unrolling (the measurement
+ * hot path — see sim/decoded.h). Per-run working state (reorder
+ * buffer, value tables, port queues) lives in a scratch arena owned by
+ * the Pipeline and reused across runs, so steady-state runs allocate
+ * almost nothing. Results are unaffected: every run starts from a
+ * fully reset power-on state. When no µop can dispatch, issue, or
+ * retire in a cycle, the simulated clock skips ahead to the next
+ * cycle at which a value becomes ready, the divider frees up, or the
+ * oldest µop completes — cycle-exact, since no architectural state
+ * can change in the skipped span.
+ *
+ * Thread-safety: because of the reused scratch arena, a Pipeline
+ * instance must not execute concurrent run() calls. The batch engine
+ * keeps one Pipeline (inside a Characterizer) per worker thread.
  */
 
 #ifndef UOPS_SIM_PIPELINE_H
 #define UOPS_SIM_PIPELINE_H
 
+#include <memory>
 #include <vector>
 
 #include "isa/kernel.h"
 #include "sim/counters.h"
+#include "sim/decoded.h"
 #include "uarch/timing_db.h"
 #include "uarch/uarch.h"
 
 namespace uops::sim {
+
+class PipelineScratch;
 
 /** Tuning/feature knobs (defaults follow the uarch descriptor). */
 struct SimOptions
@@ -50,6 +70,10 @@ struct SimOptions
     /** Success period of move elimination in dependent chains
      *  (1 elimination every N candidates; 0 disables elimination). */
     int mov_elim_period = 3;
+
+    /** Skip idle stretches of the simulated clock (cycle-exact; off
+     *  only for differential testing). */
+    bool skip_idle = true;
 };
 
 /** Result of simulating one kernel. */
@@ -61,14 +85,20 @@ struct RunResult
 };
 
 /**
- * The simulated core. Stateless between run() calls except for
- * configuration; each run starts from power-on register state.
+ * The simulated core. Architecturally stateless between run() calls —
+ * each run starts from power-on register state — but the working
+ * memory is reused (see the file comment), so concurrent run() calls
+ * on one instance are not allowed.
  */
 class Pipeline
 {
   public:
     explicit Pipeline(const uarch::TimingDb &timing,
                       SimOptions options = {});
+    ~Pipeline();
+
+    Pipeline(const Pipeline &) = delete;
+    Pipeline &operator=(const Pipeline &) = delete;
 
     const uarch::UArchInfo &info() const { return info_; }
 
@@ -82,10 +112,23 @@ class Pipeline
     RunResult run(const isa::Kernel &kernel,
                   const std::vector<size_t> &markers = {}) const;
 
+    /**
+     * Execute a decoded template with @p body_reps logical body
+     * copies: prologue · body × body_reps · epilogue. Produces
+     * bit-identical results to run() on the equivalent materialized
+     * kernel, without building it.
+     *
+     * @param markers Virtual-stream indices for counter snapshots.
+     */
+    RunResult run(const DecodedKernel &decoded, int body_reps,
+                  const std::vector<size_t> &markers = {}) const;
+
   private:
     const uarch::TimingDb &timing_;
     const uarch::UArchInfo &info_;
     SimOptions options_;
+    /** Reusable per-run working state (see file comment). */
+    mutable std::unique_ptr<PipelineScratch> scratch_;
 };
 
 } // namespace uops::sim

@@ -36,7 +36,8 @@ ThreadPool::submit(Task task)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         panicIf(shutdown_, "ThreadPool::submit after shutdown");
-        queues_[next_queue_].tasks.push_back(std::move(task));
+        queues_[next_queue_].tasks.push_back(
+            PendingTask{next_seq_++, std::move(task)});
         next_queue_ = (next_queue_ + 1) % queues_.size();
         ++in_flight_;
     }
@@ -55,11 +56,18 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     all_done_.wait(lock, [this] { return in_flight_ == 0; });
-    if (first_error_) {
-        std::exception_ptr error = first_error_;
-        first_error_ = nullptr;
+    if (pending_error_) {
+        std::exception_ptr error = pending_error_;
+        pending_error_ = nullptr;
         std::rethrow_exception(error);
     }
+}
+
+size_t
+ThreadPool::droppedErrors() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_errors_;
 }
 
 void
@@ -72,7 +80,7 @@ ThreadPool::parallelFor(size_t n,
 }
 
 bool
-ThreadPool::findTask(size_t worker, Task &out)
+ThreadPool::findTask(size_t worker, PendingTask &out)
 {
     // Own deque first: newest task (LIFO) for locality.
     WorkerQueue &own = queues_[worker];
@@ -94,22 +102,42 @@ ThreadPool::findTask(size_t worker, Task &out)
 }
 
 void
+ThreadPool::recordError(uint64_t seq, std::exception_ptr error)
+{
+    // Called with mutex_ held. When several workers fault in one
+    // wave, keep the exception of the earliest-*submitted* task so
+    // wait()'s rethrow does not depend on completion order; the rest
+    // are swallowed by design (the alternative — aggregating — would
+    // change wait()'s type contract) and only counted.
+    if (!pending_error_) {
+        pending_error_ = error;
+        pending_error_seq_ = seq;
+        return;
+    }
+    ++dropped_errors_;
+    if (seq < pending_error_seq_) {
+        pending_error_ = error;
+        pending_error_seq_ = seq;
+    }
+}
+
+void
 ThreadPool::workerLoop(size_t worker)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        Task task;
+        PendingTask task;
         if (findTask(worker, task)) {
             lock.unlock();
             std::exception_ptr error;
             try {
-                task(worker);
+                task.fn(worker);
             } catch (...) {
                 error = std::current_exception();
             }
             lock.lock();
-            if (error && !first_error_)
-                first_error_ = error;
+            if (error)
+                recordError(task.seq, error);
             --in_flight_;
             if (in_flight_ == 0)
                 all_done_.notify_all();

@@ -27,6 +27,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -63,11 +64,21 @@ class ThreadPool
     void submit(Task task);
 
     /**
-     * Block until every submitted task has finished. If any task
-     * threw, the first captured exception is rethrown here (the
-     * remaining tasks still run to completion first).
+     * Block until every submitted task has finished. If any tasks
+     * threw, the exception of the *earliest-submitted* faulting task
+     * is rethrown here (the remaining tasks still run to completion
+     * first). The choice is deterministic — it depends on submission
+     * order, never on which worker reported its fault first. Any
+     * further exceptions from the same wave are intentionally
+     * swallowed; droppedErrors() counts them.
      */
     void wait();
+
+    /**
+     * Total task exceptions intentionally swallowed so far because a
+     * lower-submission-order exception took precedence in wait().
+     */
+    size_t droppedErrors() const;
 
     /**
      * Run fn(i, worker) for every i in [0, n), spread over the pool,
@@ -77,15 +88,26 @@ class ThreadPool
     void parallelFor(size_t n, const std::function<void(size_t i, size_t worker)> &fn);
 
   private:
+    /** A queued task, tagged with its submission sequence number so
+     *  error reporting is deterministic under any scheduling. */
+    struct PendingTask
+    {
+        uint64_t seq = 0;
+        Task fn;
+    };
+
     struct WorkerQueue
     {
-        std::deque<Task> tasks;
+        std::deque<PendingTask> tasks;
     };
 
     void workerLoop(size_t worker);
 
     /** Pop from our own deque's back or steal from a victim's front. */
-    bool findTask(size_t worker, Task &out);
+    bool findTask(size_t worker, PendingTask &out);
+
+    /** Record a task fault; keeps the earliest-submitted exception. */
+    void recordError(uint64_t seq, std::exception_ptr error);
 
     /** wait() without rethrowing (used by the destructor). */
     void drain();
@@ -93,13 +115,18 @@ class ThreadPool
     std::vector<WorkerQueue> queues_;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable work_available_;
     std::condition_variable all_done_;
     size_t next_queue_ = 0;    ///< round-robin submission cursor
     size_t in_flight_ = 0;     ///< queued + executing tasks
     bool shutdown_ = false;
-    std::exception_ptr first_error_;  ///< first exception from a task
+    uint64_t next_seq_ = 0;    ///< submission sequence counter
+
+    /** Exception of the earliest-submitted faulting task this wave. */
+    std::exception_ptr pending_error_;
+    uint64_t pending_error_seq_ = 0;
+    size_t dropped_errors_ = 0; ///< intentionally swallowed exceptions
 };
 
 } // namespace uops

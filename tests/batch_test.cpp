@@ -92,6 +92,37 @@ TEST(ThreadPool, TaskExceptionIsRethrownFromWait)
     EXPECT_EQ(ran.load(), 9);
 }
 
+TEST(ThreadPool, MultipleFaultsRethrowEarliestSubmittedDeterministically)
+{
+    // When several tasks fault in one wave, wait() must rethrow the
+    // exception of the earliest-*submitted* task — not whichever
+    // worker happened to report first — and count the intentionally
+    // swallowed remainder. Repeat to shake out scheduling orders.
+    for (int round = 0; round < 20; ++round) {
+        ThreadPool pool(4);
+        for (int i = 0; i < 16; ++i) {
+            pool.submit([i](size_t) {
+                if (i % 2 == 1)
+                    throw std::runtime_error("task " +
+                                             std::to_string(i));
+            });
+        }
+        try {
+            pool.wait();
+            FAIL() << "wait() must rethrow";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "task 1");
+        }
+        // 8 tasks threw; one was rethrown, 7 swallowed by design.
+        EXPECT_EQ(pool.droppedErrors(), 7u);
+        // The error state is consumed: a later wave is clean.
+        std::atomic<int> ran{0};
+        pool.submit([&](size_t) { ++ran; });
+        pool.wait();
+        EXPECT_EQ(ran.load(), 1);
+    }
+}
+
 TEST(ThreadPool, SingleWorkerRunsAllTasksWithoutRaces)
 {
     ThreadPool pool(1);
