@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Benchmarks for the serving subsystem: database point lookups,
+ * port-mask columnar scans, and /predict through the query service
+ * with a cold vs. warm response cache.
+ *
+ * The database is built once from a standard two-uarch sweep slice
+ * (the same `id % 4 == 0` slice the batch-sweep scaling study uses),
+ * so numbers are comparable across PRs.
+ *
+ * Machine-readable mode for perf tracking (BENCH_db.json):
+ *
+ *     bench_db_query --json <path>
+ *
+ * writes one record {name, iterations, wall_ms, ops_per_s} per
+ * benchmark, skipping the google-benchmark harness.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "bench_util.h"
+#include "core/batch.h"
+#include "db/snapshot.h"
+#include "server/service.h"
+
+namespace uops::bench {
+namespace {
+
+const db::InstructionDatabase &
+sliceDb()
+{
+    static const db::InstructionDatabase *database = [] {
+        core::BatchOptions options;
+        // The scaling-study slice, plus every ADD/IMUL variant so the
+        // /predict benchmark kernel is guaranteed to be present.
+        options.characterizer.filter = [](const isa::InstrVariant &v) {
+            return v.id() % 4 == 0 || v.mnemonic() == "ADD" ||
+                   v.mnemonic() == "IMUL";
+        };
+        auto report = core::runBatchSweep(
+            db(), {uarch::UArch::Nehalem, uarch::UArch::Skylake},
+            options);
+        auto *built = new db::InstructionDatabase();
+        built->ingest(report);
+        return built;
+    }();
+    return *database;
+}
+
+/** Names of every Skylake record (lookup working set). */
+const std::vector<std::string> &
+skylakeNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        db::Query query;
+        query.arch = uarch::UArch::Skylake;
+        for (uint32_t row : sliceDb().search(query))
+            out.emplace_back(sliceDb().record(row).name());
+        return out;
+    }();
+    return names;
+}
+
+server::HttpRequest
+predictRequest(size_t salt)
+{
+    // A distinct dummy parameter defeats the response cache (the key
+    // is the raw target), while the handler ignores it — this is the
+    // cold-cache workload.
+    server::HttpRequest request;
+    request.method = "GET";
+    request.target = "/predict?uarch=SKL&asm=ADD RAX, RBX;IMUL RCX, "
+                     "RAX&salt=" +
+                     std::to_string(salt);
+    request.path = "/predict";
+    request.query["uarch"] = "SKL";
+    request.query["asm"] = "ADD RAX, RBX;IMUL RCX, RAX";
+    request.query["salt"] = std::to_string(salt);
+    return request;
+}
+
+// ---------------------------------------------------------------------
+// google-benchmark harness
+// ---------------------------------------------------------------------
+
+void
+BM_PointLookup(benchmark::State &state)
+{
+    const auto &database = sliceDb();
+    const auto &names = skylakeNames();
+    size_t i = 0;
+    for (auto _ : state) {
+        auto row = database.find(uarch::UArch::Skylake,
+                                 names[i++ % names.size()]);
+        benchmark::DoNotOptimize(
+            database.record(*row).tpMeasured());
+    }
+}
+BENCHMARK(BM_PointLookup);
+
+void
+BM_PortMaskScan(benchmark::State &state)
+{
+    const auto &database = sliceDb();
+    db::Query query;
+    query.arch = uarch::UArch::Skylake;
+    query.uses_ports = uarch::portMask({0, 5});
+    for (auto _ : state) {
+        auto rows = database.search(query);
+        benchmark::DoNotOptimize(rows.size());
+    }
+}
+BENCHMARK(BM_PortMaskScan);
+
+void
+BM_PredictUncached(benchmark::State &state)
+{
+    server::QueryService service(sliceDb(), db());
+    size_t salt = 0;
+    for (auto _ : state) {
+        auto response = service.handle(predictRequest(salt++));
+        benchmark::DoNotOptimize(response.body.size());
+    }
+}
+BENCHMARK(BM_PredictUncached)->Unit(benchmark::kMicrosecond);
+
+void
+BM_PredictCached(benchmark::State &state)
+{
+    server::QueryService service(sliceDb(), db());
+    server::HttpRequest request = predictRequest(0);
+    service.handle(request);   // warm the cache
+    for (auto _ : state) {
+        auto response = service.handle(request);
+        benchmark::DoNotOptimize(response.body.size());
+    }
+}
+BENCHMARK(BM_PredictCached)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------
+// --json mode
+// ---------------------------------------------------------------------
+
+struct JsonRun
+{
+    const char *name;
+    size_t iterations;
+    double wall_ms;
+    double ops_per_s;
+};
+
+template <typename Fn>
+JsonRun
+timedLoop(const char *name, size_t iterations, Fn &&fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < iterations; ++i)
+        fn(i);
+    auto t1 = std::chrono::steady_clock::now();
+    JsonRun run;
+    run.name = name;
+    run.iterations = iterations;
+    run.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    run.ops_per_s = run.wall_ms > 0.0
+                        ? 1000.0 * static_cast<double>(iterations) /
+                              run.wall_ms
+                        : 0.0;
+    return run;
+}
+
+int
+jsonMode(const std::string &path)
+{
+    const auto &database = sliceDb();
+    const auto &names = skylakeNames();
+
+    std::vector<JsonRun> runs;
+    runs.push_back(timedLoop("point_lookup", 200000, [&](size_t i) {
+        auto row = database.find(uarch::UArch::Skylake,
+                                 names[i % names.size()]);
+        benchmark::DoNotOptimize(
+            database.record(*row).tpMeasured());
+    }));
+
+    db::Query query;
+    query.arch = uarch::UArch::Skylake;
+    query.uses_ports = uarch::portMask({0, 5});
+    runs.push_back(timedLoop("port_mask_scan", 20000, [&](size_t) {
+        auto rows = database.search(query);
+        benchmark::DoNotOptimize(rows.size());
+    }));
+
+    {
+        server::QueryService service(database, db());
+        runs.push_back(
+            timedLoop("predict_uncached", 2000, [&](size_t i) {
+                auto response = service.handle(predictRequest(i));
+                benchmark::DoNotOptimize(response.body.size());
+            }));
+    }
+    {
+        server::QueryService service(database, db());
+        server::HttpRequest request = predictRequest(0);
+        service.handle(request);
+        runs.push_back(
+            timedLoop("predict_cached", 200000, [&](size_t) {
+                auto response = service.handle(request);
+                benchmark::DoNotOptimize(response.body.size());
+            }));
+    }
+
+    std::string out = "{\n  \"benchmark\": \"bench_db_query\",\n";
+    out += "  \"records\": " + std::to_string(database.numRecords()) +
+           ",\n  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        char buf[200];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"name\": \"%s\", \"iterations\": %zu, "
+                      "\"wall_ms\": %.1f, \"ops_per_s\": %.0f}%s\n",
+                      runs[i].name, runs[i].iterations,
+                      runs[i].wall_ms, runs[i].ops_per_s,
+                      i + 1 < runs.size() ? "," : "");
+        out += buf;
+        std::printf("%s", buf);
+    }
+    out += "  ]\n}\n";
+
+    std::ofstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    file << out;
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+} // namespace
+} // namespace uops::bench
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: --json requires a path\n");
+                return 1;
+            }
+            return uops::bench::jsonMode(argv[i + 1]);
+        }
+    }
+    uops::bench::header(
+        "Serving-layer query benchmarks (2-uarch sweep slice)");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * uopsq — the end-to-end driver for the results-serving subsystem:
+ * characterize → snapshot → serve → query.
+ *
+ * Subcommands:
+ *
+ *   uopsq characterize --out DB.snap [--arches NHM,SKL] [--threads N]
+ *                      [--mod N] [--xml RESULTS.xml]
+ *       Run the batch sweep, ingest the results into an
+ *       InstructionDatabase and save a binary snapshot (optionally
+ *       also writing the Section 6.4 XML artifact).
+ *
+ *   uopsq ingest RESULTS.xml --out DB.snap
+ *       Re-ingest a previously exported results XML (uopsInfo or
+ *       uopsBatch root) into a snapshot — the XML ingest path.
+ *
+ *   uopsq info DB.snap
+ *       Print record counts per microarchitecture.
+ *
+ *   uopsq query DB.snap [--uarch SKL] [--name N] [--mnemonic M]
+ *                       [--extension E] [--uses p05] [--tp-min X]
+ *                       [--tp-max X] [--lat-min N] [--lat-max N]
+ *                       [--limit N]
+ *       Indexed search; prints one line per matching record.
+ *
+ *   uopsq diff DB.snap ARCH_A ARCH_B
+ *       Cross-uarch comparison of shared variants.
+ *
+ *   uopsq serve DB.snap [--port P] [--address A] [--threads N]
+ *       Start the HTTP/1.1 JSON API (port 0 picks an ephemeral port;
+ *       the chosen port is printed). Runs until killed.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/batch.h"
+#include "db/snapshot.h"
+#include "isa/parser.h"
+#include "isa/results_xml.h"
+#include "server/http_server.h"
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace uops;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: uopsq characterize --out DB [--arches A,B] [--threads N]"
+        " [--mod N] [--xml OUT]\n"
+        "       uopsq ingest RESULTS.xml --out DB\n"
+        "       uopsq info DB\n"
+        "       uopsq query DB [filters...]\n"
+        "       uopsq diff DB ARCH_A ARCH_B\n"
+        "       uopsq serve DB [--port P] [--address A] [--threads N]\n");
+    std::exit(1);
+}
+
+/** Flag parser: positionals plus --key value options. */
+struct Args
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> options;
+
+    const std::string *
+    option(const std::string &key) const
+    {
+        auto it = options.find(key);
+        return it == options.end() ? nullptr : &it->second;
+    }
+
+    long
+    intOption(const std::string &key, long fallback) const
+    {
+        const std::string *text = option(key);
+        if (text == nullptr)
+            return fallback;
+        auto value = parseInt(*text);
+        fatalIf(!value, "option --", key, " expects an integer, got '",
+                *text, "'");
+        return *value;
+    }
+};
+
+Args
+parseArgs(int argc, char **argv, int from)
+{
+    Args args;
+    for (int i = from; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--")) {
+            fatalIf(i + 1 >= argc, "option ", arg, " requires a value");
+            args.options[arg.substr(2)] = argv[++i];
+        } else {
+            args.positional.push_back(arg);
+        }
+    }
+    return args;
+}
+
+std::vector<uarch::UArch>
+parseArches(const std::string &list)
+{
+    std::vector<uarch::UArch> out;
+    for (const std::string &name : split(list, ','))
+        out.push_back(uarch::parseUArch(name));
+    fatalIf(out.empty(), "empty uarch list");
+    return out;
+}
+
+int
+cmdCharacterize(const Args &args)
+{
+    const std::string *out_path = args.option("out");
+    fatalIf(out_path == nullptr, "characterize: --out is required");
+
+    std::vector<uarch::UArch> arches =
+        args.option("arches") ? parseArches(*args.option("arches"))
+                              : std::vector<uarch::UArch>{
+                                    uarch::UArch::Nehalem,
+                                    uarch::UArch::Skylake};
+
+    core::BatchOptions options;
+    options.num_threads =
+        static_cast<size_t>(args.intOption("threads", 0));
+    long mod = args.intOption("mod", 1);
+    fatalIf(mod < 1, "--mod must be >= 1");
+    if (mod > 1)
+        options.characterizer.filter =
+            [mod](const isa::InstrVariant &v) {
+                return v.id() % mod == 0;
+            };
+
+    auto instrs = isa::buildDefaultDb();
+    std::printf("characterizing %zu uarches (mod %ld)...\n",
+                arches.size(), mod);
+    core::CharacterizationReport report =
+        core::runBatchSweep(*instrs, arches, options);
+    std::printf("%zu tasks, %zu failed\n", report.numTasks(),
+                report.numFailed());
+
+    if (const std::string *xml_path = args.option("xml")) {
+        std::ofstream xml(*xml_path);
+        xml << report.toXmlString();
+        fatalIf(!xml, "cannot write ", *xml_path);
+        std::printf("wrote %s\n", xml_path->c_str());
+    }
+
+    db::InstructionDatabase database;
+    database.ingest(report);
+    db::saveSnapshotFile(database, *out_path);
+    std::printf("wrote %s (%zu records, %zu uarches)\n",
+                out_path->c_str(), database.numRecords(),
+                database.uarches().size());
+    return 0;
+}
+
+int
+cmdIngest(const Args &args)
+{
+    fatalIf(args.positional.size() != 1,
+            "ingest: expected exactly one RESULTS.xml");
+    const std::string *out_path = args.option("out");
+    fatalIf(out_path == nullptr, "ingest: --out is required");
+
+    std::ifstream in(args.positional[0]);
+    fatalIf(!in, "cannot open ", args.positional[0]);
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    auto instrs = isa::buildDefaultDb();
+    isa::ResultsDoc doc = isa::parseResultsXml(text.str());
+    db::InstructionDatabase database;
+    database.ingestResults(doc, instrs.get());
+    db::saveSnapshotFile(database, *out_path);
+    std::printf("wrote %s (%zu records from %zu uarches)\n",
+                out_path->c_str(), database.numRecords(),
+                doc.uarches.size());
+    return 0;
+}
+
+int
+cmdInfo(const Args &args)
+{
+    fatalIf(args.positional.size() != 1, "info: expected DB path");
+    auto database = db::loadSnapshotFile(args.positional[0]);
+    std::printf("%zu records\n", database->numRecords());
+    for (uarch::UArch arch : database->uarches())
+        std::printf("  %-4s %5zu records\n",
+                    uarch::uarchShortName(arch).c_str(),
+                    database->numRecords(arch));
+    return 0;
+}
+
+int
+cmdQuery(const Args &args)
+{
+    fatalIf(args.positional.size() != 1, "query: expected DB path");
+    auto database = db::loadSnapshotFile(args.positional[0]);
+
+    db::Query query;
+    if (const std::string *v = args.option("uarch"))
+        query.arch = uarch::parseUArch(*v);
+    if (const std::string *v = args.option("name"))
+        query.name = *v;
+    if (const std::string *v = args.option("mnemonic"))
+        query.mnemonic = *v;
+    if (const std::string *v = args.option("extension"))
+        query.extension = *v;
+    if (const std::string *v = args.option("uses"))
+        query.uses_ports = uarch::parsePortMask(*v);
+    if (const std::string *v = args.option("tp-min")) {
+        query.tp_min = parseDouble(*v);
+        fatalIf(!query.tp_min, "option --tp-min expects a number, "
+                               "got '", *v, "'");
+    }
+    if (const std::string *v = args.option("tp-max")) {
+        query.tp_max = parseDouble(*v);
+        fatalIf(!query.tp_max, "option --tp-max expects a number, "
+                               "got '", *v, "'");
+    }
+    query.lat_min = args.option("lat-min")
+                        ? std::optional<int>(static_cast<int>(
+                              args.intOption("lat-min", 0)))
+                        : std::nullopt;
+    query.lat_max = args.option("lat-max")
+                        ? std::optional<int>(static_cast<int>(
+                              args.intOption("lat-max", 0)))
+                        : std::nullopt;
+    query.limit =
+        static_cast<size_t>(args.intOption("limit", 1 << 20));
+
+    std::vector<uint32_t> rows = database->search(query);
+    std::printf("%zu match(es)\n", rows.size());
+    for (uint32_t row : rows) {
+        db::RecordView rec = database->record(row);
+        std::printf("  %-4s %-24s %-6s tp=%-6s lat<=%-3d %s\n",
+                    uarch::uarchShortName(rec.arch()).c_str(),
+                    std::string(rec.name()).c_str(),
+                    std::string(rec.extension()).c_str(),
+                    xmlFormatDouble(rec.tpMeasured()).c_str(),
+                    rec.maxLatency(),
+                    rec.portUsage().toString().c_str());
+    }
+    return 0;
+}
+
+int
+cmdDiff(const Args &args)
+{
+    fatalIf(args.positional.size() != 3,
+            "diff: expected DB ARCH_A ARCH_B");
+    auto database = db::loadSnapshotFile(args.positional[0]);
+    uarch::UArch a = uarch::parseUArch(args.positional[1]);
+    uarch::UArch b = uarch::parseUArch(args.positional[2]);
+
+    db::DiffResult diff = database->diff(a, b);
+    std::printf("%zu shared variants, %zu changed, %zu only-%s, "
+                "%zu only-%s\n",
+                diff.common, diff.changed.size(), diff.only_a.size(),
+                args.positional[1].c_str(), diff.only_b.size(),
+                args.positional[2].c_str());
+    for (const db::DiffEntry &entry : diff.changed) {
+        db::RecordView rec_a = database->record(entry.row_a);
+        db::RecordView rec_b = database->record(entry.row_b);
+        std::printf("  %-24s", std::string(rec_a.name()).c_str());
+        if (entry.tp_differs)
+            std::printf("  tp %s -> %s",
+                        xmlFormatDouble(rec_a.tpMeasured()).c_str(),
+                        xmlFormatDouble(rec_b.tpMeasured()).c_str());
+        if (entry.ports_differ)
+            std::printf("  ports %s -> %s",
+                        rec_a.portUsage().toString().c_str(),
+                        rec_b.portUsage().toString().c_str());
+        if (entry.latency_differs)
+            std::printf("  latency differs");
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdServe(const Args &args)
+{
+    fatalIf(args.positional.size() != 1, "serve: expected DB path");
+    auto database = db::loadSnapshotFile(args.positional[0]);
+    auto instrs = isa::buildDefaultDb();
+
+    server::QueryService service(*database, *instrs);
+    server::HttpServer::Options options;
+    options.port =
+        static_cast<uint16_t>(args.intOption("port", 0));
+    if (const std::string *address = args.option("address"))
+        options.bind_address = *address;
+    options.num_threads =
+        static_cast<size_t>(args.intOption("threads", 0));
+
+    server::HttpServer http(service, options);
+    http.start();
+    std::printf("serving %zu records on http://%s:%u/\n",
+                database->numRecords(), options.bind_address.c_str(),
+                http.port());
+    std::printf("endpoints: /healthz /uarchs /instr/{name} /search "
+                "/diff /predict /stats\n");
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!g_stop && http.running())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    http.stop();
+    std::printf("stopped\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    if (argc < 2)
+        usage();
+    std::string command = argv[1];
+    Args args = parseArgs(argc, argv, 2);
+
+    if (command == "characterize")
+        return cmdCharacterize(args);
+    if (command == "ingest")
+        return cmdIngest(args);
+    if (command == "info")
+        return cmdInfo(args);
+    if (command == "query")
+        return cmdQuery(args);
+    if (command == "diff")
+        return cmdDiff(args);
+    if (command == "serve")
+        return cmdServe(args);
+    usage();
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+}

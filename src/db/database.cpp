@@ -1,0 +1,629 @@
+#include "database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/stats.h"
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace uops::db {
+
+double
+canonicalCycles(double value)
+{
+    auto parsed = parseDouble(xmlFormatDouble(roundCycles(value)));
+    panicIf(!parsed, "canonicalCycles: unparsable text form");
+    return *parsed;
+}
+
+namespace {
+
+/**
+ * maxLatency over canonical pairs. Delegates to
+ * core::LatencyResult::maxLatency so the column always agrees with
+ * what the predictor computes from a reconstructed set.
+ */
+uint16_t
+maxLatencyOf(const std::vector<isa::ResultLatency> &lats,
+             const std::optional<double> &store_rt)
+{
+    core::LatencyResult result;
+    for (const auto &p : lats) {
+        core::LatencyPair pair;
+        pair.cycles = p.cycles;
+        pair.slow_cycles = p.slow_cycles;
+        result.pairs.push_back(pair);
+    }
+    result.store_roundtrip = store_rt;
+    return static_cast<uint16_t>(result.maxLatency());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// RecordView
+// ---------------------------------------------------------------------
+
+uarch::UArch
+RecordView::arch() const
+{
+    return static_cast<uarch::UArch>(db_->arch_[row_]);
+}
+
+std::string_view
+RecordView::name() const
+{
+    return db_->str(db_->name_[row_]);
+}
+
+std::string_view
+RecordView::mnemonic() const
+{
+    return db_->str(db_->mnemonic_[row_]);
+}
+
+std::string_view
+RecordView::extension() const
+{
+    return db_->str(db_->ext_[row_]);
+}
+
+uarch::PortUsage
+RecordView::portUsage() const
+{
+    uarch::PortUsage usage;
+    uint32_t off = db_->ports_off_[row_];
+    for (uint16_t i = 0; i < db_->ports_n_[row_]; ++i)
+        usage.entries.emplace_back(db_->pu_mask_[off + i],
+                                   db_->pu_count_[off + i]);
+    return usage;
+}
+
+uarch::PortMask
+RecordView::portUnion() const
+{
+    return db_->port_union_[row_];
+}
+
+int
+RecordView::uopCount() const
+{
+    return db_->uop_count_[row_];
+}
+
+int
+RecordView::maxLatency() const
+{
+    return db_->max_latency_[row_];
+}
+
+double
+RecordView::tpMeasured() const
+{
+    return db_->tp_measured_[row_];
+}
+
+std::optional<double>
+RecordView::tpWithBreakers() const
+{
+    if (!(db_->flags_[row_] & kHasTpBreakers))
+        return std::nullopt;
+    return db_->tp_breakers_[row_];
+}
+
+std::optional<double>
+RecordView::tpSlow() const
+{
+    if (!(db_->flags_[row_] & kHasTpSlow))
+        return std::nullopt;
+    return db_->tp_slow_[row_];
+}
+
+std::optional<double>
+RecordView::tpFromPorts() const
+{
+    if (!(db_->flags_[row_] & kHasTpPorts))
+        return std::nullopt;
+    return db_->tp_ports_[row_];
+}
+
+std::vector<isa::ResultLatency>
+RecordView::latencies() const
+{
+    std::vector<isa::ResultLatency> out;
+    uint32_t off = db_->lat_off_[row_];
+    for (uint16_t i = 0; i < db_->lat_n_[row_]; ++i) {
+        isa::ResultLatency pair;
+        pair.src_op = db_->lat_src_[off + i];
+        pair.dst_op = db_->lat_dst_[off + i];
+        pair.cycles = db_->lat_cycles_[off + i];
+        pair.upper_bound =
+            (db_->lat_flags_[off + i] & kLatUpperBound) != 0;
+        if (db_->lat_flags_[off + i] & kLatHasSlow)
+            pair.slow_cycles = db_->lat_slow_[off + i];
+        out.push_back(pair);
+    }
+    return out;
+}
+
+std::optional<double>
+RecordView::sameRegCycles() const
+{
+    if (!(db_->flags_[row_] & kHasSameReg))
+        return std::nullopt;
+    return db_->same_reg_[row_];
+}
+
+std::optional<double>
+RecordView::storeRoundTrip() const
+{
+    if (!(db_->flags_[row_] & kHasStoreRt))
+        return std::nullopt;
+    return db_->store_rt_[row_];
+}
+
+// ---------------------------------------------------------------------
+// Ingestion
+// ---------------------------------------------------------------------
+
+uint32_t
+InstructionDatabase::intern(std::string_view s)
+{
+    auto it = intern_map_.find(s);
+    if (it != intern_map_.end())
+        return it->second;
+    uint32_t id = static_cast<uint32_t>(str_off_.size());
+    str_off_.push_back(static_cast<uint32_t>(pool_.size()));
+    str_len_.push_back(static_cast<uint32_t>(s.size()));
+    pool_.append(s);
+    intern_map_.emplace(std::string(s), id);
+    return id;
+}
+
+std::string_view
+InstructionDatabase::str(uint32_t id) const
+{
+    panicIf(id >= str_off_.size(), "db: bad string id ", id);
+    return std::string_view(pool_).substr(str_off_[id], str_len_[id]);
+}
+
+void
+InstructionDatabase::append(const Canonical &rec)
+{
+    arch_.push_back(rec.arch);
+    name_.push_back(intern(rec.name));
+    mnemonic_.push_back(intern(rec.mnemonic));
+    ext_.push_back(intern(rec.extension));
+
+    uarch::PortMask union_mask = 0;
+    for (const auto &[mask, count] : rec.usage.entries)
+        union_mask |= mask;
+    port_union_.push_back(union_mask);
+    uop_count_.push_back(
+        static_cast<uint16_t>(rec.usage.totalUops()));
+    max_latency_.push_back(maxLatencyOf(rec.lats, rec.store_rt));
+
+    uint8_t flags = 0;
+    if (rec.tp_breakers)
+        flags |= kHasTpBreakers;
+    if (rec.tp_slow)
+        flags |= kHasTpSlow;
+    if (rec.tp_ports)
+        flags |= kHasTpPorts;
+    if (rec.same_reg)
+        flags |= kHasSameReg;
+    if (rec.store_rt)
+        flags |= kHasStoreRt;
+    flags_.push_back(flags);
+
+    tp_measured_.push_back(rec.tp_measured);
+    tp_breakers_.push_back(rec.tp_breakers.value_or(0.0));
+    tp_slow_.push_back(rec.tp_slow.value_or(0.0));
+    tp_ports_.push_back(rec.tp_ports.value_or(0.0));
+    same_reg_.push_back(rec.same_reg.value_or(0.0));
+    store_rt_.push_back(rec.store_rt.value_or(0.0));
+
+    ports_off_.push_back(static_cast<uint32_t>(pu_mask_.size()));
+    ports_n_.push_back(static_cast<uint16_t>(rec.usage.entries.size()));
+    for (const auto &[mask, count] : rec.usage.entries) {
+        pu_mask_.push_back(mask);
+        pu_count_.push_back(static_cast<uint16_t>(count));
+    }
+
+    lat_off_.push_back(static_cast<uint32_t>(lat_src_.size()));
+    lat_n_.push_back(static_cast<uint16_t>(rec.lats.size()));
+    for (const auto &pair : rec.lats) {
+        lat_src_.push_back(static_cast<int16_t>(pair.src_op));
+        lat_dst_.push_back(static_cast<int16_t>(pair.dst_op));
+        uint8_t lf = 0;
+        if (pair.upper_bound)
+            lf |= kLatUpperBound;
+        if (pair.slow_cycles)
+            lf |= kLatHasSlow;
+        lat_flags_.push_back(lf);
+        lat_cycles_.push_back(pair.cycles);
+        lat_slow_.push_back(pair.slow_cycles.value_or(0.0));
+    }
+}
+
+void
+InstructionDatabase::appendSet(const core::CharacterizationSet &set)
+{
+    for (const core::InstrCharacterization &c : set.instrs) {
+        Canonical rec;
+        rec.arch = static_cast<uint8_t>(set.arch);
+        rec.name = c.variant->name();
+        rec.mnemonic = c.variant->mnemonic();
+        rec.extension = isa::extensionName(c.variant->extension());
+        rec.usage = c.ports.usage;
+        rec.tp_measured = canonicalCycles(c.throughput.measured);
+        if (c.throughput.with_breakers)
+            rec.tp_breakers =
+                canonicalCycles(*c.throughput.with_breakers);
+        if (c.throughput.slow_measured)
+            rec.tp_slow = canonicalCycles(*c.throughput.slow_measured);
+        if (c.tp_ports)
+            rec.tp_ports = canonicalCycles(*c.tp_ports);
+        for (const core::LatencyPair &p : c.latency.pairs) {
+            isa::ResultLatency lat;
+            lat.src_op = p.src_op;
+            lat.dst_op = p.dst_op;
+            lat.cycles = canonicalCycles(p.cycles);
+            lat.upper_bound = p.upper_bound;
+            if (p.slow_cycles)
+                lat.slow_cycles = canonicalCycles(*p.slow_cycles);
+            rec.lats.push_back(lat);
+        }
+        if (c.latency.same_reg_cycles)
+            rec.same_reg =
+                canonicalCycles(*c.latency.same_reg_cycles);
+        if (c.latency.store_roundtrip)
+            rec.store_rt =
+                canonicalCycles(*c.latency.store_roundtrip);
+        append(rec);
+    }
+}
+
+void
+InstructionDatabase::ingest(const core::CharacterizationSet &set)
+{
+    appendSet(set);
+    rebuildIndexes();
+}
+
+void
+InstructionDatabase::ingest(const core::CharacterizationReport &report)
+{
+    for (const core::UArchReport &r : report.uarches)
+        appendSet(r.toSet());
+    rebuildIndexes();
+}
+
+void
+InstructionDatabase::ingestResults(const isa::ResultsDoc &doc,
+                                   const isa::InstrDb *resolve)
+{
+    for (const isa::UArchResults &ua : doc.uarches) {
+        uarch::UArch arch = uarch::parseUArch(ua.architecture);
+        for (const isa::InstrResult &r : ua.instrs) {
+            Canonical rec;
+            rec.arch = static_cast<uint8_t>(arch);
+            rec.name = r.name;
+            rec.mnemonic = r.mnemonic;
+            const isa::InstrVariant *variant =
+                resolve ? resolve->byName(r.name) : nullptr;
+            rec.extension =
+                variant ? isa::extensionName(variant->extension())
+                        : std::string("?");
+            rec.usage = uarch::PortUsage::fromString(r.ports);
+            // Re-canonicalize: a no-op for our own exports (the text
+            // form is already canonical), but it keeps the stored-
+            // values invariant for foreign or hand-edited documents
+            // carrying more precision than the writer emits.
+            auto canon = [](std::optional<double> v) {
+                return v ? std::optional<double>(canonicalCycles(*v))
+                         : std::nullopt;
+            };
+            rec.tp_measured = canonicalCycles(r.tp_measured);
+            rec.tp_breakers = canon(r.tp_with_breakers);
+            rec.tp_slow = canon(r.tp_slow);
+            rec.tp_ports = canon(r.tp_from_ports);
+            rec.lats = r.latencies;
+            for (isa::ResultLatency &lat : rec.lats) {
+                lat.cycles = canonicalCycles(lat.cycles);
+                lat.slow_cycles = canon(lat.slow_cycles);
+            }
+            rec.same_reg = canon(r.same_reg_cycles);
+            rec.store_rt = canon(r.store_roundtrip);
+            append(rec);
+        }
+    }
+    rebuildIndexes();
+}
+
+// ---------------------------------------------------------------------
+// Indexes
+// ---------------------------------------------------------------------
+
+void
+InstructionDatabase::rebuildIndexes()
+{
+    by_name_arch_.clear();
+    by_mnemonic_.clear();
+    by_extension_.clear();
+    const uint32_t n = static_cast<uint32_t>(arch_.size());
+    for (uint32_t row = 0; row < n; ++row) {
+        auto key = std::make_pair(str(name_[row]), arch_[row]);
+        auto [it, inserted] = by_name_arch_.emplace(key, row);
+        fatalIf(!inserted, "db: duplicate record for ",
+                uarch::uarchShortName(
+                    static_cast<uarch::UArch>(arch_[row])),
+                "/", std::string(str(name_[row])));
+        by_mnemonic_[str(mnemonic_[row])].push_back(row);
+        by_extension_[str(ext_[row])].push_back(row);
+    }
+
+    auto fill_order = [n](std::vector<uint32_t> &order, auto key_fn) {
+        order.resize(n);
+        for (uint32_t i = 0; i < n; ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](uint32_t a, uint32_t b) {
+                             return key_fn(a) < key_fn(b);
+                         });
+    };
+    fill_order(tp_order_,
+               [this](uint32_t row) { return tp_measured_[row]; });
+    fill_order(lat_order_, [this](uint32_t row) {
+        return static_cast<double>(max_latency_[row]);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------
+
+std::vector<uarch::UArch>
+InstructionDatabase::uarches() const
+{
+    std::vector<bool> seen(256, false);
+    for (uint8_t a : arch_)
+        seen[a] = true;
+    std::vector<uarch::UArch> out;
+    for (uarch::UArch arch : uarch::allUArches())
+        if (seen[static_cast<uint8_t>(arch)])
+            out.push_back(arch);
+    return out;
+}
+
+size_t
+InstructionDatabase::numRecords(uarch::UArch arch) const
+{
+    size_t n = 0;
+    for (uint8_t a : arch_)
+        if (a == static_cast<uint8_t>(arch))
+            ++n;
+    return n;
+}
+
+std::optional<uint32_t>
+InstructionDatabase::find(uarch::UArch arch, std::string_view name) const
+{
+    auto it = by_name_arch_.find(
+        std::make_pair(name, static_cast<uint8_t>(arch)));
+    if (it == by_name_arch_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::vector<uint32_t>
+InstructionDatabase::findByName(std::string_view name) const
+{
+    std::vector<uint32_t> out;
+    for (auto it = by_name_arch_.lower_bound(
+             std::make_pair(name, uint8_t{0}));
+         it != by_name_arch_.end() && it->first.first == name; ++it)
+        out.push_back(it->second);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<uint32_t>
+InstructionDatabase::search(const Query &query) const
+{
+    // Pick the most selective pre-index, then apply the remaining
+    // predicates as a columnar scan over the candidate rows.
+    std::vector<uint32_t> candidates;
+    bool have_candidates = false;
+
+    auto narrow = [&](const std::vector<uint32_t> &rows) {
+        if (!have_candidates) {
+            candidates = rows;
+            have_candidates = true;
+            return;
+        }
+        std::vector<uint32_t> merged;
+        std::set_intersection(candidates.begin(), candidates.end(),
+                              rows.begin(), rows.end(),
+                              std::back_inserter(merged));
+        candidates = std::move(merged);
+    };
+
+    if (query.name) {
+        narrow(findByName(*query.name));
+    }
+    if (query.mnemonic) {
+        auto it = by_mnemonic_.find(std::string_view(*query.mnemonic));
+        narrow(it != by_mnemonic_.end() ? it->second
+                                        : std::vector<uint32_t>{});
+    }
+    if (query.extension) {
+        auto it = by_extension_.find(std::string_view(*query.extension));
+        narrow(it != by_extension_.end() ? it->second
+                                         : std::vector<uint32_t>{});
+    }
+    // Range scans over a sorted order index (throughput preferred,
+    // then max latency) when no name/mnemonic/extension narrowed the
+    // candidates already.
+    auto range_scan = [this, &narrow](const std::vector<uint32_t>
+                                          &order,
+                                      auto key_fn, double lo,
+                                      double hi) {
+        auto begin = std::lower_bound(
+            order.begin(), order.end(), lo,
+            [&](uint32_t row, double v) { return key_fn(row) < v; });
+        auto end = std::upper_bound(
+            order.begin(), order.end(), hi,
+            [&](double v, uint32_t row) { return v < key_fn(row); });
+        std::vector<uint32_t> rows(begin, end);
+        std::sort(rows.begin(), rows.end());
+        narrow(rows);
+    };
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    if (!have_candidates && (query.tp_min || query.tp_max)) {
+        range_scan(
+            tp_order_,
+            [this](uint32_t row) { return tp_measured_[row]; },
+            query.tp_min.value_or(-kInf), query.tp_max.value_or(kInf));
+    }
+    if (!have_candidates && (query.lat_min || query.lat_max)) {
+        range_scan(
+            lat_order_,
+            [this](uint32_t row) {
+                return static_cast<double>(max_latency_[row]);
+            },
+            query.lat_min ? static_cast<double>(*query.lat_min)
+                          : -kInf,
+            query.lat_max ? static_cast<double>(*query.lat_max)
+                          : kInf);
+    }
+    if (!have_candidates) {
+        candidates.resize(arch_.size());
+        for (uint32_t i = 0; i < candidates.size(); ++i)
+            candidates[i] = i;
+    }
+
+    std::vector<uint32_t> out;
+    for (uint32_t row : candidates) {
+        if (out.size() >= query.limit)
+            break;
+        if (query.arch &&
+            arch_[row] != static_cast<uint8_t>(*query.arch))
+            continue;
+        if (query.uses_ports &&
+            (port_union_[row] & query.uses_ports) != query.uses_ports)
+            continue;
+        if (query.tp_min && tp_measured_[row] < *query.tp_min)
+            continue;
+        if (query.tp_max && tp_measured_[row] > *query.tp_max)
+            continue;
+        if (query.lat_min && max_latency_[row] < *query.lat_min)
+            continue;
+        if (query.lat_max && max_latency_[row] > *query.lat_max)
+            continue;
+        out.push_back(row);
+    }
+    return out;
+}
+
+DiffResult
+InstructionDatabase::diff(uarch::UArch a, uarch::UArch b) const
+{
+    DiffResult out;
+    const uint8_t arch_a = static_cast<uint8_t>(a);
+    const uint8_t arch_b = static_cast<uint8_t>(b);
+
+    // One ordered walk: the index groups rows of the same variant
+    // name together, so each group yields at most one (row_a, row_b)
+    // pairing.
+    for (auto it = by_name_arch_.begin(); it != by_name_arch_.end();) {
+        std::string_view name = it->first.first;
+        std::optional<uint32_t> row_a, row_b;
+        for (; it != by_name_arch_.end() && it->first.first == name;
+             ++it) {
+            if (it->first.second == arch_a)
+                row_a = it->second;
+            if (it->first.second == arch_b)
+                row_b = it->second;
+        }
+        if (row_a && !row_b) {
+            out.only_a.emplace_back(name);
+            continue;
+        }
+        if (!row_a && row_b) {
+            out.only_b.emplace_back(name);
+            continue;
+        }
+        if (!row_a)
+            continue;
+        ++out.common;
+
+        DiffEntry entry;
+        entry.row_a = *row_a;
+        entry.row_b = *row_b;
+        entry.tp_differs =
+            tp_measured_[*row_a] != tp_measured_[*row_b];
+        entry.ports_differ = !(record(*row_a).portUsage() ==
+                               record(*row_b).portUsage());
+        auto lats_a = record(*row_a).latencies();
+        auto lats_b = record(*row_b).latencies();
+        entry.latency_differs = lats_a.size() != lats_b.size();
+        for (size_t i = 0;
+             !entry.latency_differs && i < lats_a.size(); ++i) {
+            const auto &la = lats_a[i];
+            const auto &lb = lats_b[i];
+            entry.latency_differs =
+                la.src_op != lb.src_op || la.dst_op != lb.dst_op ||
+                la.cycles != lb.cycles ||
+                la.upper_bound != lb.upper_bound ||
+                la.slow_cycles != lb.slow_cycles;
+        }
+        if (entry.tp_differs || entry.ports_differ ||
+            entry.latency_differs)
+            out.changed.push_back(entry);
+    }
+    return out;
+}
+
+core::CharacterizationSet
+InstructionDatabase::toCharacterizationSet(
+    uarch::UArch arch, const isa::InstrDb &instr_db) const
+{
+    core::CharacterizationSet set;
+    set.arch = arch;
+    const uint8_t arch_id = static_cast<uint8_t>(arch);
+    for (uint32_t row = 0; row < arch_.size(); ++row) {
+        if (arch_[row] != arch_id)
+            continue;
+        RecordView view = record(row);
+        const isa::InstrVariant *variant =
+            instr_db.byName(std::string(view.name()));
+        if (variant == nullptr)
+            continue;
+
+        core::InstrCharacterization c;
+        c.variant = variant;
+        for (const isa::ResultLatency &lat : view.latencies()) {
+            core::LatencyPair pair;
+            pair.src_op = lat.src_op;
+            pair.dst_op = lat.dst_op;
+            pair.cycles = lat.cycles;
+            pair.upper_bound = lat.upper_bound;
+            pair.slow_cycles = lat.slow_cycles;
+            c.latency.pairs.push_back(pair);
+        }
+        c.latency.same_reg_cycles = view.sameRegCycles();
+        c.latency.store_roundtrip = view.storeRoundTrip();
+        c.ports.usage = view.portUsage();
+        c.throughput.measured = view.tpMeasured();
+        c.throughput.with_breakers = view.tpWithBreakers();
+        c.throughput.slow_measured = view.tpSlow();
+        c.tp_ports = view.tpFromPorts();
+        set.instrs.push_back(std::move(c));
+    }
+    return set;
+}
+
+} // namespace uops::db

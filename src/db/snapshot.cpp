@@ -1,0 +1,339 @@
+#include "snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "support/status.h"
+
+namespace uops::db {
+
+namespace {
+
+constexpr char kMagic[8] = {'U', 'O', 'P', 'S', 'D', 'B', '\x1a', '\n'};
+constexpr uint32_t kEndianTag = 0x0A0B0C0Du;
+
+size_t
+paddingFor(size_t bytes)
+{
+    return (8 - bytes % 8) % 8;
+}
+
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os) : os_(os) {}
+
+    void
+    raw(const void *data, size_t bytes)
+    {
+        os_.write(static_cast<const char *>(data),
+                  static_cast<std::streamsize>(bytes));
+    }
+
+    template <typename T>
+    void
+    scalar(T value)
+    {
+        raw(&value, sizeof value);
+    }
+
+    template <typename T>
+    void
+    array(const std::vector<T> &xs)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        scalar<uint64_t>(xs.size());
+        size_t bytes = xs.size() * sizeof(T);
+        if (bytes)
+            raw(xs.data(), bytes);
+        pad(bytes);
+    }
+
+    void
+    array(const std::string &s)
+    {
+        scalar<uint64_t>(s.size());
+        if (!s.empty())
+            raw(s.data(), s.size());
+        pad(s.size());
+    }
+
+  private:
+    void
+    pad(size_t bytes)
+    {
+        static const char zeros[8] = {};
+        raw(zeros, paddingFor(bytes));
+    }
+
+    std::ostream &os_;
+};
+
+class Reader
+{
+  public:
+    explicit Reader(std::istream &is) : is_(is)
+    {
+        // Bound declared array sizes by the actual stream length so a
+        // corrupt length prefix is a FatalError, not a giant resize()
+        // (bad_alloc / OOM) before the truncation check can fire.
+        auto pos = is.tellg();
+        if (pos != std::streampos(-1)) {
+            is.seekg(0, std::ios::end);
+            auto end = is.tellg();
+            is.seekg(pos);
+            if (end != std::streampos(-1))
+                bytes_left_ = static_cast<uint64_t>(end - pos);
+        }
+    }
+
+    void
+    raw(void *data, size_t bytes)
+    {
+        is_.read(static_cast<char *>(data),
+                 static_cast<std::streamsize>(bytes));
+        fatalIf(static_cast<size_t>(is_.gcount()) != bytes,
+                "db snapshot: truncated file");
+        if (bytes_left_)
+            *bytes_left_ -= std::min<uint64_t>(*bytes_left_, bytes);
+    }
+
+    template <typename T>
+    T
+    scalar()
+    {
+        T value;
+        raw(&value, sizeof value);
+        return value;
+    }
+
+    template <typename T>
+    void
+    array(std::vector<T> &xs)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        uint64_t n = scalar<uint64_t>();
+        checkSize(n, sizeof(T));
+        xs.resize(static_cast<size_t>(n));
+        size_t bytes = xs.size() * sizeof(T);
+        if (bytes)
+            raw(xs.data(), bytes);
+        skip(bytes);
+    }
+
+    void
+    array(std::string &s)
+    {
+        uint64_t n = scalar<uint64_t>();
+        checkSize(n, 1);
+        s.resize(static_cast<size_t>(n));
+        if (!s.empty())
+            raw(s.data(), s.size());
+        skip(s.size());
+    }
+
+  private:
+    void
+    checkSize(uint64_t n, size_t elem_bytes)
+    {
+        fatalIf(n > (1ull << 32),
+                "db snapshot: implausible array size ", n);
+        fatalIf(bytes_left_ && n * elem_bytes > *bytes_left_,
+                "db snapshot: array size ", n,
+                " exceeds remaining file bytes");
+    }
+
+    void
+    skip(size_t bytes)
+    {
+        char sink[8];
+        size_t pad = paddingFor(bytes);
+        if (pad)
+            raw(sink, pad);
+    }
+
+    std::istream &is_;
+
+    /** Remaining stream bytes; absent for non-seekable streams. */
+    std::optional<uint64_t> bytes_left_;
+};
+
+} // namespace
+
+/** Friend of InstructionDatabase: walks the columns in fixed order. */
+struct SnapshotCodec
+{
+    template <typename Archive, typename Db>
+    static void
+    columns(Archive &ar, Db &db)
+    {
+        ar.array(db.pool_);
+        ar.array(db.str_off_);
+        ar.array(db.str_len_);
+        ar.array(db.arch_);
+        ar.array(db.name_);
+        ar.array(db.mnemonic_);
+        ar.array(db.ext_);
+        ar.array(db.port_union_);
+        ar.array(db.uop_count_);
+        ar.array(db.max_latency_);
+        ar.array(db.flags_);
+        ar.array(db.tp_measured_);
+        ar.array(db.tp_breakers_);
+        ar.array(db.tp_slow_);
+        ar.array(db.tp_ports_);
+        ar.array(db.same_reg_);
+        ar.array(db.store_rt_);
+        ar.array(db.ports_off_);
+        ar.array(db.lat_off_);
+        ar.array(db.ports_n_);
+        ar.array(db.lat_n_);
+        ar.array(db.pu_mask_);
+        ar.array(db.pu_count_);
+        ar.array(db.lat_src_);
+        ar.array(db.lat_dst_);
+        ar.array(db.lat_flags_);
+        ar.array(db.lat_cycles_);
+        ar.array(db.lat_slow_);
+    }
+
+    static void
+    validate(const InstructionDatabase &db, uint64_t expected_records)
+    {
+        const size_t n = db.arch_.size();
+        fatalIf(n != expected_records,
+                "db snapshot: record count mismatch");
+        fatalIf(db.name_.size() != n || db.mnemonic_.size() != n ||
+                    db.ext_.size() != n ||
+                    db.port_union_.size() != n ||
+                    db.uop_count_.size() != n ||
+                    db.max_latency_.size() != n ||
+                    db.flags_.size() != n ||
+                    db.tp_measured_.size() != n ||
+                    db.tp_breakers_.size() != n ||
+                    db.tp_slow_.size() != n ||
+                    db.tp_ports_.size() != n ||
+                    db.same_reg_.size() != n ||
+                    db.store_rt_.size() != n ||
+                    db.ports_off_.size() != n ||
+                    db.lat_off_.size() != n ||
+                    db.ports_n_.size() != n || db.lat_n_.size() != n,
+                "db snapshot: column length mismatch");
+        fatalIf(db.str_off_.size() != db.str_len_.size(),
+                "db snapshot: string table mismatch");
+        for (size_t i = 0; i < db.str_off_.size(); ++i)
+            fatalIf(static_cast<size_t>(db.str_off_[i]) +
+                            db.str_len_[i] >
+                        db.pool_.size(),
+                    "db snapshot: string span out of bounds");
+        fatalIf(db.pu_mask_.size() != db.pu_count_.size(),
+                "db snapshot: port pool mismatch");
+        fatalIf(db.lat_src_.size() != db.lat_dst_.size() ||
+                    db.lat_src_.size() != db.lat_flags_.size() ||
+                    db.lat_src_.size() != db.lat_cycles_.size() ||
+                    db.lat_src_.size() != db.lat_slow_.size(),
+                "db snapshot: latency pool mismatch");
+        auto check_string_ids = [&](const std::vector<uint32_t> &ids) {
+            for (uint32_t id : ids)
+                fatalIf(id >= db.str_off_.size(),
+                        "db snapshot: string id out of range");
+        };
+        check_string_ids(db.name_);
+        check_string_ids(db.mnemonic_);
+        check_string_ids(db.ext_);
+        for (size_t row = 0; row < n; ++row) {
+            fatalIf(static_cast<size_t>(db.ports_off_[row]) +
+                            db.ports_n_[row] >
+                        db.pu_mask_.size(),
+                    "db snapshot: port span out of bounds");
+            fatalIf(static_cast<size_t>(db.lat_off_[row]) +
+                            db.lat_n_[row] >
+                        db.lat_src_.size(),
+                    "db snapshot: latency span out of bounds");
+        }
+    }
+
+    static void
+    rebuild(InstructionDatabase &db)
+    {
+        // Re-intern so later ingests dedup against loaded strings.
+        db.intern_map_.clear();
+        for (uint32_t id = 0;
+             id < static_cast<uint32_t>(db.str_off_.size()); ++id)
+            db.intern_map_.emplace(std::string(db.str(id)), id);
+        db.rebuildIndexes();
+    }
+};
+
+void
+saveSnapshot(const InstructionDatabase &db, std::ostream &os)
+{
+    Writer writer(os);
+    writer.raw(kMagic, sizeof kMagic);
+    writer.scalar<uint32_t>(kSnapshotVersion);
+    writer.scalar<uint32_t>(kEndianTag);
+    writer.scalar<uint64_t>(db.numRecords());
+    SnapshotCodec::columns(writer, db);
+    fatalIf(!os, "db snapshot: write failed");
+}
+
+std::string
+snapshotBytes(const InstructionDatabase &db)
+{
+    std::ostringstream os(std::ios::binary);
+    saveSnapshot(db, os);
+    return os.str();
+}
+
+std::unique_ptr<InstructionDatabase>
+loadSnapshot(std::istream &is)
+{
+    Reader reader(is);
+    char magic[8];
+    reader.raw(magic, sizeof magic);
+    fatalIf(std::memcmp(magic, kMagic, sizeof magic) != 0,
+            "db snapshot: bad magic");
+    uint32_t version = reader.scalar<uint32_t>();
+    fatalIf(version != kSnapshotVersion,
+            "db snapshot: unsupported version ", version);
+    uint32_t endian = reader.scalar<uint32_t>();
+    fatalIf(endian != kEndianTag,
+            "db snapshot: foreign byte order");
+    uint64_t records = reader.scalar<uint64_t>();
+
+    auto db = std::make_unique<InstructionDatabase>();
+    SnapshotCodec::columns(reader, *db);
+    SnapshotCodec::validate(*db, records);
+    SnapshotCodec::rebuild(*db);
+    return db;
+}
+
+std::unique_ptr<InstructionDatabase>
+loadSnapshotBytes(const std::string &bytes)
+{
+    std::istringstream is(bytes, std::ios::binary);
+    return loadSnapshot(is);
+}
+
+void
+saveSnapshotFile(const InstructionDatabase &db, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    fatalIf(!os, "db snapshot: cannot open ", path, " for writing");
+    saveSnapshot(db, os);
+    os.flush();
+    fatalIf(!os, "db snapshot: write to ", path, " failed");
+}
+
+std::unique_ptr<InstructionDatabase>
+loadSnapshotFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "db snapshot: cannot open ", path);
+    return loadSnapshot(is);
+}
+
+} // namespace uops::db

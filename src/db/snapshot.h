@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Versioned binary snapshot format for the instruction database.
+ *
+ * Layout (version 1, little-endian, mmap-friendly):
+ *
+ *   header   8-byte magic "UOPSDB\x1a\n", u32 version, u32 endian tag
+ *            (0x0A0B0C0D as written by the producer — a reader on a
+ *            byte-swapped host rejects the file instead of misreading
+ *            it), u64 record count
+ *   arrays   the columnar arrays of InstructionDatabase, in a fixed
+ *            order, each as: u64 element count, raw element bytes,
+ *            zero padding to the next 8-byte boundary
+ *
+ * Because every array is a contiguous raw dump aligned to 8 bytes, a
+ * loader may equally point into a memory-mapped buffer instead of
+ * copying; this implementation reads through iostreams for
+ * portability. The in-memory query indexes are *not* serialized —
+ * they are deterministically rebuilt on load, so two databases with
+ * equal snapshots answer every query identically.
+ *
+ * Snapshots are bit-exact: save(load(save(db))) == save(db), and a
+ * database ingested from XML produces the same bytes as one ingested
+ * in memory from the same results (see tests/db_test.cpp).
+ */
+
+#ifndef UOPS_DB_SNAPSHOT_H
+#define UOPS_DB_SNAPSHOT_H
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+
+namespace uops::db {
+
+/** Current snapshot format version. */
+constexpr uint32_t kSnapshotVersion = 1;
+
+/** Serialize @p db to @p os (throws FatalError on stream failure). */
+void saveSnapshot(const InstructionDatabase &db, std::ostream &os);
+
+/** Serialized snapshot bytes. */
+std::string snapshotBytes(const InstructionDatabase &db);
+
+/**
+ * Deserialize a snapshot (throws FatalError on malformed input:
+ * bad magic, unsupported version, foreign endianness, truncated or
+ * inconsistent arrays).
+ */
+std::unique_ptr<InstructionDatabase> loadSnapshot(std::istream &is);
+
+/** Parse a snapshot held in memory. */
+std::unique_ptr<InstructionDatabase>
+loadSnapshotBytes(const std::string &bytes);
+
+/** Save to / load from a file path. */
+void saveSnapshotFile(const InstructionDatabase &db,
+                      const std::string &path);
+std::unique_ptr<InstructionDatabase>
+loadSnapshotFile(const std::string &path);
+
+} // namespace uops::db
+
+#endif // UOPS_DB_SNAPSHOT_H

@@ -1,0 +1,116 @@
+#include "results_xml.h"
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace uops::isa {
+
+namespace {
+
+double
+requireDouble(const XmlNode &node, const std::string &key)
+{
+    auto value = parseDouble(node.getAttr(key));
+    fatalIf(!value, "results xml: <", node.name(), "> has no numeric '",
+            key, "' attribute");
+    return *value;
+}
+
+std::optional<double>
+optionalDouble(const XmlNode &node, const std::string &key)
+{
+    if (!node.hasAttr(key))
+        return std::nullopt;
+    auto value = parseDouble(node.getAttr(key));
+    fatalIf(!value, "results xml: non-numeric '", key, "' in <",
+            node.name(), ">");
+    return value;
+}
+
+int
+requireInt(const XmlNode &node, const std::string &key)
+{
+    auto value = parseInt(node.getAttr(key));
+    fatalIf(!value, "results xml: <", node.name(), "> has no integer '",
+            key, "' attribute");
+    return static_cast<int>(*value);
+}
+
+InstrResult
+parseInstruction(const XmlNode &node)
+{
+    InstrResult out;
+    out.name = node.getAttr("name");
+    out.mnemonic = node.getAttr("mnemonic");
+    fatalIf(out.name.empty(), "results xml: <instruction> without name");
+
+    const XmlNode *ports = node.firstChild("ports");
+    fatalIf(ports == nullptr, "results xml: ", out.name,
+            " has no <ports>");
+    out.ports = ports->getAttr("usage");
+    out.uops = requireInt(*ports, "uops");
+
+    const XmlNode *tp = node.firstChild("throughput");
+    fatalIf(tp == nullptr, "results xml: ", out.name,
+            " has no <throughput>");
+    out.tp_measured = requireDouble(*tp, "measured");
+    out.tp_with_breakers = optionalDouble(*tp, "withDepBreakers");
+    out.tp_slow = optionalDouble(*tp, "slowValues");
+    out.tp_from_ports = optionalDouble(*tp, "fromPorts");
+
+    for (const XmlNode *lat : node.childrenNamed("latency")) {
+        ResultLatency pair;
+        pair.src_op = requireInt(*lat, "srcOp");
+        pair.dst_op = requireInt(*lat, "dstOp");
+        pair.cycles = requireDouble(*lat, "cycles");
+        pair.upper_bound = lat->getAttr("upperBound") == "1";
+        pair.slow_cycles = optionalDouble(*lat, "slowCycles");
+        out.latencies.push_back(pair);
+    }
+    if (const XmlNode *sr = node.firstChild("latencySameReg"))
+        out.same_reg_cycles = requireDouble(*sr, "cycles");
+    if (const XmlNode *rt = node.firstChild("storeLoadRoundTrip"))
+        out.store_roundtrip = requireDouble(*rt, "cycles");
+    return out;
+}
+
+UArchResults
+parseUArchResults(const XmlNode &node)
+{
+    UArchResults out;
+    out.architecture = node.getAttr("architecture");
+    fatalIf(out.architecture.empty(),
+            "results xml: <uopsInfo> without architecture");
+    out.processor = node.getAttr("processor");
+    for (const XmlNode *instr : node.childrenNamed("instruction"))
+        out.instrs.push_back(parseInstruction(*instr));
+    for (const XmlNode *err : node.childrenNamed("error"))
+        out.errors.emplace_back(err->getAttr("name"), err->text());
+    return out;
+}
+
+} // namespace
+
+ResultsDoc
+parseResultsXml(const XmlNode &root)
+{
+    ResultsDoc doc;
+    if (root.name() == "uopsInfo") {
+        doc.uarches.push_back(parseUArchResults(root));
+    } else if (root.name() == "uopsBatch") {
+        for (const XmlNode *node : root.childrenNamed("uopsInfo"))
+            doc.uarches.push_back(parseUArchResults(*node));
+    } else {
+        fatal("results xml: expected <uopsInfo> or <uopsBatch>, got <",
+              root.name(), ">");
+    }
+    return doc;
+}
+
+ResultsDoc
+parseResultsXml(const std::string &text)
+{
+    return parseResultsXml(*parseXml(text));
+}
+
+} // namespace uops::isa

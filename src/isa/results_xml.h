@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Parser for the uops.info-style *results* XML (Section 6.4).
+ *
+ * xml_export.h already round-trips the instruction-set description
+ * (Section 6.1); the measurement results emitted by
+ * core::exportResultsXml() / CharacterizationReport::toXml() were
+ * export-only until now. This module closes that asymmetry with a
+ * plain-data representation of the results documents — deliberately
+ * free of uarch/ and core/ types so it stays inside the isa layer —
+ * and a parser accepting both roots:
+ *
+ *   <uopsInfo architecture=... processor=...>   one uarch
+ *   <uopsBatch uarches=...>                     a whole sweep
+ *
+ * Microarchitectures are carried as their short names ("SKL") and
+ * port usages as their rendered form ("3*p015+1*p23"); consumers above
+ * the uarch layer resolve them with uarch::parseUArch and
+ * uarch::PortUsage::fromString. The numeric fields hold exactly the
+ * values printed in the XML (attribute text parsed with parseDouble),
+ * so a database ingested from a parsed document is bit-identical to
+ * one ingested from the in-memory characterization it was exported
+ * from — the round-trip property the db layer's golden test pins.
+ */
+
+#ifndef UOPS_ISA_RESULTS_XML_H
+#define UOPS_ISA_RESULTS_XML_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/xml.h"
+
+namespace uops::isa {
+
+/** One <latency> element: a (source, destination) operand pair. */
+struct ResultLatency
+{
+    int src_op = -1;
+    int dst_op = -1;
+    double cycles = 0.0;
+    bool upper_bound = false;
+    std::optional<double> slow_cycles;
+};
+
+/** One <instruction> element of a results document. */
+struct InstrResult
+{
+    std::string name;      ///< Unique variant name, e.g. "ADD_R64_R64".
+    std::string mnemonic;
+
+    std::string ports;     ///< Port usage, e.g. "3*p015+1*p23" or "-".
+    int uops = 0;          ///< Total µop count reported with it.
+
+    double tp_measured = 0.0;
+    std::optional<double> tp_with_breakers;
+    std::optional<double> tp_slow;
+    std::optional<double> tp_from_ports;
+
+    std::vector<ResultLatency> latencies;
+    std::optional<double> same_reg_cycles;   ///< <latencySameReg>
+    std::optional<double> store_roundtrip;   ///< <storeLoadRoundTrip>
+};
+
+/** One <uopsInfo> element: all results for one microarchitecture. */
+struct UArchResults
+{
+    std::string architecture;  ///< Short name, e.g. "SKL".
+    std::string processor;
+    std::vector<InstrResult> instrs;
+
+    /** (variant name, message) of each <error> child. */
+    std::vector<std::pair<std::string, std::string>> errors;
+};
+
+/** A parsed results document (one or many uarches). */
+struct ResultsDoc
+{
+    std::vector<UArchResults> uarches;
+};
+
+/**
+ * Parse a results tree rooted at <uopsInfo> or <uopsBatch>.
+ *
+ * @throws FatalError on any other root or malformed content.
+ */
+ResultsDoc parseResultsXml(const XmlNode &root);
+
+/** Convenience overload: parse the document text first. */
+ResultsDoc parseResultsXml(const std::string &text);
+
+} // namespace uops::isa
+
+#endif // UOPS_ISA_RESULTS_XML_H

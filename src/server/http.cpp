@@ -1,0 +1,204 @@
+#include "http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace uops::server {
+
+namespace {
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    return true;
+}
+
+int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+const std::string *
+HttpRequest::header(std::string_view name) const
+{
+    for (const auto &[key, value] : headers)
+        if (iequals(key, name))
+            return &value;
+    return nullptr;
+}
+
+std::optional<std::string>
+HttpRequest::param(const std::string &key) const
+{
+    auto it = query.find(key);
+    if (it == query.end())
+        return std::nullopt;
+    return it->second;
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 413: return "Payload Too Large";
+      case 500: return "Internal Server Error";
+    }
+    return "Unknown";
+}
+
+std::string
+percentDecode(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '+') {
+            out += ' ';
+        } else if (s[i] == '%' && i + 2 < s.size()) {
+            int hi = hexValue(s[i + 1]);
+            int lo = hexValue(s[i + 2]);
+            fatalIf(hi < 0 || lo < 0, "http: bad percent escape in '",
+                    std::string(s), "'");
+            out += static_cast<char>(hi * 16 + lo);
+            i += 2;
+        } else {
+            fatalIf(s[i] == '%', "http: truncated percent escape");
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+std::map<std::string, std::string>
+parseQueryString(std::string_view s)
+{
+    std::map<std::string, std::string> out;
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t amp = s.find('&', pos);
+        if (amp == std::string_view::npos)
+            amp = s.size();
+        std::string_view piece = s.substr(pos, amp - pos);
+        if (!piece.empty()) {
+            size_t eq = piece.find('=');
+            std::string key, value;
+            if (eq == std::string_view::npos) {
+                key = percentDecode(piece);
+            } else {
+                key = percentDecode(piece.substr(0, eq));
+                value = percentDecode(piece.substr(eq + 1));
+            }
+            out[key] = value;
+        }
+        pos = amp + 1;
+    }
+    return out;
+}
+
+std::optional<size_t>
+findHeaderEnd(std::string_view buffer)
+{
+    size_t pos = buffer.find("\r\n\r\n");
+    if (pos == std::string_view::npos)
+        return std::nullopt;
+    return pos + 4;
+}
+
+HttpRequest
+parseRequestHead(std::string_view head)
+{
+    HttpRequest request;
+    size_t line_end = head.find("\r\n");
+    if (line_end == std::string_view::npos)
+        line_end = head.size();
+    std::string_view request_line = head.substr(0, line_end);
+
+    auto pieces = splitWhitespace(request_line);
+    fatalIf(pieces.size() != 3, "http: malformed request line '",
+            std::string(request_line), "'");
+    request.method = pieces[0];
+    request.target = pieces[1];
+    fatalIf(!startsWith(pieces[2], "HTTP/1."),
+            "http: unsupported protocol '", pieces[2], "'");
+
+    size_t q = request.target.find('?');
+    if (q == std::string::npos) {
+        request.path = percentDecode(request.target);
+    } else {
+        request.path = percentDecode(
+            std::string_view(request.target).substr(0, q));
+        request.query = parseQueryString(
+            std::string_view(request.target).substr(q + 1));
+    }
+
+    size_t pos = line_end;
+    while (pos < head.size()) {
+        if (head.compare(pos, 2, "\r\n") == 0)
+            pos += 2;
+        size_t end = head.find("\r\n", pos);
+        if (end == std::string_view::npos)
+            end = head.size();
+        std::string_view line = head.substr(pos, end - pos);
+        pos = end;
+        if (line.empty())
+            continue;
+        size_t colon = line.find(':');
+        fatalIf(colon == std::string_view::npos,
+                "http: malformed header line '", std::string(line), "'");
+        request.headers.emplace_back(
+            trim(line.substr(0, colon)),
+            trim(line.substr(colon + 1)));
+    }
+    return request;
+}
+
+size_t
+contentLength(const HttpRequest &request)
+{
+    const std::string *value = request.header("Content-Length");
+    if (value == nullptr)
+        return 0;
+    auto parsed = parseInt(*value);
+    fatalIf(!parsed || *parsed < 0, "http: bad Content-Length '",
+            *value, "'");
+    return static_cast<size_t>(*parsed);
+}
+
+std::string
+serializeResponse(const HttpResponse &response)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) +
+                      " " + statusText(response.status) + "\r\n";
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+           "\r\n";
+    if (response.cache_hit)
+        out += "X-Cache: hit\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += response.body;
+    return out;
+}
+
+} // namespace uops::server

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * HTTP/1.1 message types and wire parsing for the serving layer.
+ *
+ * Deliberately tiny: the subset a JSON query API needs. Requests are
+ * parsed from a buffered head (everything up to the blank line) plus
+ * a Content-Length-delimited body; responses always carry an explicit
+ * Content-Length and `Connection: close`, so the connection lifecycle
+ * stays trivial (one request per connection). Transport (sockets) is
+ * separate in http_server.h so the request router (service.h) can be
+ * exercised in tests without opening a port.
+ */
+
+#ifndef UOPS_SERVER_HTTP_H
+#define UOPS_SERVER_HTTP_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uops::server {
+
+struct HttpRequest
+{
+    std::string method;   ///< "GET", "POST", ...
+    std::string target;   ///< Raw request target, e.g. "/search?a=b".
+    std::string path;     ///< Decoded path, e.g. "/search".
+    std::map<std::string, std::string> query; ///< Decoded parameters.
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Case-insensitive header lookup; nullptr when absent. */
+    const std::string *header(std::string_view name) const;
+
+    /** Query parameter; empty optional when absent. */
+    std::optional<std::string> param(const std::string &key) const;
+};
+
+struct HttpResponse
+{
+    int status = 200;
+    std::string content_type = "application/json";
+    std::string body;
+
+    /** Set when served from the response cache (adds X-Cache: hit). */
+    bool cache_hit = false;
+};
+
+/** Reason phrase for the status codes the server emits. */
+const char *statusText(int status);
+
+/** Decode %XX escapes and '+' (as space) in a URL component. */
+std::string percentDecode(std::string_view s);
+
+/** Parse "a=1&b=2" into decoded key/value pairs. */
+std::map<std::string, std::string> parseQueryString(std::string_view s);
+
+/**
+ * Offset just past the "\r\n\r\n" terminating the request head, or
+ * nullopt while more bytes are needed.
+ */
+std::optional<size_t> findHeaderEnd(std::string_view buffer);
+
+/**
+ * Parse a request head (request line + headers, excluding the blank
+ * line). Fills everything but the body.
+ *
+ * @throws FatalError on malformed input (caller answers 400).
+ */
+HttpRequest parseRequestHead(std::string_view head);
+
+/** Declared Content-Length (0 when absent). @throws FatalError. */
+size_t contentLength(const HttpRequest &request);
+
+/** Serialize status line, headers and body for the wire. */
+std::string serializeResponse(const HttpResponse &response);
+
+} // namespace uops::server
+
+#endif // UOPS_SERVER_HTTP_H

@@ -1,0 +1,208 @@
+#include "http_server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/status.h"
+
+namespace uops::server {
+
+HttpServer::HttpServer(QueryService &service, Options options)
+    : service_(service), options_(std::move(options)),
+      pool_(options_.num_threads)
+{
+}
+
+HttpServer::HttpServer(QueryService &service)
+    : HttpServer(service, Options{})
+{
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::start()
+{
+    panicIf(running_.load(), "HttpServer::start: already running");
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(listen_fd_ < 0, "http server: socket(): ",
+            std::strerror(errno));
+
+    int reuse = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                 sizeof reuse);
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    fatalIf(::inet_pton(AF_INET, options_.bind_address.c_str(),
+                        &addr.sin_addr) != 1,
+            "http server: bad bind address '", options_.bind_address,
+            "'");
+
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) < 0) {
+        int err = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        fatal("http server: cannot bind ", options_.bind_address, ":",
+              options_.port, ": ", std::strerror(err));
+    }
+    if (::listen(listen_fd_, options_.backlog) < 0) {
+        int err = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        fatal("http server: listen(): ", std::strerror(err));
+    }
+
+    sockaddr_in bound;
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&bound),
+                  &len);
+    port_ = ntohs(bound.sin_port);
+
+    running_.store(true);
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_.exchange(false)) {
+        if (acceptor_.joinable())
+            acceptor_.join();
+        return;
+    }
+    // Unblock accept() with shutdown() only; the fd stays open until
+    // the acceptor has joined, so it can neither be reused by another
+    // thread's descriptor nor raced as a plain int (the join gives
+    // the happens-before for the close below).
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    // In-flight connection tasks drain in the pool destructor (or on
+    // the next wait()); handleConnection never throws.
+}
+
+void
+HttpServer::acceptLoop()
+{
+    while (running_.load()) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // Listener was closed (stop()) or broke: exit.
+            break;
+        }
+        if (options_.recv_timeout_seconds > 0) {
+            timeval tv{};
+            tv.tv_sec = options_.recv_timeout_seconds;
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        }
+        pool_.submit([this, fd](size_t) { handleConnection(fd); });
+    }
+}
+
+namespace {
+
+void
+sendAll(int fd, const std::string &bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n = ::send(fd, bytes.data() + sent,
+                           bytes.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return;   // peer went away; nothing to do
+        sent += static_cast<size_t>(n);
+    }
+}
+
+} // namespace
+
+void
+HttpServer::handleConnection(int fd)
+{
+    try {
+        std::string buffer;
+        char chunk[4096];
+        std::optional<size_t> head_end;
+
+        // Read until the blank line terminating the request head.
+        while (!head_end) {
+            ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n <= 0) {
+                ::close(fd);
+                return;
+            }
+            buffer.append(chunk, static_cast<size_t>(n));
+            if (buffer.size() > options_.max_request_bytes) {
+                sendAll(fd, serializeResponse(errorResponse(
+                                413, "request too large")));
+                ::close(fd);
+                return;
+            }
+            head_end = findHeaderEnd(buffer);
+        }
+
+        HttpRequest request;
+        try {
+            request = parseRequestHead(buffer.substr(0, *head_end));
+        } catch (const std::exception &e) {
+            sendAll(fd,
+                    serializeResponse(errorResponse(400, e.what())));
+            ::close(fd);
+            return;
+        }
+
+        size_t body_bytes = 0;
+        try {
+            body_bytes = contentLength(request);
+        } catch (const std::exception &e) {
+            sendAll(fd,
+                    serializeResponse(errorResponse(400, e.what())));
+            ::close(fd);
+            return;
+        }
+        if (body_bytes > options_.max_request_bytes) {
+            sendAll(fd, serializeResponse(
+                            errorResponse(413, "body too large")));
+            ::close(fd);
+            return;
+        }
+        request.body = buffer.substr(*head_end);
+        while (request.body.size() < body_bytes) {
+            ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n <= 0)
+                break;
+            request.body.append(chunk, static_cast<size_t>(n));
+        }
+        request.body.resize(std::min(request.body.size(), body_bytes));
+
+        HttpResponse response = service_.handle(request);
+        sendAll(fd, serializeResponse(response));
+    } catch (...) {
+        // Connection handling must never propagate into the pool.
+        sendAll(fd, serializeResponse(
+                        errorResponse(500, "internal error")));
+    }
+    ::close(fd);
+}
+
+} // namespace uops::server

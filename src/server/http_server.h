@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Dependency-free HTTP/1.1 socket server for the query service.
+ *
+ * One acceptor thread plus the shared work-stealing ThreadPool
+ * (support/thread_pool.h) for connection handling: accept() hands
+ * each connection to a pool task that reads one request, routes it
+ * through QueryService::handle(), writes the response and closes.
+ * The one-request-per-connection model keeps the state machine
+ * trivial; the workload (small JSON answers) is latency-bound on the
+ * service, not on connection setup.
+ *
+ * Listens on a configurable address/port; port 0 binds an ephemeral
+ * port (query it with port() — the tests and the CI smoke step use
+ * this to avoid collisions). stop() is idempotent and joins the
+ * acceptor; in-flight connections finish on the pool.
+ */
+
+#ifndef UOPS_SERVER_HTTP_SERVER_H
+#define UOPS_SERVER_HTTP_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "server/service.h"
+#include "support/thread_pool.h"
+
+namespace uops::server {
+
+class HttpServer
+{
+  public:
+    struct Options
+    {
+        std::string bind_address = "127.0.0.1";
+        uint16_t port = 0;          ///< 0: ephemeral
+        size_t num_threads = 0;     ///< pool size; 0: hardware
+        int backlog = 64;
+        int recv_timeout_seconds = 5;
+
+        /** Reject request heads/bodies larger than this. */
+        size_t max_request_bytes = 1 << 20;
+    };
+
+    HttpServer(QueryService &service, Options options);
+
+    /** Default options (loopback, ephemeral port). */
+    explicit HttpServer(QueryService &service);
+
+    /** Stops and joins. */
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /**
+     * Bind, listen and start the acceptor thread.
+     *
+     * @throws FatalError when the address cannot be bound.
+     */
+    void start();
+
+    /** Stop accepting, close the listener, join the acceptor. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** Actual bound port (valid after start()). */
+    uint16_t port() const { return port_; }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    QueryService &service_;
+    Options options_;
+    ThreadPool pool_;
+    std::thread acceptor_;
+    std::atomic<bool> running_{false};
+    int listen_fd_ = -1;
+    uint16_t port_ = 0;
+};
+
+} // namespace uops::server
+
+#endif // UOPS_SERVER_HTTP_SERVER_H

@@ -1,0 +1,183 @@
+#include "json.h"
+
+#include <cstdio>
+
+#include "support/status.h"
+#include "support/xml.h"
+
+namespace uops::server {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty())
+        return;
+    if (stack_.back() == '{') {
+        panicIf(!pending_key_, "JsonWriter: value without key");
+        pending_key_ = false;
+        return;
+    }
+    if (has_item_.back())
+        out_ += ',';
+    has_item_.back() = true;
+}
+
+void
+JsonWriter::push(char scope)
+{
+    beforeValue();
+    out_ += scope;
+    stack_.push_back(scope);
+    has_item_.push_back(false);
+}
+
+void
+JsonWriter::pop(char scope)
+{
+    panicIf(stack_.empty() || stack_.back() != scope,
+            "JsonWriter: unbalanced scope");
+    panicIf(pending_key_, "JsonWriter: dangling key");
+    out_ += scope == '{' ? '}' : ']';
+    stack_.pop_back();
+    has_item_.pop_back();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    push('{');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    pop('{');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    push('[');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    pop('[');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    panicIf(stack_.empty() || stack_.back() != '{',
+            "JsonWriter: key outside object");
+    panicIf(pending_key_, "JsonWriter: two keys in a row");
+    if (has_item_.back())
+        out_ += ',';
+    has_item_.back() = true;
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    out_ += xmlFormatDouble(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(long v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<long>(v));
+}
+
+JsonWriter &
+JsonWriter::value(size_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueNull()
+{
+    beforeValue();
+    out_ += "null";
+    return *this;
+}
+
+std::string
+JsonWriter::str() &&
+{
+    panicIf(!stack_.empty(), "JsonWriter: unclosed scopes");
+    return std::move(out_);
+}
+
+} // namespace uops::server

@@ -1,0 +1,85 @@
+#include "response_cache.h"
+
+#include <functional>
+#include <vector>
+
+namespace uops::server {
+
+ResponseCache::ResponseCache(size_t num_shards,
+                             size_t capacity_per_shard)
+    : capacity_per_shard_(capacity_per_shard == 0 ? 1
+                                                  : capacity_per_shard)
+{
+    if (num_shards == 0)
+        num_shards = 1;
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+ResponseCache::Shard &
+ResponseCache::shardFor(const std::string &key)
+{
+    size_t h = std::hash<std::string>{}(key);
+    return *shards_[h % shards_.size()];
+}
+
+std::optional<HttpResponse>
+ResponseCache::get(const std::string &key)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(std::string_view(key));
+    if (it == shard.index.end()) {
+        shard.misses.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    // Refresh recency: splice the node to the front. Iterators and
+    // the string_view key stay valid (list nodes are stable).
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+}
+
+void
+ResponseCache::put(const std::string &key, const HttpResponse &response)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(std::string_view(key));
+    if (it != shard.index.end()) {
+        it->second->second = response;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.emplace_front(key, response);
+    shard.index.emplace(std::string_view(shard.lru.front().first),
+                        shard.lru.begin());
+    shard.insertions.fetch_add(1, std::memory_order_relaxed);
+    while (shard.lru.size() > capacity_per_shard_) {
+        shard.index.erase(std::string_view(shard.lru.back().first));
+        shard.lru.pop_back();
+        shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+ResponseCache::Stats
+ResponseCache::stats() const
+{
+    Stats out;
+    out.shards = shards_.size();
+    out.capacity = shards_.size() * capacity_per_shard_;
+    for (const auto &shard : shards_) {
+        out.hits += shard->hits.load(std::memory_order_relaxed);
+        out.misses += shard->misses.load(std::memory_order_relaxed);
+        out.insertions +=
+            shard->insertions.load(std::memory_order_relaxed);
+        out.evictions +=
+            shard->evictions.load(std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        out.entries += shard->lru.size();
+    }
+    return out;
+}
+
+} // namespace uops::server

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Sharded read-mostly LRU cache for rendered HTTP responses.
+ *
+ * The serving workload is uops.info-shaped: many concurrent readers
+ * issuing a heavily skewed set of GET queries against an immutable
+ * database. A single-mutex LRU would serialize every reader on the
+ * recency-list update, so the cache is split into N shards, each with
+ * its own lock, keyed by a hash of the request target. Hit/miss
+ * counters are plain atomics outside the locks.
+ *
+ * Values are complete HttpResponse bodies; the database is immutable
+ * while a service is running, so entries never expire — eviction is
+ * purely capacity-driven (per shard, true LRU).
+ */
+
+#ifndef UOPS_SERVER_RESPONSE_CACHE_H
+#define UOPS_SERVER_RESPONSE_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "server/http.h"
+
+namespace uops::server {
+
+class ResponseCache
+{
+  public:
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;
+        size_t entries = 0;
+        size_t shards = 0;
+        size_t capacity = 0;   ///< total across shards
+    };
+
+    /**
+     * @param num_shards        Lock shards (rounded up to 1).
+     * @param capacity_per_shard Max entries per shard (>= 1).
+     */
+    ResponseCache(size_t num_shards, size_t capacity_per_shard);
+
+    /** Look up a rendered response; counts a hit or miss. */
+    std::optional<HttpResponse> get(const std::string &key);
+
+    /** Insert (or refresh) an entry, evicting the shard's LRU tail. */
+    void put(const std::string &key, const HttpResponse &response);
+
+    Stats stats() const;
+
+  private:
+    struct Shard
+    {
+        std::mutex mutex;
+        /** Most-recent first; map values point into this list. */
+        std::list<std::pair<std::string, HttpResponse>> lru;
+        std::unordered_map<std::string_view,
+                           decltype(lru)::iterator>
+            index;
+        std::atomic<uint64_t> hits{0};
+        std::atomic<uint64_t> misses{0};
+        std::atomic<uint64_t> insertions{0};
+        std::atomic<uint64_t> evictions{0};
+    };
+
+    Shard &shardFor(const std::string &key);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    size_t capacity_per_shard_;
+};
+
+} // namespace uops::server
+
+#endif // UOPS_SERVER_RESPONSE_CACHE_H

@@ -1,0 +1,492 @@
+#include "service.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "isa/kernel.h"
+#include "server/json.h"
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace uops::server {
+
+namespace {
+
+/** Render one database record as a JSON object. */
+void
+writeRecord(JsonWriter &json, const db::RecordView &view)
+{
+    json.beginObject();
+    json.member("name", std::string_view(view.name()));
+    json.member("mnemonic", std::string_view(view.mnemonic()));
+    json.member("extension", std::string_view(view.extension()));
+    json.member("uarch", std::string_view(
+                             uarch::uarchShortName(view.arch())));
+    json.member("ports",
+                std::string_view(view.portUsage().toString()));
+    json.member("uops", view.uopCount());
+    json.member("max_latency", view.maxLatency());
+
+    json.key("throughput").beginObject();
+    json.member("measured", view.tpMeasured());
+    if (auto v = view.tpWithBreakers())
+        json.member("with_dep_breakers", *v);
+    if (auto v = view.tpSlow())
+        json.member("slow_values", *v);
+    if (auto v = view.tpFromPorts())
+        json.member("from_ports", *v);
+    json.endObject();
+
+    json.key("latency").beginArray();
+    for (const isa::ResultLatency &pair : view.latencies()) {
+        json.beginObject();
+        json.member("src_op", pair.src_op);
+        json.member("dst_op", pair.dst_op);
+        json.member("cycles", pair.cycles);
+        if (pair.upper_bound)
+            json.member("upper_bound", true);
+        if (pair.slow_cycles)
+            json.member("slow_cycles", *pair.slow_cycles);
+        json.endObject();
+    }
+    json.endArray();
+
+    if (auto v = view.sameRegCycles())
+        json.member("latency_same_reg", *v);
+    if (auto v = view.storeRoundTrip())
+        json.member("store_load_roundtrip", *v);
+    json.endObject();
+}
+
+std::optional<uarch::UArch>
+parseArchParam(const HttpRequest &request, const std::string &key)
+{
+    auto value = request.param(key);
+    if (!value)
+        return std::nullopt;
+    return uarch::parseUArch(*value);   // FatalError -> 400
+}
+
+HttpResponse
+jsonResponse(std::string body)
+{
+    HttpResponse response;
+    response.body = std::move(body);
+    return response;
+}
+
+} // namespace
+
+const char *
+endpointName(Endpoint endpoint)
+{
+    switch (endpoint) {
+      case Endpoint::Healthz: return "/healthz";
+      case Endpoint::UArchs: return "/uarchs";
+      case Endpoint::Instr: return "/instr";
+      case Endpoint::Search: return "/search";
+      case Endpoint::Diff: return "/diff";
+      case Endpoint::Predict: return "/predict";
+      case Endpoint::Stats: return "/stats";
+      case Endpoint::Other: return "other";
+    }
+    return "?";
+}
+
+HttpResponse
+errorResponse(int status, const std::string &message)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.member("error", std::string_view(message));
+    json.member("status", static_cast<long>(status));
+    json.endObject();
+    HttpResponse response;
+    response.status = status;
+    response.body = std::move(json).str();
+    return response;
+}
+
+QueryService::QueryService(const db::InstructionDatabase &database,
+                           const isa::InstrDb &instrs, Options options)
+    : db_(database), instrs_(instrs),
+      cache_(options.cache_shards, options.cache_capacity_per_shard)
+{
+}
+
+QueryService::QueryService(const db::InstructionDatabase &database,
+                           const isa::InstrDb &instrs)
+    : QueryService(database, instrs, Options{})
+{
+}
+
+Endpoint
+QueryService::route(const HttpRequest &request) const
+{
+    const std::string &path = request.path;
+    if (path == "/healthz")
+        return Endpoint::Healthz;
+    if (path == "/uarchs")
+        return Endpoint::UArchs;
+    if (startsWith(path, "/instr/") || path == "/instr")
+        return Endpoint::Instr;
+    if (path == "/search")
+        return Endpoint::Search;
+    if (path == "/diff")
+        return Endpoint::Diff;
+    if (path == "/predict")
+        return Endpoint::Predict;
+    if (path == "/stats")
+        return Endpoint::Stats;
+    return Endpoint::Other;
+}
+
+HttpResponse
+QueryService::handle(const HttpRequest &request)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    Endpoint endpoint = route(request);
+    Counters &counters = counters_[static_cast<size_t>(endpoint)];
+    counters.requests.fetch_add(1, std::memory_order_relaxed);
+
+    HttpResponse response;
+    bool cacheable =
+        request.method == "GET" &&
+        (endpoint == Endpoint::Instr || endpoint == Endpoint::Search ||
+         endpoint == Endpoint::Diff || endpoint == Endpoint::Predict);
+
+    bool from_cache = false;
+    if (cacheable) {
+        if (auto cached = cache_.get(request.target)) {
+            response = *cached;
+            response.cache_hit = true;
+            from_cache = true;
+            counters.cache_hits.fetch_add(1,
+                                          std::memory_order_relaxed);
+        }
+    }
+    if (!from_cache) {
+        try {
+            response = dispatch(endpoint, request);
+        } catch (const FatalError &e) {
+            response = errorResponse(400, e.what());
+        } catch (const std::exception &e) {
+            response = errorResponse(500, e.what());
+        }
+        if (cacheable && response.status == 200)
+            cache_.put(request.target, response);
+    }
+
+    if (response.status >= 400)
+        counters.errors.fetch_add(1, std::memory_order_relaxed);
+    auto t1 = std::chrono::steady_clock::now();
+    counters.total_us.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 -
+                                                                  t0)
+                .count()),
+        std::memory_order_relaxed);
+    return response;
+}
+
+HttpResponse
+QueryService::dispatch(Endpoint endpoint, const HttpRequest &request)
+{
+    if (request.method != "GET" &&
+        !(request.method == "POST" && endpoint == Endpoint::Predict))
+        return errorResponse(405, "method not allowed");
+
+    switch (endpoint) {
+      case Endpoint::Healthz: return handleHealthz();
+      case Endpoint::UArchs: return handleUArchs();
+      case Endpoint::Instr: return handleInstr(request);
+      case Endpoint::Search: return handleSearch(request);
+      case Endpoint::Diff: return handleDiff(request);
+      case Endpoint::Predict: return handlePredict(request);
+      case Endpoint::Stats: return handleStats();
+      case Endpoint::Other: break;
+    }
+    return errorResponse(404, "no such endpoint: " + request.path);
+}
+
+HttpResponse
+QueryService::handleHealthz()
+{
+    JsonWriter json;
+    json.beginObject();
+    json.member("status", "ok");
+    json.member("records", db_.numRecords());
+    json.key("uarches").beginArray();
+    for (uarch::UArch arch : db_.uarches())
+        json.value(std::string_view(uarch::uarchShortName(arch)));
+    json.endArray();
+    json.endObject();
+    return jsonResponse(std::move(json).str());
+}
+
+HttpResponse
+QueryService::handleUArchs()
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("uarchs").beginArray();
+    for (uarch::UArch arch : db_.uarches()) {
+        const uarch::UArchInfo &info = uarch::uarchInfo(arch);
+        json.beginObject();
+        json.member("name", std::string_view(info.short_name));
+        json.member("full_name", std::string_view(info.full_name));
+        json.member("processor", std::string_view(info.processor));
+        json.member("ports", info.num_ports);
+        json.member("records", db_.numRecords(arch));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return jsonResponse(std::move(json).str());
+}
+
+HttpResponse
+QueryService::handleInstr(const HttpRequest &request)
+{
+    if (request.path == "/instr" || request.path == "/instr/")
+        return errorResponse(400, "usage: /instr/{variant-name}");
+    std::string name = request.path.substr(strlen("/instr/"));
+
+    std::vector<uint32_t> rows;
+    if (auto arch = parseArchParam(request, "uarch")) {
+        if (auto row = db_.find(*arch, name))
+            rows.push_back(*row);
+    } else {
+        rows = db_.findByName(name);
+    }
+    if (rows.empty())
+        return errorResponse(404, "no results for variant '" + name +
+                                      "'");
+
+    JsonWriter json;
+    json.beginObject();
+    json.member("name", std::string_view(name));
+    json.key("results").beginArray();
+    for (uint32_t row : rows)
+        writeRecord(json, db_.record(row));
+    json.endArray();
+    json.endObject();
+    return jsonResponse(std::move(json).str());
+}
+
+HttpResponse
+QueryService::handleSearch(const HttpRequest &request)
+{
+    db::Query query;
+    query.arch = parseArchParam(request, "uarch");
+    query.name = request.param("name");
+    query.mnemonic = request.param("mnemonic");
+    query.extension = request.param("extension");
+    if (auto uses = request.param("uses"))
+        query.uses_ports = uarch::parsePortMask(*uses);
+    auto double_param = [&](const char *key) {
+        std::optional<double> out;
+        if (auto text = request.param(key)) {
+            out = parseDouble(*text);
+            fatalIf(!out, "non-numeric parameter ", key, "='", *text,
+                    "'");
+        }
+        return out;
+    };
+    auto int_param = [&](const char *key) {
+        std::optional<int> out;
+        if (auto text = request.param(key)) {
+            auto parsed = parseInt(*text);
+            fatalIf(!parsed, "non-integer parameter ", key, "='",
+                    *text, "'");
+            out = static_cast<int>(*parsed);
+        }
+        return out;
+    };
+    query.tp_min = double_param("tp_min");
+    query.tp_max = double_param("tp_max");
+    query.lat_min = int_param("lat_min");
+    query.lat_max = int_param("lat_max");
+    if (auto limit = int_param("limit")) {
+        fatalIf(*limit < 0, "negative limit");
+        query.limit = static_cast<size_t>(*limit);
+    }
+
+    std::vector<uint32_t> rows = db_.search(query);
+
+    JsonWriter json;
+    json.beginObject();
+    json.member("count", rows.size());
+    json.key("results").beginArray();
+    for (uint32_t row : rows)
+        writeRecord(json, db_.record(row));
+    json.endArray();
+    json.endObject();
+    return jsonResponse(std::move(json).str());
+}
+
+HttpResponse
+QueryService::handleDiff(const HttpRequest &request)
+{
+    auto a = parseArchParam(request, "a");
+    auto b = parseArchParam(request, "b");
+    if (!a || !b)
+        return errorResponse(400, "usage: /diff?a=NHM&b=SKL");
+
+    db::DiffResult diff = db_.diff(*a, *b);
+
+    JsonWriter json;
+    json.beginObject();
+    json.member("a", std::string_view(uarch::uarchShortName(*a)));
+    json.member("b", std::string_view(uarch::uarchShortName(*b)));
+    json.member("common", diff.common);
+    json.key("changed").beginArray();
+    for (const db::DiffEntry &entry : diff.changed) {
+        db::RecordView rec_a = db_.record(entry.row_a);
+        db::RecordView rec_b = db_.record(entry.row_b);
+        json.beginObject();
+        json.member("name", std::string_view(rec_a.name()));
+        json.member("tp_differs", entry.tp_differs);
+        json.member("ports_differ", entry.ports_differ);
+        json.member("latency_differs", entry.latency_differs);
+        json.key("a").beginObject();
+        json.member("ports", std::string_view(
+                                 rec_a.portUsage().toString()));
+        json.member("tp", rec_a.tpMeasured());
+        json.member("max_latency", rec_a.maxLatency());
+        json.endObject();
+        json.key("b").beginObject();
+        json.member("ports", std::string_view(
+                                 rec_b.portUsage().toString()));
+        json.member("tp", rec_b.tpMeasured());
+        json.member("max_latency", rec_b.maxLatency());
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    json.key("only_a").beginArray();
+    for (const std::string &name : diff.only_a)
+        json.value(std::string_view(name));
+    json.endArray();
+    json.key("only_b").beginArray();
+    for (const std::string &name : diff.only_b)
+        json.value(std::string_view(name));
+    json.endArray();
+    json.endObject();
+    return jsonResponse(std::move(json).str());
+}
+
+const QueryService::PredictContext &
+QueryService::predictContext(uarch::UArch arch)
+{
+    std::lock_guard<std::mutex> lock(predict_mutex_);
+    auto it = predict_contexts_.find(arch);
+    if (it == predict_contexts_.end()) {
+        auto context = std::make_unique<PredictContext>();
+        context->set = db_.toCharacterizationSet(arch, instrs_);
+        context->predictor =
+            std::make_unique<core::PerformancePredictor>(context->set);
+        it = predict_contexts_.emplace(arch, std::move(context)).first;
+    }
+    return *it->second;
+}
+
+HttpResponse
+QueryService::handlePredict(const HttpRequest &request)
+{
+    auto arch = parseArchParam(request, "uarch");
+    if (!arch)
+        return errorResponse(
+            400, "usage: /predict?uarch=SKL&asm=ADD RAX, RBX; ...");
+
+    std::string listing;
+    if (request.method == "POST") {
+        listing = request.body;
+    } else if (auto text = request.param("asm")) {
+        listing = *text;
+    }
+    if (listing.empty())
+        return errorResponse(400,
+                             "missing kernel: pass ?asm= or a POST "
+                             "body with one instruction per line");
+    // Accept ';' as a line separator so kernels fit in a query string.
+    for (char &c : listing)
+        if (c == ';')
+            c = '\n';
+
+    isa::Kernel kernel = isa::assemble(instrs_, listing);
+    if (kernel.empty())
+        return errorResponse(400, "empty kernel");
+
+    const PredictContext &context = predictContext(*arch);
+    core::Prediction prediction =
+        context.predictor->analyzeLoop(kernel);
+
+    JsonWriter json;
+    json.beginObject();
+    json.member("uarch",
+                std::string_view(uarch::uarchShortName(*arch)));
+    json.member("instructions", kernel.size());
+    json.member("block_throughput", prediction.block_throughput);
+    json.member("bottleneck", std::string_view(prediction.bottleneck));
+    json.key("bounds").beginObject();
+    json.member("ports", prediction.port_bound);
+    json.member("dependencies", prediction.dependency_bound);
+    json.member("frontend", prediction.frontend_bound);
+    json.member("divider", prediction.divider_bound);
+    json.endObject();
+    json.key("port_pressure").beginArray();
+    int num_ports = uarch::uarchInfo(*arch).num_ports;
+    for (int p = 0; p < num_ports; ++p)
+        json.value(prediction.port_pressure[static_cast<size_t>(p)]);
+    json.endArray();
+    json.endObject();
+    return jsonResponse(std::move(json).str());
+}
+
+HttpResponse
+QueryService::handleStats()
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("endpoints").beginObject();
+    for (size_t i = 0; i < kNumEndpoints; ++i) {
+        EndpointMetrics m = metrics(static_cast<Endpoint>(i));
+        json.key(endpointName(static_cast<Endpoint>(i)))
+            .beginObject();
+        json.member("requests", m.requests);
+        json.member("errors", m.errors);
+        json.member("cache_hits", m.cache_hits);
+        json.member("total_us", m.total_us);
+        json.endObject();
+    }
+    json.endObject();
+    ResponseCache::Stats cache = cache_.stats();
+    json.key("cache").beginObject();
+    json.member("hits", cache.hits);
+    json.member("misses", cache.misses);
+    json.member("insertions", cache.insertions);
+    json.member("evictions", cache.evictions);
+    json.member("entries", cache.entries);
+    json.member("shards", cache.shards);
+    json.member("capacity", cache.capacity);
+    json.endObject();
+    json.endObject();
+    return jsonResponse(std::move(json).str());
+}
+
+EndpointMetrics
+QueryService::metrics(Endpoint endpoint) const
+{
+    const Counters &counters =
+        counters_[static_cast<size_t>(endpoint)];
+    EndpointMetrics out;
+    out.requests = counters.requests.load(std::memory_order_relaxed);
+    out.errors = counters.errors.load(std::memory_order_relaxed);
+    out.cache_hits =
+        counters.cache_hits.load(std::memory_order_relaxed);
+    out.total_us = counters.total_us.load(std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace uops::server

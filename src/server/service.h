@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The query service: routes HTTP requests against an
+ * InstructionDatabase to JSON responses.
+ *
+ * Endpoints (all responses application/json):
+ *
+ *   GET /healthz                       liveness + record counts
+ *   GET /uarchs                        served microarchitectures
+ *   GET /instr/{name}[?uarch=SKL]      one variant, all/one uarch(s)
+ *   GET /search?...                    indexed search; parameters:
+ *         uarch=SKL mnemonic=ADD extension=SSE2 uses=p05
+ *         tp_min= tp_max= lat_min= lat_max= limit=
+ *   GET /diff?a=NHM&b=SKL              cross-uarch differences
+ *   GET /predict?uarch=SKL&asm=...     basic-block throughput via
+ *                                      core::PerformancePredictor
+ *         (';' or newlines separate instructions; POST with the
+ *          listing as text/plain body is the uncached equivalent)
+ *   GET /stats                         per-endpoint metrics + cache
+ *
+ * GET responses for /instr, /search, /diff and /predict pass through
+ * the sharded LRU response cache keyed by the raw request target;
+ * /healthz and /stats are never cached. Every request updates the
+ * per-endpoint metrics (requests, errors, cache hits, total µs).
+ *
+ * handle() is thread-safe: the database and instruction set are
+ * immutable, the cache and metrics are internally synchronized, and
+ * per-uarch predictor contexts are built once under a mutex.
+ */
+
+#ifndef UOPS_SERVER_SERVICE_H
+#define UOPS_SERVER_SERVICE_H
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "core/predictor.h"
+#include "db/database.h"
+#include "server/http.h"
+#include "server/response_cache.h"
+
+namespace uops::server {
+
+/** Routes, in metrics order. */
+enum class Endpoint : uint8_t {
+    Healthz,
+    UArchs,
+    Instr,
+    Search,
+    Diff,
+    Predict,
+    Stats,
+    Other,
+};
+
+constexpr size_t kNumEndpoints = 8;
+
+/** Metrics name of a route ("/instr", ...). */
+const char *endpointName(Endpoint endpoint);
+
+/** Point-in-time copy of one endpoint's counters. */
+struct EndpointMetrics
+{
+    uint64_t requests = 0;
+    uint64_t errors = 0;       ///< responses with status >= 400
+    uint64_t cache_hits = 0;
+    uint64_t total_us = 0;     ///< wall time spent in handle()
+};
+
+class QueryService
+{
+  public:
+    struct Options
+    {
+        size_t cache_shards = 8;
+        size_t cache_capacity_per_shard = 512;
+    };
+
+    /**
+     * @param database Query database (immutable while serving).
+     * @param instrs   Instruction set used to assemble /predict
+     *                 kernels and resolve variants.
+     */
+    QueryService(const db::InstructionDatabase &database,
+                 const isa::InstrDb &instrs, Options options);
+
+    /** Default options. */
+    QueryService(const db::InstructionDatabase &database,
+                 const isa::InstrDb &instrs);
+
+    /** Route one request to a response (thread-safe). */
+    HttpResponse handle(const HttpRequest &request);
+
+    /** Counters for one endpoint. */
+    EndpointMetrics metrics(Endpoint endpoint) const;
+
+    ResponseCache::Stats cacheStats() const { return cache_.stats(); }
+
+    const db::InstructionDatabase &database() const { return db_; }
+
+  private:
+    struct Counters
+    {
+        std::atomic<uint64_t> requests{0};
+        std::atomic<uint64_t> errors{0};
+        std::atomic<uint64_t> cache_hits{0};
+        std::atomic<uint64_t> total_us{0};
+    };
+
+    /** Lazily-built per-uarch predictor (set must outlive it). */
+    struct PredictContext
+    {
+        core::CharacterizationSet set;
+        std::unique_ptr<core::PerformancePredictor> predictor;
+    };
+
+    Endpoint route(const HttpRequest &request) const;
+    HttpResponse dispatch(Endpoint endpoint,
+                          const HttpRequest &request);
+
+    HttpResponse handleHealthz();
+    HttpResponse handleUArchs();
+    HttpResponse handleInstr(const HttpRequest &request);
+    HttpResponse handleSearch(const HttpRequest &request);
+    HttpResponse handleDiff(const HttpRequest &request);
+    HttpResponse handlePredict(const HttpRequest &request);
+    HttpResponse handleStats();
+
+    const PredictContext &predictContext(uarch::UArch arch);
+
+    const db::InstructionDatabase &db_;
+    const isa::InstrDb &instrs_;
+    ResponseCache cache_;
+    std::array<Counters, kNumEndpoints> counters_;
+
+    std::mutex predict_mutex_;
+    std::map<uarch::UArch, std::unique_ptr<PredictContext>>
+        predict_contexts_;
+};
+
+/** JSON error body {"error": message}. */
+HttpResponse errorResponse(int status, const std::string &message);
+
+} // namespace uops::server
+
+#endif // UOPS_SERVER_SERVICE_H

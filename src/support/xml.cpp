@@ -80,12 +80,18 @@ XmlNode::attr(const std::string &key, long value)
     return attr(key, std::to_string(value));
 }
 
-XmlNode &
-XmlNode::attr(const std::string &key, double value)
+std::string
+xmlFormatDouble(double value)
 {
     std::ostringstream os;
     os << value;
-    return attr(key, os.str());
+    return os.str();
+}
+
+XmlNode &
+XmlNode::attr(const std::string &key, double value)
+{
+    return attr(key, xmlFormatDouble(value));
 }
 
 const std::string &

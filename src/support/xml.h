@@ -23,6 +23,16 @@ namespace uops {
 std::string xmlEscape(const std::string &s);
 
 /**
+ * The canonical text form of a double in our XML/JSON artifacts
+ * (default ostream formatting, 6 significant digits).
+ *
+ * Exposed so that consumers which must be bit-identical to an
+ * XML-text round trip (db ingest, JSON responses) can normalize
+ * values through the exact same formatting the writer uses.
+ */
+std::string xmlFormatDouble(double value);
+
+/**
  * An XML element tree node.
  *
  * Attribute order is preserved (stable output); children are owned.

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "support/status.h"
+#include "support/strings.h"
 
 namespace uops::uarch {
 
@@ -81,6 +82,25 @@ PortUsage::toString() const
                portMaskName(entries[i].first);
     }
     return out;
+}
+
+PortUsage
+PortUsage::fromString(const std::string &text)
+{
+    PortUsage usage;
+    if (text.empty() || text == "-")
+        return usage;
+    for (const std::string &piece : split(text, '+')) {
+        size_t star = piece.find('*');
+        fatalIf(star == std::string::npos, "bad port usage entry '",
+                piece, "'");
+        auto count = parseInt(piece.substr(0, star));
+        fatalIf(!count || *count <= 0, "bad port usage count in '",
+                piece, "'");
+        usage.add(parsePortMask(piece.substr(star + 1)),
+                  static_cast<int>(*count));
+    }
+    return usage;
 }
 
 PortUsage

@@ -131,6 +131,14 @@ struct PortUsage
     bool operator==(const PortUsage &other) const;
     std::string toString() const;
 
+    /**
+     * Parse a toString() rendering ("3*p015+1*p23"; "-" is empty).
+     * The inverse used by the results-XML ingest path.
+     *
+     * @throws FatalError on malformed input.
+     */
+    static PortUsage fromString(const std::string &text);
+
     /** Ground-truth usage of a timing (µops grouped by port set). */
     static PortUsage ofTiming(const std::vector<UopSpec> &uops);
 };

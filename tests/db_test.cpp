@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Tests for the instruction-performance database (src/db): the
+ * golden round-trip property (characterize → XML export → XML ingest
+ * → snapshot save → snapshot load must be bit-identical to the
+ * in-memory ingest path), columnar queries, snapshot validation, and
+ * snapshot-identical answers under concurrent readers.
+ */
+
+#include <atomic>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/batch.h"
+#include "db/snapshot.h"
+#include "isa/results_xml.h"
+#include "support/thread_pool.h"
+#include "test_util.h"
+
+namespace uops::test {
+namespace {
+
+/** Same diverse slice as batch_test: GPR ALU, zero idiom, SSE, AVX,
+ *  divider, memory — small enough to characterize in milliseconds. */
+bool
+sliceFilter(const isa::InstrVariant &v)
+{
+    const std::string &m = v.mnemonic();
+    return m == "ADD" || m == "XOR" || m == "PXOR" || m == "DIV" ||
+           m == "MOVAPS" || m == "VPXOR" || m == "IMUL";
+}
+
+const std::vector<uarch::UArch> kArches = {uarch::UArch::Nehalem,
+                                           uarch::UArch::Skylake};
+
+/** One shared characterization run for the whole suite. */
+const core::CharacterizationReport &
+sliceReport()
+{
+    static const core::CharacterizationReport report = [] {
+        core::BatchOptions options;
+        options.num_threads = 2;
+        options.characterizer.filter = sliceFilter;
+        return core::runBatchSweep(defaultDb(), kArches, options);
+    }();
+    return report;
+}
+
+/** Database built through the in-memory ingest path. */
+const db::InstructionDatabase &
+sliceDb()
+{
+    // Built in place: InstructionDatabase is neither copyable nor
+    // movable (its indexes hold views into the string pool).
+    static const db::InstructionDatabase *database = [] {
+        auto *built = new db::InstructionDatabase();
+        built->ingest(sliceReport());
+        return built;
+    }();
+    return *database;
+}
+
+// ---------------------------------------------------------------------
+// The golden round-trip (acceptance criterion).
+// ---------------------------------------------------------------------
+
+TEST(DbRoundTrip, XmlIngestIsBitIdenticalToInMemoryIngest)
+{
+    // characterize → XML export → XML ingest ...
+    std::string xml_text = sliceReport().toXmlString();
+    isa::ResultsDoc doc = isa::parseResultsXml(xml_text);
+    db::InstructionDatabase from_xml;
+    from_xml.ingestResults(doc, &defaultDb());
+
+    // ... must match the in-memory ingest bit for bit.
+    EXPECT_EQ(db::snapshotBytes(sliceDb()),
+              db::snapshotBytes(from_xml));
+}
+
+TEST(DbRoundTrip, SnapshotSaveLoadIsBitExact)
+{
+    std::string bytes = db::snapshotBytes(sliceDb());
+    auto loaded = db::loadSnapshotBytes(bytes);
+    // save(load(save(db))) == save(db)
+    EXPECT_EQ(db::snapshotBytes(*loaded), bytes);
+    EXPECT_EQ(loaded->numRecords(), sliceDb().numRecords());
+}
+
+TEST(DbRoundTrip, FullPipelineGolden)
+{
+    // The complete chain of the acceptance criterion in one line per
+    // stage: characterize → XML → ingest → save → load, then compare
+    // query answers (not just bytes) against the in-memory path.
+    auto doc = isa::parseResultsXml(sliceReport().toXmlString());
+    db::InstructionDatabase from_xml;
+    from_xml.ingestResults(doc, &defaultDb());
+    auto loaded = db::loadSnapshotBytes(db::snapshotBytes(from_xml));
+
+    const db::InstructionDatabase &direct = sliceDb();
+    ASSERT_EQ(loaded->numRecords(), direct.numRecords());
+    for (uint32_t row = 0;
+         row < static_cast<uint32_t>(direct.numRecords()); ++row) {
+        db::RecordView a = direct.record(row);
+        db::RecordView b = loaded->record(row);
+        EXPECT_EQ(a.name(), b.name());
+        EXPECT_EQ(a.arch(), b.arch());
+        EXPECT_EQ(a.extension(), b.extension());
+        EXPECT_TRUE(a.portUsage() == b.portUsage());
+        EXPECT_EQ(a.uopCount(), b.uopCount());
+        EXPECT_EQ(a.maxLatency(), b.maxLatency());
+        // Bit-identical doubles, not approximately equal.
+        EXPECT_EQ(a.tpMeasured(), b.tpMeasured());
+        EXPECT_EQ(a.tpWithBreakers(), b.tpWithBreakers());
+        EXPECT_EQ(a.tpSlow(), b.tpSlow());
+        EXPECT_EQ(a.tpFromPorts(), b.tpFromPorts());
+        EXPECT_EQ(a.sameRegCycles(), b.sameRegCycles());
+        EXPECT_EQ(a.storeRoundTrip(), b.storeRoundTrip());
+        auto lats_a = a.latencies();
+        auto lats_b = b.latencies();
+        ASSERT_EQ(lats_a.size(), lats_b.size());
+        for (size_t i = 0; i < lats_a.size(); ++i) {
+            EXPECT_EQ(lats_a[i].src_op, lats_b[i].src_op);
+            EXPECT_EQ(lats_a[i].dst_op, lats_b[i].dst_op);
+            EXPECT_EQ(lats_a[i].cycles, lats_b[i].cycles);
+            EXPECT_EQ(lats_a[i].upper_bound, lats_b[i].upper_bound);
+            EXPECT_EQ(lats_a[i].slow_cycles, lats_b[i].slow_cycles);
+        }
+    }
+}
+
+TEST(DbRoundTrip, CanonicalCyclesIsIdempotent)
+{
+    for (double x : {0.25, 0.33333, 1.0, 1.332, 3.99, 42.0, 88.5}) {
+        double canon = db::canonicalCycles(x);
+        EXPECT_EQ(canon, db::canonicalCycles(canon));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Results-XML parsing.
+// ---------------------------------------------------------------------
+
+TEST(ResultsXml, ParsesSingleUArchRoot)
+{
+    auto set = sliceReport().uarches[1].toSet();
+    std::string xml = core::exportResultsXml(set)->toString();
+    isa::ResultsDoc doc = isa::parseResultsXml(xml);
+    ASSERT_EQ(doc.uarches.size(), 1u);
+    EXPECT_EQ(doc.uarches[0].architecture, "SKL");
+    EXPECT_EQ(doc.uarches[0].instrs.size(), set.instrs.size());
+}
+
+TEST(ResultsXml, CapturesErrorsFromBatchReports)
+{
+    core::BatchOptions options;
+    options.num_threads = 2;
+    options.characterizer.filter = sliceFilter;
+    options.on_variant_done = [](uarch::UArch,
+                                 const isa::InstrVariant &v, bool) {
+        if (v.mnemonic() == "PXOR")
+            throw std::runtime_error("injected");
+    };
+    auto report = core::runBatchSweep(defaultDb(), kArches, options);
+    isa::ResultsDoc doc = isa::parseResultsXml(report.toXmlString());
+    size_t errors = 0;
+    for (const auto &ua : doc.uarches)
+        errors += ua.errors.size();
+    EXPECT_EQ(errors, report.numFailed());
+    EXPECT_GT(errors, 0u);
+}
+
+TEST(ResultsXml, RejectsForeignRoots)
+{
+    EXPECT_THROW(isa::parseResultsXml("<wrong/>"), FatalError);
+}
+
+TEST(ResultsXml, PortUsageStringRoundTrips)
+{
+    // Canonical strings are sorted by port mask (PortUsage::add),
+    // exactly as the XML export renders them.
+    for (const char *text : {"-", "1*p0", "1*p23+3*p015",
+                             "1*p23+1*p4+2*p0156"}) {
+        uarch::PortUsage usage = uarch::PortUsage::fromString(text);
+        EXPECT_EQ(usage.toString(), text);
+    }
+    EXPECT_THROW(uarch::PortUsage::fromString("nonsense"), FatalError);
+    EXPECT_THROW(uarch::PortUsage::fromString("x*p0"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Queries.
+// ---------------------------------------------------------------------
+
+TEST(DbQuery, PointLookup)
+{
+    const db::InstructionDatabase &database = sliceDb();
+    auto row = database.find(uarch::UArch::Skylake, "ADD_R64_R64");
+    ASSERT_TRUE(row.has_value());
+    db::RecordView rec = database.record(*row);
+    EXPECT_EQ(rec.name(), "ADD_R64_R64");
+    EXPECT_EQ(rec.mnemonic(), "ADD");
+    EXPECT_EQ(rec.arch(), uarch::UArch::Skylake);
+    EXPECT_GT(rec.uopCount(), 0);
+    EXPECT_GT(rec.tpMeasured(), 0.0);
+
+    EXPECT_FALSE(
+        database.find(uarch::UArch::Skylake, "NO_SUCH_VARIANT"));
+    // Present on both uarches.
+    EXPECT_EQ(database.findByName("ADD_R64_R64").size(), 2u);
+}
+
+TEST(DbQuery, MnemonicAndExtensionIndexes)
+{
+    const db::InstructionDatabase &database = sliceDb();
+    db::Query query;
+    query.mnemonic = "ADD";
+    auto rows = database.search(query);
+    ASSERT_FALSE(rows.empty());
+    for (uint32_t row : rows)
+        EXPECT_EQ(database.record(row).mnemonic(), "ADD");
+
+    db::Query by_ext;
+    by_ext.extension = "AVX";
+    by_ext.arch = uarch::UArch::Skylake;
+    auto avx_rows = database.search(by_ext);
+    ASSERT_FALSE(avx_rows.empty());
+    for (uint32_t row : avx_rows)
+        EXPECT_EQ(database.record(row).extension(), "AVX");
+
+    // AVX doesn't exist on Nehalem.
+    by_ext.arch = uarch::UArch::Nehalem;
+    EXPECT_TRUE(database.search(by_ext).empty());
+}
+
+TEST(DbQuery, PortMaskSupersetScan)
+{
+    const db::InstructionDatabase &database = sliceDb();
+    db::Query query;
+    query.arch = uarch::UArch::Skylake;
+    query.uses_ports = uarch::portMask({0, 5});
+    auto rows = database.search(query);
+    ASSERT_FALSE(rows.empty());
+    for (uint32_t row : rows) {
+        uarch::PortMask mask = database.record(row).portUnion();
+        EXPECT_EQ(mask & query.uses_ports, query.uses_ports)
+            << std::string(database.record(row).name());
+    }
+    // Sanity: the filter excludes something (e.g. pure p23 loads).
+    db::Query all;
+    all.arch = uarch::UArch::Skylake;
+    EXPECT_LT(rows.size(), database.search(all).size());
+}
+
+TEST(DbQuery, ThroughputAndLatencyRanges)
+{
+    const db::InstructionDatabase &database = sliceDb();
+    db::Query query;
+    query.tp_min = 0.9;
+    query.tp_max = 30.0;
+    auto rows = database.search(query);
+    ASSERT_FALSE(rows.empty());
+    for (uint32_t row : rows) {
+        double tp = database.record(row).tpMeasured();
+        EXPECT_GE(tp, 0.9);
+        EXPECT_LE(tp, 30.0);
+    }
+
+    db::Query lat_query;
+    lat_query.lat_min = 10;   // dividers
+    auto lat_rows = database.search(lat_query);
+    ASSERT_FALSE(lat_rows.empty());
+    for (uint32_t row : lat_rows)
+        EXPECT_GE(database.record(row).maxLatency(), 10);
+}
+
+TEST(DbQuery, LimitAndCombinedPredicates)
+{
+    const db::InstructionDatabase &database = sliceDb();
+    db::Query query;
+    query.arch = uarch::UArch::Skylake;
+    query.limit = 3;
+    EXPECT_EQ(database.search(query).size(), 3u);
+
+    db::Query combined;
+    combined.mnemonic = "DIV";
+    combined.arch = uarch::UArch::Skylake;
+    combined.lat_min = 2;
+    auto rows = database.search(combined);
+    for (uint32_t row : rows) {
+        EXPECT_EQ(database.record(row).mnemonic(), "DIV");
+        EXPECT_GE(database.record(row).maxLatency(), 2);
+    }
+}
+
+TEST(DbQuery, CrossUArchDiff)
+{
+    const db::InstructionDatabase &database = sliceDb();
+    db::DiffResult diff =
+        database.diff(uarch::UArch::Nehalem, uarch::UArch::Skylake);
+    EXPECT_GT(diff.common, 0u);
+    // AVX variants exist only on Skylake.
+    EXPECT_FALSE(diff.only_b.empty());
+    EXPECT_TRUE(diff.only_a.empty());
+    for (const db::DiffEntry &entry : diff.changed) {
+        EXPECT_TRUE(entry.tp_differs || entry.ports_differ ||
+                    entry.latency_differs);
+        EXPECT_EQ(database.record(entry.row_a).name(),
+                  database.record(entry.row_b).name());
+    }
+    // Diff against self reports nothing.
+    db::DiffResult self =
+        database.diff(uarch::UArch::Skylake, uarch::UArch::Skylake);
+    EXPECT_TRUE(self.changed.empty());
+    EXPECT_TRUE(self.only_a.empty());
+    EXPECT_TRUE(self.only_b.empty());
+}
+
+TEST(DbQuery, UArchEnumeration)
+{
+    const db::InstructionDatabase &database = sliceDb();
+    auto arches = database.uarches();
+    ASSERT_EQ(arches.size(), 2u);
+    EXPECT_EQ(arches[0], uarch::UArch::Nehalem);
+    EXPECT_EQ(arches[1], uarch::UArch::Skylake);
+    EXPECT_EQ(database.numRecords(uarch::UArch::Nehalem) +
+                  database.numRecords(uarch::UArch::Skylake),
+              database.numRecords());
+}
+
+TEST(DbQuery, ToCharacterizationSetResolvesVariants)
+{
+    const db::InstructionDatabase &database = sliceDb();
+    auto set = database.toCharacterizationSet(uarch::UArch::Skylake,
+                                              defaultDb());
+    EXPECT_EQ(set.instrs.size(),
+              database.numRecords(uarch::UArch::Skylake));
+    const auto *c = set.find("ADD_R64_R64");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->variant, defaultDb().byName("ADD_R64_R64"));
+    EXPECT_FALSE(c->latency.pairs.empty());
+    EXPECT_GT(c->ports.usage.totalUops(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot validation.
+// ---------------------------------------------------------------------
+
+TEST(DbSnapshot, RejectsCorruptInput)
+{
+    std::string bytes = db::snapshotBytes(sliceDb());
+
+    EXPECT_THROW(db::loadSnapshotBytes(""), FatalError);
+    EXPECT_THROW(
+        db::loadSnapshotBytes(bytes.substr(0, bytes.size() / 2)),
+        FatalError);
+
+    std::string bad_magic = bytes;
+    bad_magic[0] = 'X';
+    EXPECT_THROW(db::loadSnapshotBytes(bad_magic), FatalError);
+
+    std::string bad_version = bytes;
+    bad_version[8] = char(0x7f);
+    EXPECT_THROW(db::loadSnapshotBytes(bad_version), FatalError);
+
+    // A corrupt array-length prefix (first array starts after the
+    // 24-byte header) must be a FatalError before any allocation:
+    // 16M declared elements exceed the remaining file bytes but pass
+    // the implausible-size cap, so this exercises the stream-length
+    // bound specifically.
+    std::string length_bomb = bytes;
+    length_bomb[24] = char(0xff);
+    length_bomb[25] = char(0xff);
+    length_bomb[26] = char(0xff);
+    for (size_t i = 3; i < 8; ++i)
+        length_bomb[24 + i] = 0;
+    EXPECT_THROW(db::loadSnapshotBytes(length_bomb), FatalError);
+}
+
+TEST(DbSnapshot, IngestAfterLoadStaysBitIdentical)
+{
+    // Loading a snapshot re-interns the string pool, so ingesting
+    // more uarches on top of a loaded database must produce the same
+    // bytes as ingesting everything in memory.
+    db::InstructionDatabase direct;
+    direct.ingest(sliceReport().uarches[0].toSet());
+    direct.ingest(sliceReport().uarches[1].toSet());
+
+    db::InstructionDatabase first;
+    first.ingest(sliceReport().uarches[0].toSet());
+    auto resumed = db::loadSnapshotBytes(db::snapshotBytes(first));
+    resumed->ingest(sliceReport().uarches[1].toSet());
+
+    EXPECT_EQ(db::snapshotBytes(direct), db::snapshotBytes(*resumed));
+}
+
+TEST(DbSnapshot, DuplicateIngestIsRejected)
+{
+    db::InstructionDatabase database;
+    database.ingest(sliceReport().uarches[0].toSet());
+    EXPECT_THROW(database.ingest(sliceReport().uarches[0].toSet()),
+                 FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent readers (satellite: snapshot-identical responses).
+// ---------------------------------------------------------------------
+
+TEST(DbConcurrency, ParallelReadersSeeIdenticalAnswers)
+{
+    const db::InstructionDatabase &database = sliceDb();
+
+    // Baseline answers, computed single-threaded.
+    db::Query by_ports;
+    by_ports.uses_ports = uarch::portMask({0});
+    const auto baseline_ports = database.search(by_ports);
+    db::Query by_mnemonic;
+    by_mnemonic.mnemonic = "ADD";
+    const auto baseline_add = database.search(by_mnemonic);
+    const auto baseline_diff =
+        database.diff(uarch::UArch::Nehalem, uarch::UArch::Skylake);
+    const auto baseline_row =
+        database.find(uarch::UArch::Skylake, "ADD_R64_R64");
+    ASSERT_TRUE(baseline_row.has_value());
+    const double baseline_tp =
+        database.record(*baseline_row).tpMeasured();
+
+    std::atomic<size_t> mismatches{0};
+    ThreadPool pool(8);
+    pool.parallelFor(400, [&](size_t i, size_t) {
+        switch (i % 4) {
+          case 0: {
+            if (database.search(by_ports) != baseline_ports)
+                ++mismatches;
+            break;
+          }
+          case 1: {
+            if (database.search(by_mnemonic) != baseline_add)
+                ++mismatches;
+            break;
+          }
+          case 2: {
+            auto diff = database.diff(uarch::UArch::Nehalem,
+                                      uarch::UArch::Skylake);
+            if (diff.common != baseline_diff.common ||
+                diff.changed.size() != baseline_diff.changed.size())
+                ++mismatches;
+            break;
+          }
+          case 3: {
+            auto row =
+                database.find(uarch::UArch::Skylake, "ADD_R64_R64");
+            if (!row ||
+                database.record(*row).tpMeasured() != baseline_tp)
+                ++mismatches;
+            break;
+          }
+        }
+    });
+    EXPECT_EQ(mismatches.load(), 0u);
+}
+
+} // namespace
+} // namespace uops::test

@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Tests for the HTTP serving layer (src/server): JSON/HTTP plumbing,
+ * endpoint responses, the sharded LRU response cache, per-endpoint
+ * metrics, concurrent request hammering with snapshot-identical
+ * responses, and an end-to-end socket round trip against a live
+ * HttpServer on an ephemeral loopback port.
+ */
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/batch.h"
+#include "core/predictor.h"
+#include "db/snapshot.h"
+#include "server/http_server.h"
+#include "server/json.h"
+#include "support/thread_pool.h"
+#include "test_util.h"
+
+namespace uops::test {
+namespace {
+
+using server::Endpoint;
+using server::HttpRequest;
+using server::HttpResponse;
+
+bool
+sliceFilter(const isa::InstrVariant &v)
+{
+    const std::string &m = v.mnemonic();
+    return m == "ADD" || m == "XOR" || m == "IMUL" || m == "DIV" ||
+           m == "MOVAPS";
+}
+
+const db::InstructionDatabase &
+sliceDb()
+{
+    static const db::InstructionDatabase *database = [] {
+        core::BatchOptions options;
+        options.num_threads = 2;
+        options.characterizer.filter = sliceFilter;
+        auto report = core::runBatchSweep(
+            defaultDb(),
+            {uarch::UArch::Nehalem, uarch::UArch::Skylake}, options);
+        auto *built = new db::InstructionDatabase();
+        built->ingest(report);
+        return built;
+    }();
+    return *database;
+}
+
+/** Fresh service over the shared slice database. */
+std::unique_ptr<server::QueryService>
+makeService()
+{
+    return std::make_unique<server::QueryService>(sliceDb(),
+                                                  defaultDb());
+}
+
+HttpRequest
+get(const std::string &target)
+{
+    return server::parseRequestHead("GET " + target +
+                                    " HTTP/1.1\r\nHost: x");
+}
+
+// ---------------------------------------------------------------------
+// JSON writer.
+// ---------------------------------------------------------------------
+
+TEST(Json, WriterProducesStableDocuments)
+{
+    server::JsonWriter json;
+    json.beginObject();
+    json.member("name", "A \"quoted\"\nvalue");
+    json.member("count", 3);
+    json.member("ratio", 0.25);
+    json.member("flag", true);
+    json.key("list").beginArray();
+    json.value(1).value(2);
+    json.beginObject().member("x", 1).endObject();
+    json.endArray();
+    json.endObject();
+    EXPECT_EQ(std::move(json).str(),
+              "{\"name\":\"A \\\"quoted\\\"\\nvalue\",\"count\":3,"
+              "\"ratio\":0.25,\"flag\":true,\"list\":[1,2,{\"x\":1}]}");
+}
+
+TEST(Json, EscapesControlCharacters)
+{
+    EXPECT_EQ(server::jsonEscape(std::string("a\x01"
+                                             "b")),
+              "a\\u0001b");
+    EXPECT_EQ(server::jsonEscape("tab\there"), "tab\\there");
+}
+
+// ---------------------------------------------------------------------
+// HTTP plumbing.
+// ---------------------------------------------------------------------
+
+TEST(Http, ParsesRequestLineQueryAndHeaders)
+{
+    HttpRequest request = server::parseRequestHead(
+        "GET /search?mnemonic=ADD&tp_min=0.5&x=a%20b HTTP/1.1\r\n"
+        "Host: localhost\r\nContent-Length: 7");
+    EXPECT_EQ(request.method, "GET");
+    EXPECT_EQ(request.path, "/search");
+    EXPECT_EQ(request.query.at("mnemonic"), "ADD");
+    EXPECT_EQ(request.query.at("tp_min"), "0.5");
+    EXPECT_EQ(request.query.at("x"), "a b");
+    ASSERT_NE(request.header("host"), nullptr);
+    EXPECT_EQ(*request.header("HOST"), "localhost");
+    EXPECT_EQ(server::contentLength(request), 7u);
+}
+
+TEST(Http, RejectsMalformedRequests)
+{
+    EXPECT_THROW(server::parseRequestHead("GARBAGE"), FatalError);
+    EXPECT_THROW(server::parseRequestHead("GET /x SPDY/3"),
+                 FatalError);
+    EXPECT_THROW(server::percentDecode("%zz"), FatalError);
+}
+
+TEST(Http, SerializesResponsesWithLengthAndClose)
+{
+    HttpResponse response;
+    response.body = "{\"a\":1}";
+    std::string wire = server::serializeResponse(response);
+    EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("\r\n\r\n{\"a\":1}"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Response cache.
+// ---------------------------------------------------------------------
+
+TEST(Cache, LruEvictsLeastRecentlyUsedPerShard)
+{
+    server::ResponseCache cache(1, 2);
+    HttpResponse response;
+    response.body = "x";
+    cache.put("a", response);
+    cache.put("b", response);
+    EXPECT_TRUE(cache.get("a").has_value());  // refresh a
+    cache.put("c", response);                 // evicts b
+    EXPECT_TRUE(cache.get("a").has_value());
+    EXPECT_FALSE(cache.get("b").has_value());
+    EXPECT_TRUE(cache.get("c").has_value());
+
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.hits, 3u);
+    EXPECT_EQ(stats.misses, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Endpoints (router level, no sockets).
+// ---------------------------------------------------------------------
+
+TEST(Service, HealthzReportsRecordsAndUArches)
+{
+    auto service = makeService();
+    HttpResponse response = service->handle(get("/healthz"));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("\"status\":\"ok\""),
+              std::string::npos);
+    EXPECT_NE(response.body.find("\"uarches\":[\"NHM\",\"SKL\"]"),
+              std::string::npos);
+}
+
+TEST(Service, InstrEndpointReturnsRecordsAndHonorsUArchParam)
+{
+    auto service = makeService();
+    HttpResponse all = service->handle(get("/instr/ADD_R64_R64"));
+    EXPECT_EQ(all.status, 200);
+    // One record per uarch.
+    EXPECT_NE(all.body.find("\"uarch\":\"NHM\""), std::string::npos);
+    EXPECT_NE(all.body.find("\"uarch\":\"SKL\""), std::string::npos);
+
+    HttpResponse one =
+        service->handle(get("/instr/ADD_R64_R64?uarch=SKL"));
+    EXPECT_EQ(one.status, 200);
+    EXPECT_EQ(one.body.find("\"uarch\":\"NHM\""), std::string::npos);
+
+    EXPECT_EQ(service->handle(get("/instr/NO_SUCH")).status, 404);
+    EXPECT_EQ(service->handle(get("/instr")).status, 400);
+}
+
+TEST(Service, SearchEndpointFiltersAndCounts)
+{
+    auto service = makeService();
+    HttpResponse response = service->handle(
+        get("/search?uarch=SKL&mnemonic=ADD&limit=100"));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("\"count\":"), std::string::npos);
+    EXPECT_NE(response.body.find("\"mnemonic\":\"ADD\""),
+              std::string::npos);
+    EXPECT_EQ(response.body.find("\"mnemonic\":\"DIV\""),
+              std::string::npos);
+
+    // Port-mask query.
+    HttpResponse by_ports =
+        service->handle(get("/search?uarch=SKL&uses=p05&limit=3"));
+    EXPECT_EQ(by_ports.status, 200);
+
+    // Bad parameters are user errors, not 500s.
+    EXPECT_EQ(service->handle(get("/search?tp_min=abc")).status, 400);
+    EXPECT_EQ(service->handle(get("/search?uarch=XYZ")).status, 400);
+}
+
+TEST(Service, DiffEndpointComparesUArches)
+{
+    auto service = makeService();
+    HttpResponse response = service->handle(get("/diff?a=NHM&b=SKL"));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("\"common\":"), std::string::npos);
+    EXPECT_NE(response.body.find("\"changed\":"), std::string::npos);
+    EXPECT_EQ(service->handle(get("/diff?a=NHM")).status, 400);
+}
+
+TEST(Service, PredictMatchesDirectPredictor)
+{
+    auto service = makeService();
+    HttpResponse response = service->handle(
+        get("/predict?uarch=SKL&asm=ADD%20RAX,%20RBX;IMUL%20RCX,%20"
+            "RAX"));
+    ASSERT_EQ(response.status, 200) << response.body;
+
+    // The served numbers must equal a direct PerformancePredictor
+    // run over the same reconstructed characterization set.
+    auto set = sliceDb().toCharacterizationSet(uarch::UArch::Skylake,
+                                               defaultDb());
+    core::PerformancePredictor predictor(set);
+    core::Prediction expected = predictor.analyzeLoop(
+        asm_("ADD RAX, RBX\nIMUL RCX, RAX"));
+    EXPECT_NE(response.body.find(
+                  "\"block_throughput\":" +
+                  xmlFormatDouble(expected.block_throughput)),
+              std::string::npos)
+        << response.body;
+    EXPECT_NE(response.body.find("\"bottleneck\":\"" +
+                                 expected.bottleneck + "\""),
+              std::string::npos);
+
+    // Unknown mnemonics and missing parameters are 400s.
+    EXPECT_EQ(
+        service->handle(get("/predict?uarch=SKL&asm=BOGUS%20RAX"))
+            .status,
+        400);
+    EXPECT_EQ(service->handle(get("/predict?uarch=SKL")).status, 400);
+    EXPECT_EQ(service->handle(get("/predict?asm=NOP")).status, 400);
+}
+
+TEST(Service, PostPredictUsesBody)
+{
+    auto service = makeService();
+    HttpRequest request;
+    request.method = "POST";
+    request.target = "/predict?uarch=SKL";
+    request.path = "/predict";
+    request.query["uarch"] = "SKL";
+    request.body = "ADD RAX, RBX";
+    HttpResponse response = service->handle(request);
+    EXPECT_EQ(response.status, 200) << response.body;
+    EXPECT_NE(response.body.find("\"block_throughput\":"),
+              std::string::npos);
+
+    // Non-predict endpoints reject POST.
+    HttpRequest bad = request;
+    bad.target = "/search";
+    bad.path = "/search";
+    EXPECT_EQ(service->handle(bad).status, 405);
+}
+
+TEST(Service, UnknownEndpointIs404)
+{
+    auto service = makeService();
+    EXPECT_EQ(service->handle(get("/nope")).status, 404);
+}
+
+// ---------------------------------------------------------------------
+// Cache + metrics behaviour.
+// ---------------------------------------------------------------------
+
+TEST(Service, RepeatedGetHitsCacheWithIdenticalBody)
+{
+    auto service = makeService();
+    const std::string target = "/instr/ADD_R64_R64?uarch=SKL";
+    HttpResponse first = service->handle(get(target));
+    HttpResponse second = service->handle(get(target));
+    EXPECT_EQ(first.status, 200);
+    EXPECT_FALSE(first.cache_hit);
+    EXPECT_TRUE(second.cache_hit);
+    EXPECT_EQ(first.body, second.body);
+
+    auto metrics = service->metrics(Endpoint::Instr);
+    EXPECT_EQ(metrics.requests, 2u);
+    EXPECT_EQ(metrics.cache_hits, 1u);
+    EXPECT_EQ(metrics.errors, 0u);
+
+    auto cache = service->cacheStats();
+    EXPECT_EQ(cache.hits, 1u);
+    EXPECT_EQ(cache.insertions, 1u);
+}
+
+TEST(Service, ErrorsAreCountedAndNotCached)
+{
+    auto service = makeService();
+    EXPECT_EQ(service->handle(get("/instr/NO_SUCH")).status, 404);
+    EXPECT_EQ(service->handle(get("/instr/NO_SUCH")).status, 404);
+    auto metrics = service->metrics(Endpoint::Instr);
+    EXPECT_EQ(metrics.requests, 2u);
+    EXPECT_EQ(metrics.errors, 2u);
+    EXPECT_EQ(metrics.cache_hits, 0u);
+    EXPECT_EQ(service->cacheStats().insertions, 0u);
+}
+
+TEST(Service, StatsEndpointExposesMetricsAndCache)
+{
+    auto service = makeService();
+    service->handle(get("/healthz"));
+    HttpResponse response = service->handle(get("/stats"));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("\"/healthz\":{\"requests\":1"),
+              std::string::npos)
+        << response.body;
+    EXPECT_NE(response.body.find("\"cache\":{"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: N threads hammer the service; every response must be
+// identical to the single-threaded answer.
+// ---------------------------------------------------------------------
+
+TEST(ServiceConcurrency, HammeredEndpointsStaySnapshotIdentical)
+{
+    auto service = makeService();
+    const std::vector<std::string> targets = {
+        "/healthz",
+        "/uarchs",
+        "/instr/ADD_R64_R64",
+        "/instr/ADD_R64_R64?uarch=SKL",
+        "/search?uarch=SKL&mnemonic=ADD",
+        "/search?uses=p0&limit=5",
+        "/diff?a=NHM&b=SKL",
+        "/predict?uarch=SKL&asm=ADD%20RAX,%20RBX",
+    };
+    std::vector<std::string> baseline;
+    for (const std::string &target : targets)
+        baseline.push_back(service->handle(get(target)).body);
+
+    std::atomic<size_t> mismatches{0};
+    ThreadPool pool(8);
+    pool.parallelFor(800, [&](size_t i, size_t) {
+        size_t pick = i % targets.size();
+        HttpResponse response = service->handle(get(targets[pick]));
+        if (response.status != 200 ||
+            response.body != baseline[pick])
+            ++mismatches;
+    });
+    EXPECT_EQ(mismatches.load(), 0u);
+
+    // The hammering must have been served mostly from cache.
+    auto cache = service->cacheStats();
+    EXPECT_GT(cache.hits, 0u);
+    EXPECT_EQ(service->metrics(Endpoint::Search).errors, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Socket end-to-end.
+// ---------------------------------------------------------------------
+
+/** Blocking loopback HTTP GET; returns the full wire response. */
+std::string
+httpGet(uint16_t port, const std::string &target)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) < 0) {
+        ::close(fd);
+        return "";
+    }
+    std::string request = "GET " + target +
+                          " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    size_t sent = 0;
+    while (sent < request.size()) {
+        ssize_t n = ::send(fd, request.data() + sent,
+                           request.size() - sent, 0);
+        if (n <= 0)
+            break;
+        sent += static_cast<size_t>(n);
+    }
+    std::string response;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0)
+        response.append(chunk, static_cast<size_t>(n));
+    ::close(fd);
+    return response;
+}
+
+TEST(HttpServerSocket, ServesRequestsOnEphemeralPort)
+{
+    auto service = makeService();
+    server::HttpServer http(*service);
+    http.start();
+    ASSERT_GT(http.port(), 0);
+
+    std::string health = httpGet(http.port(), "/healthz");
+    EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+
+    std::string instr =
+        httpGet(http.port(), "/instr/ADD_R64_R64?uarch=SKL");
+    EXPECT_NE(instr.find("\"uarch\":\"SKL\""), std::string::npos);
+
+    // Second fetch is served from the cache, visibly so.
+    std::string cached =
+        httpGet(http.port(), "/instr/ADD_R64_R64?uarch=SKL");
+    EXPECT_NE(cached.find("X-Cache: hit"), std::string::npos);
+
+    std::string missing = httpGet(http.port(), "/instr/NO_SUCH");
+    EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+    http.stop();
+    EXPECT_FALSE(http.running());
+}
+
+TEST(HttpServerSocket, ConcurrentClientsGetConsistentAnswers)
+{
+    auto service = makeService();
+    server::HttpServer http(*service);
+    http.start();
+
+    std::string baseline = httpGet(http.port(), "/healthz");
+    ASSERT_NE(baseline.find("200 OK"), std::string::npos);
+
+    std::atomic<size_t> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 8; ++t) {
+        clients.emplace_back([&] {
+            for (int i = 0; i < 10; ++i)
+                if (httpGet(http.port(), "/healthz") != baseline)
+                    ++mismatches;
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+    // /healthz is uncached, so every response was freshly rendered;
+    // all of them must still be byte-identical.
+    EXPECT_EQ(mismatches.load(), 0u);
+
+    http.stop();
+}
+
+TEST(HttpServerSocket, MalformedRequestGets400)
+{
+    auto service = makeService();
+    server::HttpServer http(*service);
+    http.start();
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(http.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    const char *garbage = "NOT-HTTP\r\n\r\n";
+    ASSERT_GT(::send(fd, garbage, std::strlen(garbage), 0), 0);
+    std::string response;
+    char chunk[1024];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0)
+        response.append(chunk, static_cast<size_t>(n));
+    ::close(fd);
+    EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+
+    http.stop();
+}
+
+} // namespace
+} // namespace uops::test

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Perf-regression guard for the committed benchmark baselines.
+
+Compares a freshly produced ``--json`` output (bench_batch_sweep or
+bench_db_query) against the committed baseline file and fails when any
+matched run is slower than baseline by more than the tolerance.
+
+    check_perf.py CURRENT.json BASELINE.json [--tolerance 0.25]
+
+Matching is generic over both benchmark formats: runs are keyed by
+their ``threads`` (sweep) or ``name`` (db query) field, and the
+throughput metric is ``tasks_per_s`` or ``ops_per_s``. The baseline
+file may nest its runs under ``optimized`` (BENCH_sweep.json) or
+``baseline`` (BENCH_db.json).
+
+Only slowdowns fail the check; speedups are reported but fine. The
+default tolerance is deliberately wide (25%) because shared CI
+runners jitter — the guard exists to catch real regressions (2x
+slower hot path), not scheduling noise.
+
+Uses only the Python standard library.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(doc):
+    """Extract the run list from either a fresh output or a baseline."""
+    for section in ("optimized", "baseline"):
+        if section in doc and isinstance(doc[section], dict):
+            runs = doc[section].get("runs")
+            if runs:
+                return runs
+    runs = doc.get("runs")
+    if not runs:
+        raise SystemExit("error: no runs[] found in benchmark JSON")
+    return runs
+
+
+def run_key(run):
+    if "threads" in run:
+        return f"threads={run['threads']}"
+    if "name" in run:
+        return run["name"]
+    raise SystemExit(f"error: run without 'threads' or 'name': {run}")
+
+
+def run_metric(run):
+    for field in ("tasks_per_s", "ops_per_s"):
+        if field in run:
+            return field, float(run[field])
+    raise SystemExit(f"error: run without a throughput metric: {run}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh --json output")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional slowdown (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current_doc = json.load(f)
+    with open(args.baseline) as f:
+        baseline_doc = json.load(f)
+
+    current = {run_key(r): r for r in load_runs(current_doc)}
+    baseline = {run_key(r): r for r in load_runs(baseline_doc)}
+
+    failures = []
+    compared = 0
+    print(f"{'run':<24} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for key, base_run in baseline.items():
+        if key not in current:
+            print(f"{key:<24} {'(missing in current output)':>34}")
+            continue
+        metric, base_value = run_metric(base_run)
+        _, cur_value = run_metric(current[key])
+        if base_value <= 0:
+            continue
+        ratio = cur_value / base_value
+        compared += 1
+        marker = ""
+        if ratio < 1.0 - args.tolerance:
+            marker = "  << REGRESSION"
+            failures.append((key, ratio))
+        print(
+            f"{key:<24} {base_value:>12.1f} {cur_value:>12.1f}"
+            f" {ratio:>7.2f}x{marker}"
+        )
+
+    if compared == 0:
+        raise SystemExit("error: no comparable runs between the files")
+    if failures:
+        worst = min(failures, key=lambda f: f[1])
+        print(
+            f"\nFAIL: {len(failures)} run(s) slower than baseline by "
+            f">{args.tolerance:.0%} (worst: {worst[0]} at "
+            f"{worst[1]:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: {compared} run(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
