@@ -40,7 +40,7 @@ printAesStudy()
         std::printf("%-13s %6d %14.2f %14.2f %16s\n",
                     uarch::uarchInfo(arch).full_name.c_str(),
                     c.ports.usage.totalUops(),
-                    p00 ? p00->cycles : -1.0, p10 ? p10->cycles : -1.0,
+                    p00 ? p00->cycles.toDouble() : -1.0, p10 ? p10->cycles.toDouble() : -1.0,
                     c.ports.usage.toString().c_str());
     }
     rule();
@@ -60,8 +60,8 @@ printAesStudy()
     auto iaca_model = v21.model(*db().byName("AESDEC_X_M128"));
     std::printf("  measured: lat(X1->X1) = %.2f, lat(mem->X1) <= %.2f "
                 "(upper bound)\n",
-                reg_pair ? reg_pair->cycles : -1.0,
-                mem_pair ? mem_pair->cycles : -1.0);
+                reg_pair ? reg_pair->cycles.toDouble() : -1.0,
+                mem_pair ? mem_pair->cycles.toDouble() : -1.0);
     std::printf("  IACA 2.1 latency: %d   (paper: 13 = 7 + load "
                 "latency, 'probably obtained by just adding the\n"
                 "   load latency to the latency of the "
@@ -78,7 +78,7 @@ printAesStudy()
         const auto *p10 = c.latency.pair(1, 0);
         std::printf("  %-16s SNB: %d µops, lat %.0f / %.0f\n", name,
                     c.ports.usage.totalUops(),
-                    p00 ? p00->cycles : -1.0, p10 ? p10->cycles : -1.0);
+                    p00 ? p00->cycles.toDouble() : -1.0, p10 ? p10->cycles.toDouble() : -1.0);
     }
     std::printf("\n");
 }

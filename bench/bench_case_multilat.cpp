@@ -47,8 +47,8 @@ printMultiLatencyStudy()
         for (const auto &p : r.pairs) {
             if (p.upper_bound)
                 continue;
-            min_lat = std::min(min_lat, p.cycles);
-            max_lat = std::max(max_lat, p.cycles);
+            min_lat = std::min(min_lat, p.cycles.toDouble());
+            max_lat = std::max(max_lat, p.cycles.toDouble());
             if (!detail.empty())
                 detail += " ";
             detail += p.toString(*v);

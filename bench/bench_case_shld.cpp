@@ -35,8 +35,10 @@ printShldStudy()
         const auto *p10 = c.latency.pair(1, 0);
         std::printf("%-13s %12.2f %12.2f %10.2f %16s\n",
                     uarch::uarchInfo(arch).full_name.c_str(),
-                    p00 ? p00->cycles : -1.0, p10 ? p10->cycles : -1.0,
-                    c.latency.same_reg_cycles.value_or(-1.0),
+                    p00 ? p00->cycles.toDouble() : -1.0, p10 ? p10->cycles.toDouble() : -1.0,
+                    c.latency.same_reg_cycles
+                        ? c.latency.same_reg_cycles->toDouble()
+                        : -1.0,
                     c.ports.usage.toString().c_str());
     }
     rule();

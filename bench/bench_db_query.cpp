@@ -1,8 +1,10 @@
 /**
  * @file
  * Benchmarks for the serving subsystem: database point lookups,
- * port-mask columnar scans, and /predict through the query service
- * with a cold vs. warm response cache.
+ * port-mask columnar scans, /predict through the query service with a
+ * cold vs. warm response cache, and the two ingest paths — direct
+ * (per-record appends, exactly what the streaming SweepIngestor does)
+ * versus materializing and re-parsing the results XML.
  *
  * The database is built once from a standard two-uarch sweep slice
  * (the same `id % 4 == 0` slice the batch-sweep scaling study uses),
@@ -30,10 +32,10 @@
 namespace uops::bench {
 namespace {
 
-const db::InstructionDatabase &
-sliceDb()
+const core::CharacterizationReport &
+sliceReport()
 {
-    static const db::InstructionDatabase *database = [] {
+    static const core::CharacterizationReport report = [] {
         core::BatchOptions options;
         // The scaling-study slice, plus every ADD/IMUL variant so the
         // /predict benchmark kernel is guaranteed to be present.
@@ -41,14 +43,50 @@ sliceDb()
             return v.id() % 4 == 0 || v.mnemonic() == "ADD" ||
                    v.mnemonic() == "IMUL";
         };
-        auto report = core::runBatchSweep(
+        return core::runBatchSweep(
             db(), {uarch::UArch::Nehalem, uarch::UArch::Skylake},
             options);
+    }();
+    return report;
+}
+
+const db::InstructionDatabase &
+sliceDb()
+{
+    static const db::InstructionDatabase *database = [] {
         auto *built = new db::InstructionDatabase();
-        built->ingest(report);
+        built->ingest(sliceReport());
         return built;
     }();
     return *database;
+}
+
+/** Direct ingest: drive the actual streaming SweepIngestor over the
+ *  report's outcomes — per-record appends from references plus one
+ *  index rebuild, exactly the work a sweep's sink performs (no
+ *  intermediate CharacterizationSet copy). */
+size_t
+ingestDirect()
+{
+    db::InstructionDatabase built;
+    db::SweepIngestor ingestor(built);
+    for (const core::UArchReport &r : sliceReport().uarches)
+        for (const core::VariantOutcome &outcome : r.outcomes)
+            ingestor.onVariant(r.arch, outcome);
+    ingestor.finish();
+    return built.numRecords();
+}
+
+/** The legacy path this PR removes from the hot loop: materialize the
+ *  Section 6.4 XML tree, serialize, re-parse, ingest the document. */
+size_t
+ingestViaXml()
+{
+    isa::ResultsDoc doc =
+        isa::parseResultsXml(sliceReport().toXmlString());
+    db::InstructionDatabase built;
+    built.ingestResults(doc, &db());
+    return built.numRecords();
 }
 
 /** Names of every Skylake record (lookup working set). */
@@ -142,6 +180,24 @@ BM_PredictCached(benchmark::State &state)
 }
 BENCHMARK(BM_PredictCached)->Unit(benchmark::kMicrosecond);
 
+void
+BM_IngestDirect(benchmark::State &state)
+{
+    sliceReport();   // build outside the timed region
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ingestDirect());
+}
+BENCHMARK(BM_IngestDirect)->Unit(benchmark::kMicrosecond);
+
+void
+BM_IngestViaXml(benchmark::State &state)
+{
+    sliceReport();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ingestViaXml());
+}
+BENCHMARK(BM_IngestViaXml)->Unit(benchmark::kMicrosecond);
+
 // ---------------------------------------------------------------------
 // --json mode
 // ---------------------------------------------------------------------
@@ -214,6 +270,13 @@ jsonMode(const std::string &path)
                 benchmark::DoNotOptimize(response.body.size());
             }));
     }
+
+    runs.push_back(timedLoop("ingest_direct", 500, [&](size_t) {
+        benchmark::DoNotOptimize(ingestDirect());
+    }));
+    runs.push_back(timedLoop("ingest_via_xml", 100, [&](size_t) {
+        benchmark::DoNotOptimize(ingestViaXml());
+    }));
 
     std::string out = "{\n  \"benchmark\": \"bench_db_query\",\n";
     out += "  \"records\": " + std::to_string(database.numRecords()) +

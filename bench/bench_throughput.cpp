@@ -47,7 +47,7 @@ printThroughputStudy()
         double computed = core::ThroughputAnalyzer::computeFromPortUsage(
             usage, 8);
         auto measured = tp.analyze(*v);
-        double best = measured.best();
+        double best = measured.best().toDouble();
         ++total;
         double gap = best - computed;
         if (std::abs(gap) <= 0.07) {
@@ -88,8 +88,9 @@ printThroughputStudy()
         const auto *v = db().byName(name);
         auto r = tp.analyze(*v);
         std::printf("  %-20s plain %5.2f  with breakers %5.2f\n", name,
-                    r.measured,
-                    r.with_breakers ? *r.with_breakers : r.measured);
+                    r.measured.toDouble(),
+                    (r.with_breakers ? *r.with_breakers : r.measured)
+                        .toDouble());
     }
 
     std::printf("\nDivider value dependence (Section 5.3.1), Haswell:\n");
@@ -102,8 +103,9 @@ printThroughputStudy()
             const auto *v = db().byName(name);
             auto r = htp.analyze(*v);
             std::printf("  %-20s fast %6.2f  slow %6.2f\n", name,
-                        r.measured,
-                        r.slow_measured ? *r.slow_measured : 0.0);
+                        r.measured.toDouble(),
+                        r.slow_measured ? r.slow_measured->toDouble()
+                                        : 0.0);
         }
     }
     std::printf("\n");

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/characterize.h"
+#include "support/stats.h"
 #include "isa/parser.h"
 
 namespace uops::bench {
@@ -93,8 +94,9 @@ characterizeOne(uarch::UArch arch, const std::string &variant_name)
     core::ThroughputAnalyzer tp(ctx.harness);
     out.throughput = tp.analyze(*v);
     if (!v->attrs().uses_divider && !out.ports.usage.entries.empty())
-        out.tp_ports = core::ThroughputAnalyzer::computeFromPortUsage(
-            out.ports.usage, uarch::uarchInfo(arch).num_ports);
+        out.tp_ports =
+            roundCycles(core::ThroughputAnalyzer::computeFromPortUsage(
+                out.ports.usage, uarch::uarchInfo(arch).num_ports));
     return out;
 }
 

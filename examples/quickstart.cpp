@@ -53,18 +53,18 @@ main(int argc, char **argv)
     auto latency = lat.analyze(*variant);
     std::printf("Latency (Section 5.2):\n");
     for (const auto &pair : latency.pairs) {
-        std::printf("  lat(op%d -> op%d) %s %.2f cycles\n", pair.src_op,
+        std::printf("  lat(op%d -> op%d) %s %s cycles\n", pair.src_op,
                     pair.dst_op, pair.upper_bound ? "<=" : " =",
-                    pair.cycles);
+                    pair.cycles.str().c_str());
         for (const auto &[chain, value] : pair.per_chain)
             std::printf("      via %-12s %.2f\n", chain.c_str(), value);
     }
     if (latency.same_reg_cycles)
-        std::printf("  same-register chain: %.2f cycles\n",
-                    *latency.same_reg_cycles);
+        std::printf("  same-register chain: %s cycles\n",
+                    latency.same_reg_cycles->str().c_str());
     if (latency.store_roundtrip)
-        std::printf("  store->load round trip: %.2f cycles\n",
-                    *latency.store_roundtrip);
+        std::printf("  store->load round trip: %s cycles\n",
+                    latency.store_roundtrip->str().c_str());
 
     // 3b. Port usage via Algorithm 1.
     core::BlockingFinder finder(harness);
@@ -84,14 +84,14 @@ main(int argc, char **argv)
     core::ThroughputAnalyzer tp(harness);
     auto throughput = tp.analyze(*variant);
     std::printf("\nThroughput (Section 5.3):\n");
-    std::printf("  measured (Fog definition):      %.2f cycles/instr\n",
-                throughput.measured);
+    std::printf("  measured (Fog definition):      %s cycles/instr\n",
+                throughput.measured.str().c_str());
     if (throughput.with_breakers)
-        std::printf("  with dependency breakers:       %.2f\n",
-                    *throughput.with_breakers);
+        std::printf("  with dependency breakers:       %s\n",
+                    throughput.with_breakers->str().c_str());
     if (throughput.slow_measured)
-        std::printf("  slow divider values:            %.2f\n",
-                    *throughput.slow_measured);
+        std::printf("  slow divider values:            %s\n",
+                    throughput.slow_measured->str().c_str());
     if (!variant->attrs().uses_divider && !usage.usage.entries.empty())
         std::printf("  computed from ports (Intel):    %.2f\n",
                     core::ThroughputAnalyzer::computeFromPortUsage(

@@ -59,7 +59,8 @@ main(int argc, char **argv)
     for (const auto &c : set.instrs) {
         SchedEntry e;
         e.uops = c.ports.usage.totalUops();
-        e.throughput = c.tp_ports ? *c.tp_ports : c.throughput.best();
+        e.throughput = (c.tp_ports ? *c.tp_ports : c.throughput.best())
+                           .toDouble();
         e.latency = c.latency.maxLatency();
         e.ports = c.ports.usage.toString();
         model[c.variant->name()] = e;

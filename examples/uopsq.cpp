@@ -152,20 +152,28 @@ cmdCharacterize(const Args &args)
     auto instrs = isa::buildDefaultDb();
     std::printf("characterizing %zu uarches (mod %ld)...\n",
                 arches.size(), mod);
+
+    // Results stream straight into the database while the sweep runs;
+    // the full per-variant report is only retained when the XML
+    // artifact was requested.
+    const std::string *xml_path = args.option("xml");
+    db::InstructionDatabase database;
+    db::SweepIngestor ingestor(database);
+    options.sink = &ingestor;
+    options.keep_results = xml_path != nullptr;
+
     core::CharacterizationReport report =
         core::runBatchSweep(*instrs, arches, options);
     std::printf("%zu tasks, %zu failed\n", report.numTasks(),
                 report.numFailed());
 
-    if (const std::string *xml_path = args.option("xml")) {
+    if (xml_path != nullptr) {
         std::ofstream xml(*xml_path);
         xml << report.toXmlString();
         fatalIf(!xml, "cannot write ", *xml_path);
         std::printf("wrote %s\n", xml_path->c_str());
     }
 
-    db::InstructionDatabase database;
-    database.ingest(report);
     db::saveSnapshotFile(database, *out_path);
     std::printf("wrote %s (%zu records, %zu uarches)\n",
                 out_path->c_str(), database.numRecords(),
@@ -256,7 +264,7 @@ cmdQuery(const Args &args)
                     uarch::uarchShortName(rec.arch()).c_str(),
                     std::string(rec.name()).c_str(),
                     std::string(rec.extension()).c_str(),
-                    xmlFormatDouble(rec.tpMeasured()).c_str(),
+                    rec.tpMeasured().str().c_str(),
                     rec.maxLatency(),
                     rec.portUsage().toString().c_str());
     }
@@ -284,8 +292,8 @@ cmdDiff(const Args &args)
         std::printf("  %-24s", std::string(rec_a.name()).c_str());
         if (entry.tp_differs)
             std::printf("  tp %s -> %s",
-                        xmlFormatDouble(rec_a.tpMeasured()).c_str(),
-                        xmlFormatDouble(rec_b.tpMeasured()).c_str());
+                        rec_a.tpMeasured().str().c_str(),
+                        rec_b.tpMeasured().str().c_str());
         if (entry.ports_differ)
             std::printf("  ports %s -> %s",
                         rec_a.portUsage().toString().c_str(),

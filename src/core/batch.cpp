@@ -1,6 +1,7 @@
 #include "core/batch.h"
 
 #include <memory>
+#include <mutex>
 
 #include "sim/measurement_cache.h"
 #include "support/status.h"
@@ -29,8 +30,11 @@ UArchReport::toSet() const
 {
     CharacterizationSet set;
     set.arch = arch;
+    // A sweep with keep_results = false clears each result after the
+    // sink consumed it (variant == nullptr) while ok stays true;
+    // those slots carry no data to repackage.
     for (const VariantOutcome &o : outcomes)
-        if (o.ok)
+        if (o.ok && o.result.variant != nullptr)
             set.instrs.push_back(o.result);
     return set;
 }
@@ -107,6 +111,8 @@ runBatchSweep(const isa::InstrDb &db,
               const BatchOptions &options)
 {
     fatalIf(arches.empty(), "runBatchSweep: no microarchitectures given");
+    fatalIf(!options.keep_results && options.sink == nullptr,
+            "runBatchSweep: keep_results=false requires a sink");
 
     ThreadPool pool(options.num_threads);
 
@@ -179,7 +185,38 @@ runBatchSweep(const isa::InstrDb &db,
         }
     }
 
-    pool.parallelFor(tasks.size(), [&](size_t i, size_t worker) {
+    // Streaming delivery: tasks complete in any order, but the sink
+    // must observe the deterministic work-list order (the same order
+    // the report and the XML export iterate). A completed task is
+    // held in its report slot until every earlier task has been
+    // delivered; the worker that completes the delivery frontier
+    // flushes the contiguous prefix.
+    std::mutex sink_mutex;
+    std::vector<uint8_t> task_done(tasks.size(), 0);
+    size_t next_delivery = 0;
+    bool sink_failed = false;
+    auto deliver_ready = [&]() {   // caller holds sink_mutex
+        while (!sink_failed && next_delivery < tasks.size() &&
+               task_done[next_delivery]) {
+            const TaskRef &task = tasks[next_delivery];
+            VariantOutcome &slot =
+                report.uarches[task.arch_index].outcomes[task.slot];
+            try {
+                options.sink->onVariant(arches[task.arch_index], slot);
+            } catch (...) {
+                // Deliver-exactly-once even on the abort path: a
+                // throwing sink must not be re-offered this outcome
+                // by the next worker's flush.
+                sink_failed = true;
+                throw;
+            }
+            if (!options.keep_results)
+                slot.result = InstrCharacterization{};
+            ++next_delivery;
+        }
+    };
+
+    auto run_task = [&](size_t i, size_t worker) {
         const TaskRef &task = tasks[i];
         VariantOutcome &slot =
             report.uarches[task.arch_index].outcomes[task.slot];
@@ -220,8 +257,29 @@ runBatchSweep(const isa::InstrDb &db,
                 }
             }
         }
-    });
+        if (options.sink) {
+            std::lock_guard<std::mutex> lock(sink_mutex);
+            task_done[i] = 1;
+            deliver_ready();
+        }
+    };
 
+    if (options.sink == nullptr) {
+        pool.parallelFor(tasks.size(), run_task);
+        return report;
+    }
+    try {
+        pool.parallelFor(tasks.size(), run_task);
+    } catch (...) {
+        // Give the sink its finish() even when the sweep aborts, so
+        // RAII-style sinks can release what they already consumed.
+        try {
+            options.sink->finish();
+        } catch (...) {
+        }
+        throw;
+    }
+    options.sink->finish();
     return report;
 }
 

@@ -30,6 +30,47 @@
 
 namespace uops::core {
 
+/** Outcome of one (variant, uarch) characterization task. */
+struct VariantOutcome
+{
+    const isa::InstrVariant *variant = nullptr;
+    bool ok = false;
+    std::string error;              ///< failure message when !ok
+    InstrCharacterization result;   ///< valid when ok
+};
+
+/**
+ * Streaming consumer of finished characterization tasks.
+ *
+ * runBatchSweep delivers every task outcome exactly once, in the
+ * deterministic work-list order (uarch-major, then variant id) — the
+ * same order UArchReport::outcomes and the XML export iterate — no
+ * matter how many worker threads run or how they are scheduled. A
+ * reorder buffer inside the engine holds completed tasks back until
+ * all earlier ones have been delivered, so sinks observe a serial
+ * stream and need no locking of their own; calls arrive on worker
+ * threads, never concurrently.
+ *
+ * This is how results leave the sweep without materializing an XML
+ * tree (or, with BatchOptions::keep_results = false, without even
+ * retaining the full report): db::SweepIngestor appends records
+ * straight into an InstructionDatabase.
+ */
+class SweepSink
+{
+  public:
+    virtual ~SweepSink() = default;
+
+    /** One finished task (success or failure), in work-list order. */
+    virtual void onVariant(uarch::UArch arch,
+                           const VariantOutcome &outcome) = 0;
+
+    /** Called once after the last onVariant, before runBatchSweep
+     *  returns (also on the sweep's exception path — pair it with
+     *  idempotent cleanup). */
+    virtual void finish() {}
+};
+
 /** Configuration of a batch sweep. */
 struct BatchOptions
 {
@@ -57,15 +98,23 @@ struct BatchOptions
      */
     std::function<void(uarch::UArch, const isa::InstrVariant &, bool ok)>
         on_variant_done;
-};
 
-/** Outcome of one (variant, uarch) characterization task. */
-struct VariantOutcome
-{
-    const isa::InstrVariant *variant = nullptr;
-    bool ok = false;
-    std::string error;              ///< failure message when !ok
-    InstrCharacterization result;   ///< valid when ok
+    /**
+     * Streaming consumer of finished tasks (see SweepSink). Outcomes
+     * are delivered in deterministic work-list order while the sweep
+     * is still running; a sink exception aborts the sweep.
+     */
+    SweepSink *sink = nullptr;
+
+    /**
+     * When false, a task's InstrCharacterization is released right
+     * after the sink consumed it, so the sweep never holds more than
+     * the reorder window of results in memory; the returned report
+     * then carries outcome status (ok / error) only — toSet() skips
+     * the cleared slots, so it (and toXml()) yields no per-variant
+     * results. Requires a sink.
+     */
+    bool keep_results = true;
 };
 
 /** All outcomes for one microarchitecture, in variant-id order. */

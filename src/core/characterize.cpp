@@ -96,8 +96,9 @@ Characterizer::characterize(const InstrVariant &variant) const
 
     if (!variant.attrs().uses_divider &&
         !out.ports.usage.entries.empty()) {
-        out.tp_ports = ThroughputAnalyzer::computeFromPortUsage(
-            out.ports.usage, harness_.info().num_ports);
+        out.tp_ports =
+            roundCycles(ThroughputAnalyzer::computeFromPortUsage(
+                out.ports.usage, harness_.info().num_ports));
     }
     return out;
 }
@@ -139,34 +140,34 @@ exportResultsXml(const CharacterizationSet &set)
         ports.attr("usage", c.ports.usage.toString());
         ports.attr("uops", static_cast<long>(c.ports.usage.totalUops()));
 
+        // Results are canonical Cycles already; the writer just
+        // renders their fixed-point text form.
         XmlNode &tp = node.addChild("throughput");
-        tp.attr("measured", roundCycles(c.throughput.measured));
+        tp.attr("measured", c.throughput.measured);
         if (c.throughput.with_breakers)
-            tp.attr("withDepBreakers",
-                    roundCycles(*c.throughput.with_breakers));
+            tp.attr("withDepBreakers", *c.throughput.with_breakers);
         if (c.throughput.slow_measured)
-            tp.attr("slowValues",
-                    roundCycles(*c.throughput.slow_measured));
+            tp.attr("slowValues", *c.throughput.slow_measured);
         if (c.tp_ports)
-            tp.attr("fromPorts", roundCycles(*c.tp_ports));
+            tp.attr("fromPorts", *c.tp_ports);
 
         for (const auto &pair : c.latency.pairs) {
             XmlNode &lat = node.addChild("latency");
             lat.attr("srcOp", static_cast<long>(pair.src_op));
             lat.attr("dstOp", static_cast<long>(pair.dst_op));
-            lat.attr("cycles", roundCycles(pair.cycles));
+            lat.attr("cycles", pair.cycles);
             if (pair.upper_bound)
                 lat.attr("upperBound", "1");
             if (pair.slow_cycles)
-                lat.attr("slowCycles", roundCycles(*pair.slow_cycles));
+                lat.attr("slowCycles", *pair.slow_cycles);
         }
         if (c.latency.same_reg_cycles) {
             XmlNode &sr = node.addChild("latencySameReg");
-            sr.attr("cycles", roundCycles(*c.latency.same_reg_cycles));
+            sr.attr("cycles", *c.latency.same_reg_cycles);
         }
         if (c.latency.store_roundtrip) {
             XmlNode &rt = node.addChild("storeLoadRoundTrip");
-            rt.attr("cycles", roundCycles(*c.latency.store_roundtrip));
+            rt.attr("cycles", *c.latency.store_roundtrip);
         }
     }
     return root;

@@ -36,7 +36,7 @@ struct InstrCharacterization
 
     /** Intel-definition throughput from the port usage (LP); absent
      *  for divider instructions. */
-    std::optional<double> tp_ports;
+    std::optional<Cycles> tp_ports;
 };
 
 /** Full result set for one microarchitecture. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/stats.h"
 #include "support/status.h"
 
 namespace uops::core {
@@ -63,8 +64,7 @@ LatencyPair::toString(const InstrVariant &v) const
 {
     std::string src = src_op >= 0 ? v.operand(src_op).typeTag() : "?";
     std::string dst = dst_op >= 0 ? v.operand(dst_op).typeTag() : "?";
-    std::string out = "lat(" + src + "->" + dst +
-                      ")=" + std::to_string(cycles);
+    std::string out = "lat(" + src + "->" + dst + ")=" + cycles.str();
     if (upper_bound)
         out = "<=" + out;
     return out;
@@ -73,7 +73,7 @@ LatencyPair::toString(const InstrVariant &v) const
 int
 LatencyResult::maxLatency() const
 {
-    double max_lat = 1.0;
+    Cycles max_lat = Cycles::fromHundredths(100);
     for (const auto &p : pairs) {
         max_lat = std::max(max_lat, p.cycles);
         if (p.slow_cycles)
@@ -81,7 +81,7 @@ LatencyResult::maxLatency() const
     }
     if (store_roundtrip)
         max_lat = std::max(max_lat, *store_roundtrip);
-    return static_cast<int>(std::lround(std::ceil(max_lat)));
+    return max_lat.ceil();
 }
 
 const LatencyPair *
@@ -386,7 +386,8 @@ LatencyAnalyzer::analyze(const InstrVariant &variant) const
                     *load, {{.reg = dst_reg}, {.mem = loc}}));
                 Kernel brk = b.breakers(s, d, false);
                 body.insert(body.end(), brk.begin(), brk.end());
-                result.store_roundtrip = harness_.measure(body).cycles;
+                result.store_roundtrip =
+                    roundCycles(harness_.measure(body).cycles);
                 continue;
             }
 
@@ -444,8 +445,10 @@ LatencyAnalyzer::analyze(const InstrVariant &variant) const
                     return harness_.measure(body).cycles -
                            ci_.and_or_lat;
                 };
-                pair.cycles = run_div(isa::DivValueClass::Fast);
-                pair.slow_cycles = run_div(isa::DivValueClass::Slow);
+                pair.cycles =
+                    roundCycles(run_div(isa::DivValueClass::Fast));
+                pair.slow_cycles =
+                    roundCycles(run_div(isa::DivValueClass::Slow));
                 result.pairs.push_back(pair);
                 continue;
             }
@@ -612,7 +615,10 @@ LatencyAnalyzer::analyze(const InstrVariant &variant) const
             }
 
             // ---- measure all plans, keep the best ----
+            // Selection runs on the raw chain-adjusted doubles; only
+            // the winner is rounded into the canonical result.
             bool have = false;
+            double best_cycles = 0.0;
             for (const ChainPlan &base_plan : plans) {
                 ChainPlan plan = base_plan;
                 // Break the dst self-loop when I reads its destination
@@ -629,14 +635,16 @@ LatencyAnalyzer::analyze(const InstrVariant &variant) const
                 if (!lat)
                     continue;
                 pair.per_chain[plan.name] = *lat;
-                if (!have || *lat < pair.cycles) {
-                    pair.cycles = *lat;
+                if (!have || *lat < best_cycles) {
+                    best_cycles = *lat;
                     pair.upper_bound = plan.upper_bound || mem_rmw;
                 }
                 have = true;
             }
-            if (have)
+            if (have) {
+                pair.cycles = roundCycles(best_cycles);
                 result.pairs.push_back(std::move(pair));
+            }
         }
     }
 
@@ -670,7 +678,8 @@ LatencyAnalyzer::analyze(const InstrVariant &variant) const
                 }
                 Kernel body = {isa::makeInstance(variant, values,
                                                  pool.nextMem())};
-                result.same_reg_cycles = harness_.measure(body).cycles;
+                result.same_reg_cycles =
+                    roundCycles(harness_.measure(body).cycles);
             }
         }
     }

@@ -39,6 +39,7 @@
 
 #include "core/codegen.h"
 #include "sim/harness.h"
+#include "support/cycles.h"
 
 namespace uops::core {
 
@@ -47,11 +48,12 @@ struct LatencyPair
 {
     int src_op = -1;
     int dst_op = -1;
-    double cycles = 0.0;       ///< best chain-adjusted value
+    Cycles cycles;             ///< best chain-adjusted value
     bool upper_bound = false;  ///< cross-class composition bound
-    std::optional<double> slow_cycles; ///< divider slow-value latency
+    std::optional<Cycles> slow_cycles; ///< divider slow-value latency
 
-    /** Per-instrument adjusted values ("PSHUFD" -> 4.0, ...). */
+    /** Per-instrument raw adjusted values ("PSHUFD" -> 4.0, ...);
+     *  diagnostics only, not part of the canonical result. */
     std::map<std::string, double> per_chain;
 
     std::string toString(const isa::InstrVariant &v) const;
@@ -63,10 +65,10 @@ struct LatencyResult
     std::vector<LatencyPair> pairs;
 
     /** Same-register microbenchmark (Section 5.2.1), when possible. */
-    std::optional<double> same_reg_cycles;
+    std::optional<Cycles> same_reg_cycles;
 
     /** Store-to-load round trip for memory destinations (5.2.4). */
-    std::optional<double> store_roundtrip;
+    std::optional<Cycles> store_roundtrip;
 
     /** Maximum latency over all pairs (used for blockRep). */
     int maxLatency() const;

@@ -71,11 +71,11 @@ PerformancePredictor::analyzeLoop(const Kernel &kernel) const
         if (!inst.variant->attrs().uses_divider)
             continue;
         const InstrCharacterization *c = set_.find(inst.variant->name());
-        double tp = inst.div_class == isa::DivValueClass::Slow &&
+        Cycles tp = inst.div_class == isa::DivValueClass::Slow &&
                             c->throughput.slow_measured
                         ? *c->throughput.slow_measured
                         : c->throughput.measured;
-        pred.divider_bound += tp;
+        pred.divider_bound += tp.toDouble();
     }
 
     // ---- dependency bound: two dataflow passes with per-pair
@@ -126,7 +126,7 @@ PerformancePredictor::analyzeLoop(const Kernel &kernel) const
                 for (int s : v.sourceOperands()) {
                     double lat = fallback;
                     if (const LatencyPair *p = c->latency.pair(s, d))
-                        lat = p->cycles;
+                        lat = p->cycles.toDouble();
                     else if (dspec.kind == OpKind::Mem)
                         lat = 1.0; // store-data µop
                     ready = std::max(ready, src_time(s) + lat);

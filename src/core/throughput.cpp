@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lp/simplex.h"
+#include "support/stats.h"
 #include "support/status.h"
 
 namespace uops::core {
@@ -65,14 +66,18 @@ ThroughputAnalyzer::analyze(const InstrVariant &variant) const
                                         ? isa::DivValueClass::Fast
                                         : isa::DivValueClass::None;
 
+    // Minimization runs on the raw per-length values; only the final
+    // minima are rounded into the canonical result.
+    double measured = 0.0;
     bool first = true;
     for (int length : {1, 2, 4, 8}) {
         double tp = measureSequence(variant, length, false, base_class);
         result.by_length[length] = tp;
-        if (first || tp < result.measured)
-            result.measured = tp;
+        if (first || tp < measured)
+            measured = tp;
         first = false;
     }
+    result.measured = roundCycles(measured);
 
     // Dependency-breaking variant for implicit read-written operands.
     bool has_implicit_rw = false;
@@ -94,7 +99,7 @@ ThroughputAnalyzer::analyze(const InstrVariant &variant) const
                 best = tp;
             first_b = false;
         }
-        result.with_breakers = best;
+        result.with_breakers = roundCycles(best);
     }
 
     if (variant.attrs().uses_divider) {
@@ -107,7 +112,7 @@ ThroughputAnalyzer::analyze(const InstrVariant &variant) const
                 best = tp;
             first_s = false;
         }
-        result.slow_measured = best;
+        result.slow_measured = roundCycles(best);
     }
     return result;
 }

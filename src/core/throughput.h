@@ -25,6 +25,7 @@
 
 #include "core/codegen.h"
 #include "sim/harness.h"
+#include "support/cycles.h"
 #include "uarch/timing.h"
 
 namespace uops::core {
@@ -33,23 +34,23 @@ namespace uops::core {
 struct ThroughputResult
 {
     /** Fog-definition measurement (min over sequence lengths). */
-    double measured = 0.0;
+    Cycles measured;
 
     /** Measurement with interleaved dependency breakers (when the
      *  instruction has implicit read-written operands). */
-    std::optional<double> with_breakers;
+    std::optional<Cycles> with_breakers;
 
     /** Divider slow-value measurement. */
-    std::optional<double> slow_measured;
+    std::optional<Cycles> slow_measured;
 
     /** Per-sequence-length raw values (diagnostics). */
     std::map<int, double> by_length;
 
     /** Best measured value. */
-    double
+    Cycles
     best() const
     {
-        double v = measured;
+        Cycles v = measured;
         if (with_breakers)
             v = std::min(v, *with_breakers);
         return v;

@@ -4,19 +4,10 @@
 #include <cmath>
 #include <limits>
 
-#include "support/stats.h"
 #include "support/status.h"
 #include "support/strings.h"
 
 namespace uops::db {
-
-double
-canonicalCycles(double value)
-{
-    auto parsed = parseDouble(xmlFormatDouble(roundCycles(value)));
-    panicIf(!parsed, "canonicalCycles: unparsable text form");
-    return *parsed;
-}
 
 namespace {
 
@@ -27,7 +18,7 @@ namespace {
  */
 uint16_t
 maxLatencyOf(const std::vector<isa::ResultLatency> &lats,
-             const std::optional<double> &store_rt)
+             const std::optional<Cycles> &store_rt)
 {
     core::LatencyResult result;
     for (const auto &p : lats) {
@@ -38,6 +29,29 @@ maxLatencyOf(const std::vector<isa::ResultLatency> &lats,
     }
     result.store_roundtrip = store_rt;
     return static_cast<uint16_t>(result.maxLatency());
+}
+
+/**
+ * Fixed-point bound of a double-valued query range: the smallest /
+ * largest hundredth-of-a-cycle inside [v, +inf) / (-inf, v],
+ * depending on the rounder (std::ceil for tp_min, std::floor for
+ * tp_max). Exact hundredths (up to binary representation slop, e.g.
+ * 0.33 * 100 = 32.999...96) map to themselves, so range predicates
+ * match records precisely where a double comparison against
+ * toDouble() would.
+ */
+int64_t
+centsBound(double v, double (*rounder)(double))
+{
+    // NaN reaches here straight from an HTTP ?tp_min= parameter
+    // (strtod accepts "nan"); casting it would be UB, and clamp does
+    // not tame it. FatalError maps to a 400 at the service layer.
+    fatalIf(std::isnan(v), "search: non-finite throughput bound");
+    double scaled = std::clamp(v * 100.0, -9e15, 9e15);
+    double nearest = std::nearbyint(scaled);
+    if (std::abs(scaled - nearest) < 1e-6)
+        return static_cast<int64_t>(nearest);
+    return static_cast<int64_t>(rounder(scaled));
 }
 
 } // namespace
@@ -99,13 +113,13 @@ RecordView::maxLatency() const
     return db_->max_latency_[row_];
 }
 
-double
+Cycles
 RecordView::tpMeasured() const
 {
     return db_->tp_measured_[row_];
 }
 
-std::optional<double>
+std::optional<Cycles>
 RecordView::tpWithBreakers() const
 {
     if (!(db_->flags_[row_] & kHasTpBreakers))
@@ -113,7 +127,7 @@ RecordView::tpWithBreakers() const
     return db_->tp_breakers_[row_];
 }
 
-std::optional<double>
+std::optional<Cycles>
 RecordView::tpSlow() const
 {
     if (!(db_->flags_[row_] & kHasTpSlow))
@@ -121,7 +135,7 @@ RecordView::tpSlow() const
     return db_->tp_slow_[row_];
 }
 
-std::optional<double>
+std::optional<Cycles>
 RecordView::tpFromPorts() const
 {
     if (!(db_->flags_[row_] & kHasTpPorts))
@@ -148,7 +162,7 @@ RecordView::latencies() const
     return out;
 }
 
-std::optional<double>
+std::optional<Cycles>
 RecordView::sameRegCycles() const
 {
     if (!(db_->flags_[row_] & kHasSameReg))
@@ -156,7 +170,7 @@ RecordView::sameRegCycles() const
     return db_->same_reg_[row_];
 }
 
-std::optional<double>
+std::optional<Cycles>
 RecordView::storeRoundTrip() const
 {
     if (!(db_->flags_[row_] & kHasStoreRt))
@@ -219,11 +233,11 @@ InstructionDatabase::append(const Canonical &rec)
     flags_.push_back(flags);
 
     tp_measured_.push_back(rec.tp_measured);
-    tp_breakers_.push_back(rec.tp_breakers.value_or(0.0));
-    tp_slow_.push_back(rec.tp_slow.value_or(0.0));
-    tp_ports_.push_back(rec.tp_ports.value_or(0.0));
-    same_reg_.push_back(rec.same_reg.value_or(0.0));
-    store_rt_.push_back(rec.store_rt.value_or(0.0));
+    tp_breakers_.push_back(rec.tp_breakers.value_or(Cycles()));
+    tp_slow_.push_back(rec.tp_slow.value_or(Cycles()));
+    tp_ports_.push_back(rec.tp_ports.value_or(Cycles()));
+    same_reg_.push_back(rec.same_reg.value_or(Cycles()));
+    store_rt_.push_back(rec.store_rt.value_or(Cycles()));
 
     ports_off_.push_back(static_cast<uint32_t>(pu_mask_.size()));
     ports_n_.push_back(static_cast<uint16_t>(rec.usage.entries.size()));
@@ -244,46 +258,45 @@ InstructionDatabase::append(const Canonical &rec)
             lf |= kLatHasSlow;
         lat_flags_.push_back(lf);
         lat_cycles_.push_back(pair.cycles);
-        lat_slow_.push_back(pair.slow_cycles.value_or(0.0));
+        lat_slow_.push_back(pair.slow_cycles.value_or(Cycles()));
     }
+}
+
+void
+InstructionDatabase::appendCharacterization(
+    uint8_t arch, const core::InstrCharacterization &c)
+{
+    // The pipeline's values are canonical Cycles already — this is a
+    // plain repackaging, not a conversion.
+    Canonical rec;
+    rec.arch = arch;
+    rec.name = c.variant->name();
+    rec.mnemonic = c.variant->mnemonic();
+    rec.extension = isa::extensionName(c.variant->extension());
+    rec.usage = c.ports.usage;
+    rec.tp_measured = c.throughput.measured;
+    rec.tp_breakers = c.throughput.with_breakers;
+    rec.tp_slow = c.throughput.slow_measured;
+    rec.tp_ports = c.tp_ports;
+    for (const core::LatencyPair &p : c.latency.pairs) {
+        isa::ResultLatency lat;
+        lat.src_op = p.src_op;
+        lat.dst_op = p.dst_op;
+        lat.cycles = p.cycles;
+        lat.upper_bound = p.upper_bound;
+        lat.slow_cycles = p.slow_cycles;
+        rec.lats.push_back(lat);
+    }
+    rec.same_reg = c.latency.same_reg_cycles;
+    rec.store_rt = c.latency.store_roundtrip;
+    append(rec);
 }
 
 void
 InstructionDatabase::appendSet(const core::CharacterizationSet &set)
 {
-    for (const core::InstrCharacterization &c : set.instrs) {
-        Canonical rec;
-        rec.arch = static_cast<uint8_t>(set.arch);
-        rec.name = c.variant->name();
-        rec.mnemonic = c.variant->mnemonic();
-        rec.extension = isa::extensionName(c.variant->extension());
-        rec.usage = c.ports.usage;
-        rec.tp_measured = canonicalCycles(c.throughput.measured);
-        if (c.throughput.with_breakers)
-            rec.tp_breakers =
-                canonicalCycles(*c.throughput.with_breakers);
-        if (c.throughput.slow_measured)
-            rec.tp_slow = canonicalCycles(*c.throughput.slow_measured);
-        if (c.tp_ports)
-            rec.tp_ports = canonicalCycles(*c.tp_ports);
-        for (const core::LatencyPair &p : c.latency.pairs) {
-            isa::ResultLatency lat;
-            lat.src_op = p.src_op;
-            lat.dst_op = p.dst_op;
-            lat.cycles = canonicalCycles(p.cycles);
-            lat.upper_bound = p.upper_bound;
-            if (p.slow_cycles)
-                lat.slow_cycles = canonicalCycles(*p.slow_cycles);
-            rec.lats.push_back(lat);
-        }
-        if (c.latency.same_reg_cycles)
-            rec.same_reg =
-                canonicalCycles(*c.latency.same_reg_cycles);
-        if (c.latency.store_roundtrip)
-            rec.store_rt =
-                canonicalCycles(*c.latency.store_roundtrip);
-        append(rec);
-    }
+    for (const core::InstrCharacterization &c : set.instrs)
+        appendCharacterization(static_cast<uint8_t>(set.arch), c);
 }
 
 void
@@ -318,25 +331,16 @@ InstructionDatabase::ingestResults(const isa::ResultsDoc &doc,
                 variant ? isa::extensionName(variant->extension())
                         : std::string("?");
             rec.usage = uarch::PortUsage::fromString(r.ports);
-            // Re-canonicalize: a no-op for our own exports (the text
-            // form is already canonical), but it keeps the stored-
-            // values invariant for foreign or hand-edited documents
-            // carrying more precision than the writer emits.
-            auto canon = [](std::optional<double> v) {
-                return v ? std::optional<double>(canonicalCycles(*v))
-                         : std::nullopt;
-            };
-            rec.tp_measured = canonicalCycles(r.tp_measured);
-            rec.tp_breakers = canon(r.tp_with_breakers);
-            rec.tp_slow = canon(r.tp_slow);
-            rec.tp_ports = canon(r.tp_from_ports);
+            // The parser already yields canonical Cycles (foreign
+            // precision was re-rounded at the isa boundary), so the
+            // XML path stores exactly what the in-memory path does.
+            rec.tp_measured = r.tp_measured;
+            rec.tp_breakers = r.tp_with_breakers;
+            rec.tp_slow = r.tp_slow;
+            rec.tp_ports = r.tp_from_ports;
             rec.lats = r.latencies;
-            for (isa::ResultLatency &lat : rec.lats) {
-                lat.cycles = canonicalCycles(lat.cycles);
-                lat.slow_cycles = canon(lat.slow_cycles);
-            }
-            rec.same_reg = canon(r.same_reg_cycles);
-            rec.store_rt = canon(r.store_roundtrip);
+            rec.same_reg = r.same_reg_cycles;
+            rec.store_rt = r.store_roundtrip;
             append(rec);
         }
     }
@@ -464,31 +468,45 @@ InstructionDatabase::search(const Query &query) const
         narrow(it != by_extension_.end() ? it->second
                                          : std::vector<uint32_t>{});
     }
+    // The double-valued throughput range is converted to fixed-point
+    // bounds once; everything after is exact integer comparison.
+    std::optional<Cycles> tp_lo, tp_hi;
+    if (query.tp_min)
+        tp_lo = Cycles::fromHundredths(centsBound(
+            *query.tp_min, [](double x) { return std::ceil(x); }));
+    if (query.tp_max)
+        tp_hi = Cycles::fromHundredths(centsBound(
+            *query.tp_max, [](double x) { return std::floor(x); }));
+
     // Range scans over a sorted order index (throughput preferred,
     // then max latency) when no name/mnemonic/extension narrowed the
     // candidates already.
     auto range_scan = [this, &narrow](const std::vector<uint32_t>
                                           &order,
-                                      auto key_fn, double lo,
-                                      double hi) {
+                                      auto key_fn, auto lo, auto hi) {
+        using Key = decltype(lo);
         auto begin = std::lower_bound(
             order.begin(), order.end(), lo,
-            [&](uint32_t row, double v) { return key_fn(row) < v; });
+            [&](uint32_t row, Key v) { return key_fn(row) < v; });
         auto end = std::upper_bound(
             order.begin(), order.end(), hi,
-            [&](double v, uint32_t row) { return v < key_fn(row); });
+            [&](Key v, uint32_t row) { return v < key_fn(row); });
         std::vector<uint32_t> rows(begin, end);
         std::sort(rows.begin(), rows.end());
         narrow(rows);
     };
-    constexpr double kInf = std::numeric_limits<double>::infinity();
-    if (!have_candidates && (query.tp_min || query.tp_max)) {
+    if (!have_candidates && (tp_lo || tp_hi)) {
         range_scan(
             tp_order_,
             [this](uint32_t row) { return tp_measured_[row]; },
-            query.tp_min.value_or(-kInf), query.tp_max.value_or(kInf));
+            tp_lo.value_or(Cycles::fromHundredths(
+                std::numeric_limits<int64_t>::min())),
+            tp_hi.value_or(Cycles::fromHundredths(
+                std::numeric_limits<int64_t>::max())));
     }
     if (!have_candidates && (query.lat_min || query.lat_max)) {
+        constexpr double kInf =
+            std::numeric_limits<double>::infinity();
         range_scan(
             lat_order_,
             [this](uint32_t row) {
@@ -515,9 +533,9 @@ InstructionDatabase::search(const Query &query) const
         if (query.uses_ports &&
             (port_union_[row] & query.uses_ports) != query.uses_ports)
             continue;
-        if (query.tp_min && tp_measured_[row] < *query.tp_min)
+        if (tp_lo && tp_measured_[row] < *tp_lo)
             continue;
-        if (query.tp_max && tp_measured_[row] > *query.tp_max)
+        if (tp_hi && tp_measured_[row] > *tp_hi)
             continue;
         if (query.lat_min && max_latency_[row] < *query.lat_min)
             continue;
@@ -624,6 +642,31 @@ InstructionDatabase::toCharacterizationSet(
         set.instrs.push_back(std::move(c));
     }
     return set;
+}
+
+// ---------------------------------------------------------------------
+// Streaming sweep ingest
+// ---------------------------------------------------------------------
+
+void
+SweepIngestor::onVariant(uarch::UArch arch,
+                         const core::VariantOutcome &outcome)
+{
+    panicIf(finished_, "SweepIngestor: onVariant after finish");
+    if (!outcome.ok)
+        return;   // failures are reported by the sweep, not stored
+    db_.appendCharacterization(static_cast<uint8_t>(arch),
+                               outcome.result);
+    ++ingested_;
+}
+
+void
+SweepIngestor::finishOnce()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    db_.rebuildIndexes();
 }
 
 } // namespace uops::db

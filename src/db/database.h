@@ -17,13 +17,16 @@
  * scans cache-friendly and makes the snapshot format (snapshot.h) a
  * direct dump of the arrays.
  *
- * Two ingest paths produce *bit-identical* databases for the same
- * results: the in-memory path (a CharacterizationSet / batch report)
- * and the XML path (a re-parsed Section 6.4 export). To guarantee
- * that, every cycle value is canonicalized through the exact text
- * form the XML writer prints (roundCycles + xmlFormatDouble +
- * parseDouble) before it is stored; the golden round-trip test in
- * tests/db_test.cpp pins the property.
+ * Three ingest paths produce *bit-identical* databases for the same
+ * results: the in-memory path (a CharacterizationSet / batch report),
+ * the streaming path (SweepIngestor attached to a running
+ * runBatchSweep), and the XML path (a re-parsed Section 6.4 export).
+ * The guarantee is by representation, not by canonicalization: every
+ * cycle value in the pipeline is a fixed-point Cycles (hundredths of
+ * a core cycle, the paper's reporting granularity), stored here as a
+ * raw integer column, so equality is integer equality and no text
+ * round trip is involved anywhere. The golden round-trip tests in
+ * tests/db_test.cpp pin the property.
  *
  * All query methods are const and safe to call concurrently from any
  * number of threads once ingestion is finished; ingest/load must not
@@ -42,6 +45,7 @@
 
 #include "core/batch.h"
 #include "isa/results_xml.h"
+#include "support/cycles.h"
 #include "uarch/timing.h"
 
 namespace uops::db {
@@ -94,14 +98,14 @@ class RecordView
     int uopCount() const;
     int maxLatency() const;
 
-    double tpMeasured() const;
-    std::optional<double> tpWithBreakers() const;
-    std::optional<double> tpSlow() const;
-    std::optional<double> tpFromPorts() const;
+    Cycles tpMeasured() const;
+    std::optional<Cycles> tpWithBreakers() const;
+    std::optional<Cycles> tpSlow() const;
+    std::optional<Cycles> tpFromPorts() const;
 
     std::vector<isa::ResultLatency> latencies() const;
-    std::optional<double> sameRegCycles() const;
-    std::optional<double> storeRoundTrip() const;
+    std::optional<Cycles> sameRegCycles() const;
+    std::optional<Cycles> storeRoundTrip() const;
 
   private:
     const InstructionDatabase *db_;
@@ -194,21 +198,24 @@ class InstructionDatabase
 
   private:
     friend class RecordView;
+    friend class SweepIngestor;
     friend struct SnapshotCodec;
 
-    /** Canonicalized record, shared by both ingest paths. */
+    /** Canonical record, shared by every ingest path. */
     struct Canonical
     {
         uint8_t arch = 0;
         std::string name, mnemonic, extension;
         uarch::PortUsage usage;
-        double tp_measured = 0.0;
-        std::optional<double> tp_breakers, tp_slow, tp_ports;
+        Cycles tp_measured;
+        std::optional<Cycles> tp_breakers, tp_slow, tp_ports;
         std::vector<isa::ResultLatency> lats;
-        std::optional<double> same_reg, store_rt;
+        std::optional<Cycles> same_reg, store_rt;
     };
 
     void append(const Canonical &rec);
+    void appendCharacterization(uint8_t arch,
+                                const core::InstrCharacterization &c);
     void appendSet(const core::CharacterizationSet &set);
     uint32_t intern(std::string_view s);
     std::string_view str(uint32_t id) const;
@@ -227,8 +234,10 @@ class InstructionDatabase
     std::vector<uint16_t> uop_count_;
     std::vector<uint16_t> max_latency_;
     std::vector<uint8_t> flags_;                    ///< presence bits
-    std::vector<double> tp_measured_, tp_breakers_, tp_slow_, tp_ports_;
-    std::vector<double> same_reg_, store_rt_;
+    /** Cycle columns hold raw fixed-point integers (Cycles is a
+     *  single int64, trivially copyable), dumped as-is by snapshots. */
+    std::vector<Cycles> tp_measured_, tp_breakers_, tp_slow_, tp_ports_;
+    std::vector<Cycles> same_reg_, store_rt_;
     std::vector<uint32_t> ports_off_, lat_off_;
     std::vector<uint16_t> ports_n_, lat_n_;
 
@@ -236,7 +245,7 @@ class InstructionDatabase
     std::vector<uint16_t> pu_mask_, pu_count_;      ///< port usage
     std::vector<int16_t> lat_src_, lat_dst_;        ///< latency pairs
     std::vector<uint8_t> lat_flags_;
-    std::vector<double> lat_cycles_, lat_slow_;
+    std::vector<Cycles> lat_cycles_, lat_slow_;
 
     // ---- in-memory indexes (rebuilt, never serialized) ---------------
 
@@ -268,11 +277,38 @@ enum LatencyFlag : uint8_t {
 };
 
 /**
- * Canonicalize a measured cycle value exactly as an XML export /
- * re-import would: reporting rounding, then the writer's text form,
- * then strtod. Both ingest paths store only canonical values.
+ * Streaming sweep -> database sink (core::SweepSink): attach to
+ * BatchOptions::sink and every successful characterization is
+ * appended the moment the engine's reorder buffer releases it — no
+ * XML tree, no retained report (pair with keep_results = false).
+ * Because delivery order equals report iteration order, the result
+ * is bit-identical to ingest(report) on the same sweep.
+ *
+ * finish() (invoked by runBatchSweep, also on its exception path)
+ * rebuilds the query indexes; the destructor is a safety net for
+ * sweeps that aborted before any delivery. One ingestor serves one
+ * sweep; the database must not be read until the sweep returned.
  */
-double canonicalCycles(double value);
+class SweepIngestor final : public core::SweepSink
+{
+  public:
+    explicit SweepIngestor(InstructionDatabase &db) : db_(db) {}
+    ~SweepIngestor() override { finishOnce(); }
+
+    void onVariant(uarch::UArch arch,
+                   const core::VariantOutcome &outcome) override;
+    void finish() override { finishOnce(); }
+
+    /** Successful records appended so far. */
+    size_t numIngested() const { return ingested_; }
+
+  private:
+    void finishOnce();
+
+    InstructionDatabase &db_;
+    size_t ingested_ = 0;
+    bool finished_ = false;
+};
 
 } // namespace uops::db
 

@@ -297,6 +297,10 @@ loadSnapshot(std::istream &is)
     fatalIf(std::memcmp(magic, kMagic, sizeof magic) != 0,
             "db snapshot: bad magic");
     uint32_t version = reader.scalar<uint32_t>();
+    fatalIf(version == 1,
+            "db snapshot: version 1 (floating-point cycle columns) is "
+            "no longer supported; re-run characterize or re-ingest the "
+            "results XML to produce a v2 snapshot");
     fatalIf(version != kSnapshotVersion,
             "db snapshot: unsupported version ", version);
     uint32_t endian = reader.scalar<uint32_t>();

@@ -2,7 +2,7 @@
  * @file
  * Versioned binary snapshot format for the instruction database.
  *
- * Layout (version 1, little-endian, mmap-friendly):
+ * Layout (version 2, little-endian, mmap-friendly):
  *
  *   header   8-byte magic "UOPSDB\x1a\n", u32 version, u32 endian tag
  *            (0x0A0B0C0D as written by the producer — a reader on a
@@ -11,6 +11,11 @@
  *   arrays   the columnar arrays of InstructionDatabase, in a fixed
  *            order, each as: u64 element count, raw element bytes,
  *            zero padding to the next 8-byte boundary
+ *
+ * Version 2 stores every cycle column as fixed-point int64 hundredths
+ * of a cycle (uops::Cycles) instead of v1's IEEE doubles — same
+ * widths and offsets, integer content. v1 files are refused with an
+ * explicit error; re-ingest the results XML to migrate.
  *
  * Because every array is a contiguous raw dump aligned to 8 bytes, a
  * loader may equally point into a memory-mapped buffer instead of
@@ -36,7 +41,7 @@
 namespace uops::db {
 
 /** Current snapshot format version. */
-constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;
 
 /** Serialize @p db to @p os (throws FatalError on stream failure). */
 void saveSnapshot(const InstructionDatabase &db, std::ostream &os);

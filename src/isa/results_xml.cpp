@@ -7,24 +7,32 @@ namespace uops::isa {
 
 namespace {
 
-double
-requireDouble(const XmlNode &node, const std::string &key)
+/**
+ * A cycle attribute as canonical fixed point. Our own exports parse
+ * exactly (the text is a Cycles decimal form); anything else — extra
+ * precision in a foreign document, scientific notation — is accepted
+ * as a double and re-rounded to the reporting granularity here, so
+ * nothing beyond this function ever sees a non-canonical value.
+ */
+Cycles
+requireCycles(const XmlNode &node, const std::string &key)
 {
-    auto value = parseDouble(node.getAttr(key));
-    fatalIf(!value, "results xml: <", node.name(), "> has no numeric '",
-            key, "' attribute");
-    return *value;
+    const std::string &text = node.getAttr(key);
+    if (auto exact = Cycles::parse(text))
+        return *exact;
+    auto value = parseDouble(text);
+    fatalIf(!value, "results xml: <", node.name(),
+            "> has no numeric '", key, "' attribute",
+            text.empty() ? "" : " (unparsable value)");
+    return Cycles::round(*value);
 }
 
-std::optional<double>
-optionalDouble(const XmlNode &node, const std::string &key)
+std::optional<Cycles>
+optionalCycles(const XmlNode &node, const std::string &key)
 {
     if (!node.hasAttr(key))
         return std::nullopt;
-    auto value = parseDouble(node.getAttr(key));
-    fatalIf(!value, "results xml: non-numeric '", key, "' in <",
-            node.name(), ">");
-    return value;
+    return requireCycles(node, key);
 }
 
 int
@@ -53,24 +61,24 @@ parseInstruction(const XmlNode &node)
     const XmlNode *tp = node.firstChild("throughput");
     fatalIf(tp == nullptr, "results xml: ", out.name,
             " has no <throughput>");
-    out.tp_measured = requireDouble(*tp, "measured");
-    out.tp_with_breakers = optionalDouble(*tp, "withDepBreakers");
-    out.tp_slow = optionalDouble(*tp, "slowValues");
-    out.tp_from_ports = optionalDouble(*tp, "fromPorts");
+    out.tp_measured = requireCycles(*tp, "measured");
+    out.tp_with_breakers = optionalCycles(*tp, "withDepBreakers");
+    out.tp_slow = optionalCycles(*tp, "slowValues");
+    out.tp_from_ports = optionalCycles(*tp, "fromPorts");
 
     for (const XmlNode *lat : node.childrenNamed("latency")) {
         ResultLatency pair;
         pair.src_op = requireInt(*lat, "srcOp");
         pair.dst_op = requireInt(*lat, "dstOp");
-        pair.cycles = requireDouble(*lat, "cycles");
+        pair.cycles = requireCycles(*lat, "cycles");
         pair.upper_bound = lat->getAttr("upperBound") == "1";
-        pair.slow_cycles = optionalDouble(*lat, "slowCycles");
+        pair.slow_cycles = optionalCycles(*lat, "slowCycles");
         out.latencies.push_back(pair);
     }
     if (const XmlNode *sr = node.firstChild("latencySameReg"))
-        out.same_reg_cycles = requireDouble(*sr, "cycles");
+        out.same_reg_cycles = requireCycles(*sr, "cycles");
     if (const XmlNode *rt = node.firstChild("storeLoadRoundTrip"))
-        out.store_roundtrip = requireDouble(*rt, "cycles");
+        out.store_roundtrip = requireCycles(*rt, "cycles");
     return out;
 }
 

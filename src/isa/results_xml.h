@@ -16,11 +16,14 @@
  * Microarchitectures are carried as their short names ("SKL") and
  * port usages as their rendered form ("3*p015+1*p23"); consumers above
  * the uarch layer resolve them with uarch::parseUArch and
- * uarch::PortUsage::fromString. The numeric fields hold exactly the
- * values printed in the XML (attribute text parsed with parseDouble),
- * so a database ingested from a parsed document is bit-identical to
- * one ingested from the in-memory characterization it was exported
- * from — the round-trip property the db layer's golden test pins.
+ * uarch::PortUsage::fromString. All cycle values are canonical
+ * fixed-point Cycles: our own exports parse exactly (the attribute
+ * text is the Cycles decimal form), and foreign or hand-edited
+ * documents carrying more precision than the writer emits are
+ * re-rounded to the reporting granularity at this boundary — so a
+ * database ingested from a parsed document is bit-identical to one
+ * ingested from the in-memory characterization it was exported from,
+ * the round-trip property the db layer's golden test pins.
  */
 
 #ifndef UOPS_ISA_RESULTS_XML_H
@@ -30,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "support/cycles.h"
 #include "support/xml.h"
 
 namespace uops::isa {
@@ -39,9 +43,9 @@ struct ResultLatency
 {
     int src_op = -1;
     int dst_op = -1;
-    double cycles = 0.0;
+    Cycles cycles;
     bool upper_bound = false;
-    std::optional<double> slow_cycles;
+    std::optional<Cycles> slow_cycles;
 };
 
 /** One <instruction> element of a results document. */
@@ -53,14 +57,14 @@ struct InstrResult
     std::string ports;     ///< Port usage, e.g. "3*p015+1*p23" or "-".
     int uops = 0;          ///< Total µop count reported with it.
 
-    double tp_measured = 0.0;
-    std::optional<double> tp_with_breakers;
-    std::optional<double> tp_slow;
-    std::optional<double> tp_from_ports;
+    Cycles tp_measured;
+    std::optional<Cycles> tp_with_breakers;
+    std::optional<Cycles> tp_slow;
+    std::optional<Cycles> tp_from_ports;
 
     std::vector<ResultLatency> latencies;
-    std::optional<double> same_reg_cycles;   ///< <latencySameReg>
-    std::optional<double> store_roundtrip;   ///< <storeLoadRoundTrip>
+    std::optional<Cycles> same_reg_cycles;   ///< <latencySameReg>
+    std::optional<Cycles> store_roundtrip;   ///< <storeLoadRoundTrip>
 };
 
 /** One <uopsInfo> element: all results for one microarchitecture. */

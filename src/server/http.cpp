@@ -142,6 +142,7 @@ parseRequestHead(std::string_view head)
     request.target = pieces[1];
     fatalIf(!startsWith(pieces[2], "HTTP/1."),
             "http: unsupported protocol '", pieces[2], "'");
+    request.minor_version = endsWith(pieces[2], ".0") ? 0 : 1;
 
     size_t q = request.target.find('?');
     if (q == std::string::npos) {
@@ -186,8 +187,25 @@ contentLength(const HttpRequest &request)
     return static_cast<size_t>(*parsed);
 }
 
+bool
+wantsKeepAlive(const HttpRequest &request)
+{
+    const std::string *connection = request.header("Connection");
+    if (connection == nullptr)
+        return request.minor_version >= 1;
+    // Connection is a comma-separated token list ("TE, close");
+    // scan the tokens rather than the raw value.
+    for (const std::string &token : split(*connection, ',')) {
+        if (iequals(token, "close"))
+            return false;
+        if (iequals(token, "keep-alive"))
+            return true;
+    }
+    return request.minor_version >= 1;
+}
+
 std::string
-serializeResponse(const HttpResponse &response)
+serializeResponse(const HttpResponse &response, bool keep_alive)
 {
     std::string out = "HTTP/1.1 " + std::to_string(response.status) +
                       " " + statusText(response.status) + "\r\n";
@@ -196,7 +214,8 @@ serializeResponse(const HttpResponse &response)
            "\r\n";
     if (response.cache_hit)
         out += "X-Cache: hit\r\n";
-    out += "Connection: close\r\n\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                      : "Connection: close\r\n\r\n";
     out += response.body;
     return out;
 }

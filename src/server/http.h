@@ -5,10 +5,11 @@
  * Deliberately tiny: the subset a JSON query API needs. Requests are
  * parsed from a buffered head (everything up to the blank line) plus
  * a Content-Length-delimited body; responses always carry an explicit
- * Content-Length and `Connection: close`, so the connection lifecycle
- * stays trivial (one request per connection). Transport (sockets) is
- * separate in http_server.h so the request router (service.h) can be
- * exercised in tests without opening a port.
+ * Content-Length and a Connection header, so the client always knows
+ * both the body frame and the connection lifecycle. HTTP/1.1
+ * persistent connections are honored (wantsKeepAlive); transport
+ * (sockets) is separate in http_server.h so the request router
+ * (service.h) can be exercised in tests without opening a port.
  */
 
 #ifndef UOPS_SERVER_HTTP_H
@@ -30,6 +31,9 @@ struct HttpRequest
     std::map<std::string, std::string> query; ///< Decoded parameters.
     std::vector<std::pair<std::string, std::string>> headers;
     std::string body;
+
+    /** Protocol minor version: 1 for HTTP/1.1, 0 for HTTP/1.0. */
+    int minor_version = 1;
 
     /** Case-insensitive header lookup; nullptr when absent. */
     const std::string *header(std::string_view name) const;
@@ -74,8 +78,21 @@ HttpRequest parseRequestHead(std::string_view head);
 /** Declared Content-Length (0 when absent). @throws FatalError. */
 size_t contentLength(const HttpRequest &request);
 
-/** Serialize status line, headers and body for the wire. */
-std::string serializeResponse(const HttpResponse &response);
+/**
+ * Whether the client asked to keep the connection open: HTTP/1.1
+ * defaults to persistent unless `Connection: close`; HTTP/1.0 is
+ * persistent only with an explicit `Connection: keep-alive`. Header
+ * values compare case-insensitively.
+ */
+bool wantsKeepAlive(const HttpRequest &request);
+
+/**
+ * Serialize status line, headers and body for the wire. @p keep_alive
+ * selects the Connection header; the one-argument form closes (every
+ * error path and the final response of a connection use it).
+ */
+std::string serializeResponse(const HttpResponse &response,
+                              bool keep_alive = false);
 
 } // namespace uops::server
 

@@ -142,61 +142,99 @@ HttpServer::handleConnection(int fd)
     try {
         std::string buffer;
         char chunk[4096];
-        std::optional<size_t> head_end;
 
-        // Read until the blank line terminating the request head.
-        while (!head_end) {
-            ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-            if (n <= 0) {
+        // Serve requests until the client closes, asks to close, the
+        // per-connection budget runs out, or the stream turns bad.
+        // Pipelined requests already sitting in the buffer are served
+        // without touching the socket.
+        auto set_timeout = [fd](int seconds) {
+            if (seconds <= 0)
+                return;
+            timeval tv{};
+            tv.tv_sec = seconds;
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        };
+        for (size_t served = 0;
+             served < options_.max_requests_per_connection; ++served) {
+            // Between requests the worker is idle capital: wait only
+            // briefly for a follow-up, then give the slot back. Once
+            // bytes arrive, the full in-request timeout applies
+            // again (restored below on the first read). Skipped when
+            // timeouts are disabled entirely.
+            bool idle_wait = served > 0 && buffer.empty() &&
+                             options_.recv_timeout_seconds > 0;
+            if (idle_wait)
+                set_timeout(options_.keep_alive_idle_seconds);
+            std::optional<size_t> head_end = findHeaderEnd(buffer);
+            while (!head_end) {
+                ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+                if (n <= 0) {
+                    // Clean end between requests, peer loss mid-head,
+                    // or an idle keep-alive hitting the recv timeout.
+                    ::close(fd);
+                    return;
+                }
+                if (idle_wait) {
+                    set_timeout(options_.recv_timeout_seconds);
+                    idle_wait = false;
+                }
+                buffer.append(chunk, static_cast<size_t>(n));
+                if (buffer.size() > options_.max_request_bytes) {
+                    sendAll(fd, serializeResponse(errorResponse(
+                                    413, "request too large")));
+                    ::close(fd);
+                    return;
+                }
+                head_end = findHeaderEnd(buffer);
+            }
+
+            HttpRequest request;
+            try {
+                request = parseRequestHead(buffer.substr(0, *head_end));
+            } catch (const std::exception &e) {
+                sendAll(fd, serializeResponse(
+                                errorResponse(400, e.what())));
                 ::close(fd);
                 return;
             }
-            buffer.append(chunk, static_cast<size_t>(n));
-            if (buffer.size() > options_.max_request_bytes) {
-                sendAll(fd, serializeResponse(errorResponse(
-                                413, "request too large")));
+
+            size_t body_bytes = 0;
+            try {
+                body_bytes = contentLength(request);
+            } catch (const std::exception &e) {
+                sendAll(fd, serializeResponse(
+                                errorResponse(400, e.what())));
                 ::close(fd);
                 return;
             }
-            head_end = findHeaderEnd(buffer);
-        }
+            if (body_bytes > options_.max_request_bytes) {
+                sendAll(fd, serializeResponse(
+                                errorResponse(413, "body too large")));
+                ::close(fd);
+                return;
+            }
+            while (buffer.size() - *head_end < body_bytes) {
+                ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+                if (n <= 0)
+                    break;
+                buffer.append(chunk, static_cast<size_t>(n));
+            }
+            size_t have =
+                std::min(buffer.size() - *head_end, body_bytes);
+            bool body_complete = have == body_bytes;
+            request.body = buffer.substr(*head_end, have);
+            // Consume exactly this request; a pipelined successor
+            // stays buffered for the next iteration.
+            buffer.erase(0, *head_end + have);
 
-        HttpRequest request;
-        try {
-            request = parseRequestHead(buffer.substr(0, *head_end));
-        } catch (const std::exception &e) {
-            sendAll(fd,
-                    serializeResponse(errorResponse(400, e.what())));
-            ::close(fd);
-            return;
-        }
-
-        size_t body_bytes = 0;
-        try {
-            body_bytes = contentLength(request);
-        } catch (const std::exception &e) {
-            sendAll(fd,
-                    serializeResponse(errorResponse(400, e.what())));
-            ::close(fd);
-            return;
-        }
-        if (body_bytes > options_.max_request_bytes) {
-            sendAll(fd, serializeResponse(
-                            errorResponse(413, "body too large")));
-            ::close(fd);
-            return;
-        }
-        request.body = buffer.substr(*head_end);
-        while (request.body.size() < body_bytes) {
-            ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-            if (n <= 0)
+            bool keep_alive =
+                body_complete && wantsKeepAlive(request) &&
+                served + 1 < options_.max_requests_per_connection;
+            HttpResponse response = service_.handle(request);
+            sendAll(fd, serializeResponse(response, keep_alive));
+            if (!keep_alive)
                 break;
-            request.body.append(chunk, static_cast<size_t>(n));
         }
-        request.body.resize(std::min(request.body.size(), body_bytes));
-
-        HttpResponse response = service_.handle(request);
-        sendAll(fd, serializeResponse(response));
     } catch (...) {
         // Connection handling must never propagate into the pool.
         sendAll(fd, serializeResponse(

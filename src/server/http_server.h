@@ -4,11 +4,15 @@
  *
  * One acceptor thread plus the shared work-stealing ThreadPool
  * (support/thread_pool.h) for connection handling: accept() hands
- * each connection to a pool task that reads one request, routes it
- * through QueryService::handle(), writes the response and closes.
- * The one-request-per-connection model keeps the state machine
- * trivial; the workload (small JSON answers) is latency-bound on the
- * service, not on connection setup.
+ * each connection to a pool task that serves requests through
+ * QueryService::handle() until the client is done. HTTP/1.1
+ * keep-alive is honored (Connection headers, HTTP/1.0 semantics
+ * included), so query clients issuing many small requests stop
+ * paying per-request TCP setup; a connection is bounded by
+ * max_requests_per_connection and by the receive timeout, so a
+ * slow-loris client cannot pin a pool worker forever. Malformed
+ * requests are answered and the connection closed — after an error
+ * the byte stream can no longer be trusted to be framed.
  *
  * Listens on a configurable address/port; port 0 binds an ephemeral
  * port (query it with port() — the tests and the CI smoke step use
@@ -42,6 +46,17 @@ class HttpServer
 
         /** Reject request heads/bodies larger than this. */
         size_t max_request_bytes = 1 << 20;
+
+        /** Requests served per keep-alive connection before the
+         *  server closes it (fairness bound across clients). */
+        size_t max_requests_per_connection = 100;
+
+        /** Idle wait for the *next* request on a persistent
+         *  connection. Deliberately shorter than the in-request
+         *  recv timeout: a worker blocked between requests is pure
+         *  opportunity cost, so idle keep-alive clients are shed
+         *  quickly instead of pinning pool workers. */
+        int keep_alive_idle_seconds = 1;
     };
 
     HttpServer(QueryService &service, Options options);

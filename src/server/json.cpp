@@ -136,6 +136,14 @@ JsonWriter::value(double v)
 }
 
 JsonWriter &
+JsonWriter::value(Cycles v)
+{
+    beforeValue();
+    out_ += v.str();
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(long v)
 {
     beforeValue();

@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "support/cycles.h"
+
 namespace uops::server {
 
 /** Escape a string for inclusion in a JSON string literal. */
@@ -42,6 +44,9 @@ class JsonWriter
     JsonWriter &value(std::string_view v);
     JsonWriter &value(const char *v);
     JsonWriter &value(double v);
+    /** Fixed-point cycle values render their exact decimal form —
+     *  no double conversion anywhere between the DB and the wire. */
+    JsonWriter &value(Cycles v);
     JsonWriter &value(long v);
     JsonWriter &value(int v);
     JsonWriter &value(size_t v);

@@ -15,6 +15,8 @@
 #include <cmath>
 #include <vector>
 
+#include "support/cycles.h"
+
 namespace uops {
 
 /** Arithmetic mean; 0 for an empty sample. */
@@ -52,17 +54,16 @@ minOf(const std::vector<double> &xs)
 }
 
 /**
- * Round a measured cycle count to the reporting granularity used in the
- * instruction tables: integers when within @p eps of one, otherwise two
- * decimals (fractional throughputs like 0.25 stay fractional).
+ * Round a measured cycle count to the reporting granularity used in
+ * the instruction tables: integers when within @p eps of one,
+ * otherwise two decimals (fractional throughputs like 0.25 stay
+ * fractional). Produces the canonical fixed-point representation
+ * directly — the raw double never leaves the measurement layer.
  */
-inline double
+inline Cycles
 roundCycles(double x, double eps = 0.05)
 {
-    double nearest = std::round(x);
-    if (std::abs(x - nearest) <= eps)
-        return nearest;
-    return std::round(x * 100.0) / 100.0;
+    return Cycles::round(x, eps);
 }
 
 /** True when two cycle counts agree within @p eps. */

@@ -94,6 +94,12 @@ XmlNode::attr(const std::string &key, double value)
     return attr(key, xmlFormatDouble(value));
 }
 
+XmlNode &
+XmlNode::attr(const std::string &key, Cycles value)
+{
+    return attr(key, value.str());
+}
+
 const std::string &
 XmlNode::getAttr(const std::string &key) const
 {

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "support/cycles.h"
+
 namespace uops {
 
 /** Escape the five XML special characters in @p s. */
@@ -50,6 +52,7 @@ class XmlNode
     XmlNode &attr(const std::string &key, const std::string &value);
     XmlNode &attr(const std::string &key, long value);
     XmlNode &attr(const std::string &key, double value);
+    XmlNode &attr(const std::string &key, Cycles value);
 
     /** Look up an attribute; empty string when missing. */
     const std::string &getAttr(const std::string &key) const;

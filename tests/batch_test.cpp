@@ -209,6 +209,51 @@ TEST(BatchSweep, MatchesDirectCharacterizer)
                   ->toString());
 }
 
+TEST(BatchSweep, SinkObservesWorkListOrderUnderThreading)
+{
+    // The streaming sink must see every outcome exactly once, in the
+    // deterministic work-list order (uarch-major, variant-id), no
+    // matter how tasks are scheduled — the reorder buffer's contract.
+    class RecordingSink : public core::SweepSink
+    {
+      public:
+        std::vector<std::pair<uarch::UArch, const isa::InstrVariant *>>
+            seen;
+        bool finished = false;
+        void
+        onVariant(uarch::UArch arch,
+                  const core::VariantOutcome &outcome) override
+        {
+            EXPECT_FALSE(finished);
+            seen.emplace_back(arch, outcome.variant);
+        }
+        void finish() override { finished = true; }
+    };
+
+    RecordingSink sink;
+    core::BatchOptions options = sliceOptions(4);
+    options.sink = &sink;
+    auto report = core::runBatchSweep(defaultDb(), kArches, options);
+
+    EXPECT_TRUE(sink.finished);
+    ASSERT_EQ(sink.seen.size(), report.numTasks());
+    size_t i = 0;
+    for (const core::UArchReport &r : report.uarches)
+        for (const core::VariantOutcome &outcome : r.outcomes) {
+            EXPECT_EQ(sink.seen[i].first, r.arch);
+            EXPECT_EQ(sink.seen[i].second, outcome.variant);
+            ++i;
+        }
+}
+
+TEST(BatchSweep, KeepResultsFalseRequiresSink)
+{
+    core::BatchOptions options = sliceOptions(1);
+    options.keep_results = false;
+    EXPECT_THROW(core::runBatchSweep(defaultDb(), kArches, options),
+                 FatalError);
+}
+
 TEST(BatchSweep, ProgressHookSeesEveryTask)
 {
     std::atomic<size_t> done{0};

@@ -69,9 +69,10 @@ TEST(Characterizer, SubsetResultsConsistent)
                     c.ports.isolation.total_uops, 0.2)
             << c.variant->name();
         // Throughput is positive and no better than the LP bound.
-        EXPECT_GT(c.throughput.best(), 0.0) << c.variant->name();
+        EXPECT_GT(c.throughput.best().toDouble(), 0.0) << c.variant->name();
         if (c.tp_ports) {
-            EXPECT_GE(c.throughput.best(), *c.tp_ports - 0.10)
+            EXPECT_GE(c.throughput.best().toDouble(),
+                      c.tp_ports->toDouble() - 0.10)
                 << c.variant->name();
         }
     }
@@ -113,9 +114,9 @@ TEST(Characterizer, LatencyPairsMatchGroundTruth)
                 continue;
             // Chains through a different domain may add the bypass
             // delay; accept [true, true+1].
-            EXPECT_GE(pair.cycles, *expected - 0.1)
+            EXPECT_GE(pair.cycles.toDouble(), *expected - 0.1)
                 << c.variant->name() << " " << pair.toString(*c.variant);
-            EXPECT_LE(pair.cycles, *expected + 1.1)
+            EXPECT_LE(pair.cycles.toDouble(), *expected + 1.1)
                 << c.variant->name() << " " << pair.toString(*c.variant);
         }
     }
@@ -171,10 +172,10 @@ TEST(Characterizer, ZeroIdiomDetectedViaSameRegChain)
     const auto *c = set.find("XOR_R64_R64");
     ASSERT_NE(c, nullptr);
     ASSERT_TRUE(c->latency.same_reg_cycles.has_value());
-    EXPECT_LT(*c->latency.same_reg_cycles, 0.5);
+    EXPECT_LT(c->latency.same_reg_cycles->toDouble(), 0.5);
     const auto *self = c->latency.pair(0, 0);
     ASSERT_NE(self, nullptr);
-    EXPECT_NEAR(self->cycles, 1.0, 0.1);
+    EXPECT_NEAR(self->cycles.toDouble(), 1.0, 0.1);
 }
 
 TEST(Characterizer, PcmpgtDepBreakingDiscovered)
@@ -185,7 +186,7 @@ TEST(Characterizer, PcmpgtDepBreakingDiscovered)
     const auto *c = set.find("PCMPGTD_X_X");
     ASSERT_NE(c, nullptr);
     ASSERT_TRUE(c->latency.same_reg_cycles.has_value());
-    EXPECT_LT(*c->latency.same_reg_cycles, 0.6);
+    EXPECT_LT(c->latency.same_reg_cycles->toDouble(), 0.6);
     // Unlike a zero idiom it still uses an execution port.
     EXPECT_EQ(c->ports.usage.totalUops(), 1);
 }

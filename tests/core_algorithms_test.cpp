@@ -273,10 +273,10 @@ TEST(Latency, AddSelfPair)
     auto r = latency(UArch::Skylake, "ADD_R64_R64");
     const auto *self = r.pair(0, 0);
     ASSERT_NE(self, nullptr);
-    EXPECT_NEAR(self->cycles, 1.0, 0.05);
+    EXPECT_NEAR(self->cycles.toDouble(), 1.0, 0.05);
     const auto *cross = r.pair(1, 0);
     ASSERT_NE(cross, nullptr);
-    EXPECT_NEAR(cross->cycles, 1.0, 0.05);
+    EXPECT_NEAR(cross->cycles.toDouble(), 1.0, 0.05);
 }
 
 TEST(Latency, AesdecSandyBridgePairsDiffer)
@@ -285,24 +285,24 @@ TEST(Latency, AesdecSandyBridgePairsDiffer)
     auto r = latency(UArch::SandyBridge, "AESDEC_X_X");
     const auto *state = r.pair(0, 0);
     ASSERT_NE(state, nullptr);
-    EXPECT_NEAR(state->cycles, 8.0, 0.1);
+    EXPECT_NEAR(state->cycles.toDouble(), 8.0, 0.1);
     const auto *key = r.pair(1, 0);
     ASSERT_NE(key, nullptr);
-    EXPECT_NEAR(key->cycles, 1.0, 0.1);
+    EXPECT_NEAR(key->cycles.toDouble(), 1.0, 0.1);
 }
 
 TEST(Latency, AesdecWestmereBothSix)
 {
     auto r = latency(UArch::Westmere, "AESDEC_X_X");
-    EXPECT_NEAR(r.pair(0, 0)->cycles, 6.0, 0.1);
-    EXPECT_NEAR(r.pair(1, 0)->cycles, 6.0, 0.1);
+    EXPECT_NEAR(r.pair(0, 0)->cycles.toDouble(), 6.0, 0.1);
+    EXPECT_NEAR(r.pair(1, 0)->cycles.toDouble(), 6.0, 0.1);
 }
 
 TEST(Latency, AesdecHaswellBothSeven)
 {
     auto r = latency(UArch::Haswell, "AESDEC_X_X");
-    EXPECT_NEAR(r.pair(0, 0)->cycles, 7.0, 0.1);
-    EXPECT_NEAR(r.pair(1, 0)->cycles, 7.0, 0.1);
+    EXPECT_NEAR(r.pair(0, 0)->cycles.toDouble(), 7.0, 0.1);
+    EXPECT_NEAR(r.pair(1, 0)->cycles.toDouble(), 7.0, 0.1);
 }
 
 TEST(Latency, AesdecMemoryUpperBound)
@@ -310,32 +310,32 @@ TEST(Latency, AesdecMemoryUpperBound)
     // Memory variant on SNB: reg pair still 8; the memory (address)
     // to register latency is an upper bound of 7 (IACA said 13).
     auto r = latency(UArch::SandyBridge, "AESDEC_X_M128");
-    EXPECT_NEAR(r.pair(0, 0)->cycles, 8.0, 0.1);
+    EXPECT_NEAR(r.pair(0, 0)->cycles.toDouble(), 8.0, 0.1);
     const auto *mem = r.pair(1, 0);
     ASSERT_NE(mem, nullptr);
     // True address->result latency is 7 (load 6 + XOR µop 1); the
     // reported value is an upper bound (composition minus 1) and must
     // bracket it tightly — nowhere near IACA's 13.
     EXPECT_TRUE(mem->upper_bound);
-    EXPECT_GE(mem->cycles, 6.9);
-    EXPECT_LE(mem->cycles, 8.5);
+    EXPECT_GE(mem->cycles.toDouble(), 6.9);
+    EXPECT_LE(mem->cycles.toDouble(), 8.5);
 }
 
 TEST(Latency, ShldNehalemPairs)
 {
     // Section 7.3.2: lat(R1->R1)=3 (Fog), lat(R2->R1)=4 (the others).
     auto r = latency(UArch::Nehalem, "SHLD_R64_R64_I8");
-    EXPECT_NEAR(r.pair(0, 0)->cycles, 3.0, 0.1);
-    EXPECT_NEAR(r.pair(1, 0)->cycles, 4.0, 0.1);
+    EXPECT_NEAR(r.pair(0, 0)->cycles.toDouble(), 3.0, 0.1);
+    EXPECT_NEAR(r.pair(1, 0)->cycles.toDouble(), 4.0, 0.1);
 }
 
 TEST(Latency, ShldSkylakeSameRegisterFastPath)
 {
     auto r = latency(UArch::Skylake, "SHLD_R64_R64_I8");
-    EXPECT_NEAR(r.pair(0, 0)->cycles, 3.0, 0.1);
-    EXPECT_NEAR(r.pair(1, 0)->cycles, 3.0, 0.1);
+    EXPECT_NEAR(r.pair(0, 0)->cycles.toDouble(), 3.0, 0.1);
+    EXPECT_NEAR(r.pair(1, 0)->cycles.toDouble(), 3.0, 0.1);
     ASSERT_TRUE(r.same_reg_cycles.has_value());
-    EXPECT_NEAR(*r.same_reg_cycles, 1.0, 0.1); // the 1-cycle fast path
+    EXPECT_NEAR(r.same_reg_cycles->toDouble(), 1.0, 0.1); // the 1-cycle fast path
 }
 
 TEST(Latency, ShldNehalemNoSameRegisterEffect)
@@ -346,7 +346,7 @@ TEST(Latency, ShldNehalemNoSameRegisterEffect)
     // same-register fast path, unlike Skylake.
     auto r = latency(UArch::Nehalem, "SHLD_R64_R64_I8");
     ASSERT_TRUE(r.same_reg_cycles.has_value());
-    EXPECT_NEAR(*r.same_reg_cycles, 4.0, 0.1);
+    EXPECT_NEAR(r.same_reg_cycles->toDouble(), 4.0, 0.1);
 }
 
 TEST(Latency, PointerChaseLoad)
@@ -354,7 +354,7 @@ TEST(Latency, PointerChaseLoad)
     auto r = latency(UArch::Skylake, "MOV_R64_M64");
     const auto *p = r.pair(1, 0);
     ASSERT_NE(p, nullptr);
-    EXPECT_NEAR(p->cycles, 4.0, 0.1);
+    EXPECT_NEAR(p->cycles.toDouble(), 4.0, 0.1);
 }
 
 TEST(Latency, FlagsPairsOfAdc)
@@ -365,22 +365,22 @@ TEST(Latency, FlagsPairsOfAdc)
     const auto *src = r.pair(1, 0);
     ASSERT_NE(dst_self, nullptr);
     ASSERT_NE(src, nullptr);
-    EXPECT_NEAR(dst_self->cycles, 1.0, 0.1);
-    EXPECT_NEAR(src->cycles, 2.0, 0.1);
+    EXPECT_NEAR(dst_self->cycles.toDouble(), 1.0, 0.1);
+    EXPECT_NEAR(src->cycles.toDouble(), 2.0, 0.1);
 }
 
 TEST(Latency, StoreRoundTripReported)
 {
     auto r = latency(UArch::Skylake, "MOV_M64_R64");
     ASSERT_TRUE(r.store_roundtrip.has_value());
-    EXPECT_GT(*r.store_roundtrip, 4.0);
+    EXPECT_GT(r.store_roundtrip->toDouble(), 4.0);
 }
 
 TEST(Latency, CmcFlagsSelfChain)
 {
     auto r = latency(UArch::Skylake, "CMC");
     ASSERT_FALSE(r.pairs.empty());
-    EXPECT_NEAR(r.pairs[0].cycles, 1.0, 0.05);
+    EXPECT_NEAR(r.pairs[0].cycles.toDouble(), 1.0, 0.05);
 }
 
 TEST(Latency, DividerFastAndSlow)
@@ -389,8 +389,8 @@ TEST(Latency, DividerFastAndSlow)
     const auto *p = r.pair(0, 0);
     ASSERT_NE(p, nullptr);
     ASSERT_TRUE(p->slow_cycles.has_value());
-    EXPECT_GT(*p->slow_cycles, p->cycles + 1.0);
-    EXPECT_NEAR(p->cycles, 11.0, 0.5);
+    EXPECT_GT(p->slow_cycles->toDouble(), p->cycles.toDouble() + 1.0);
+    EXPECT_NEAR(p->cycles.toDouble(), 11.0, 0.5);
 }
 
 TEST(Latency, BypassDelayVisibleInChains)
@@ -419,7 +419,7 @@ TEST(Throughput, AddMatchesPortCount)
     Context &ctx = context(UArch::Skylake);
     ThroughputAnalyzer analyzer(ctx.harness);
     auto r = analyzer.analyze(*defaultDb().byName("ADD_R64_R64"));
-    EXPECT_NEAR(r.measured, 0.25, 0.02);
+    EXPECT_NEAR(r.measured.toDouble(), 0.25, 0.02);
 }
 
 TEST(Throughput, CmcLimitedByFlagDependency)
@@ -430,7 +430,7 @@ TEST(Throughput, CmcLimitedByFlagDependency)
     Context &ctx = context(UArch::Skylake);
     ThroughputAnalyzer analyzer(ctx.harness);
     auto r = analyzer.analyze(*defaultDb().byName("CMC"));
-    EXPECT_NEAR(r.measured, 1.0, 0.1);
+    EXPECT_NEAR(r.measured.toDouble(), 1.0, 0.1);
 }
 
 TEST(Throughput, LpFromPortUsageSingleUop)
@@ -473,7 +473,7 @@ TEST(Throughput, MeasuredMatchesLpForAlu)
     Context &ctx = context(UArch::Haswell);
     ThroughputAnalyzer analyzer(ctx.harness);
     auto tp = analyzer.analyze(*defaultDb().byName("PADDD_X_X"));
-    EXPECT_NEAR(tp.measured, lp, 0.1);
+    EXPECT_NEAR(tp.measured.toDouble(), lp, 0.1);
 }
 
 TEST(Throughput, DividerSlowerWithSlowValues)
@@ -482,8 +482,8 @@ TEST(Throughput, DividerSlowerWithSlowValues)
     ThroughputAnalyzer analyzer(ctx.harness);
     auto r = analyzer.analyze(*defaultDb().byName("DIVPS_X_X"));
     ASSERT_TRUE(r.slow_measured.has_value());
-    EXPECT_GT(*r.slow_measured, r.measured + 1.0);
-    EXPECT_GT(r.measured, 3.0); // divider occupancy bound
+    EXPECT_GT(r.slow_measured->toDouble(), r.measured.toDouble() + 1.0);
+    EXPECT_GT(r.measured.toDouble(), 3.0); // divider occupancy bound
 }
 
 } // namespace

@@ -129,11 +129,54 @@ TEST(DbRoundTrip, FullPipelineGolden)
     }
 }
 
-TEST(DbRoundTrip, CanonicalCyclesIsIdempotent)
+TEST(DbRoundTrip, StreamingSweepIngestIsBitIdenticalToAllPaths)
 {
+    // Direct sweep -> DB: records stream into the database while the
+    // sweep runs, with no XML tree and (keep_results = false) no
+    // retained per-variant results. The snapshot must be
+    // byte-identical to both the in-memory ingest of a full report
+    // and the XML-materializing path — with v2's integer Cycles
+    // columns that is plain memcmp equality, no text canonicalization
+    // anywhere.
+    core::BatchOptions options;
+    options.num_threads = 4;
+    options.characterizer.filter = sliceFilter;
+    db::InstructionDatabase streamed;
+    db::SweepIngestor ingestor(streamed);
+    options.sink = &ingestor;
+    options.keep_results = false;
+    auto report = core::runBatchSweep(defaultDb(), kArches, options);
+
+    EXPECT_EQ(ingestor.numIngested(), report.numSucceeded());
+    // keep_results=false: outcome status is retained, results are not.
+    for (const auto &ureport : report.uarches)
+        for (const auto &outcome : ureport.outcomes) {
+            EXPECT_TRUE(outcome.ok) << outcome.error;
+            EXPECT_EQ(outcome.result.variant, nullptr);
+        }
+    // The cleared report stays safe to repackage: toSet() skips the
+    // released slots instead of dereferencing their null variants.
+    EXPECT_TRUE(report.uarches[0].toSet().instrs.empty());
+    EXPECT_NE(report.toXmlString().find("<uopsBatch"),
+              std::string::npos);
+
+    std::string streamed_bytes = db::snapshotBytes(streamed);
+    EXPECT_EQ(streamed_bytes, db::snapshotBytes(sliceDb()));
+
+    db::InstructionDatabase from_xml;
+    from_xml.ingestResults(
+        isa::parseResultsXml(sliceReport().toXmlString()),
+        &defaultDb());
+    EXPECT_EQ(streamed_bytes, db::snapshotBytes(from_xml));
+}
+
+TEST(DbRoundTrip, CyclesRoundingIsIdempotent)
+{
+    // The canonical representation absorbs re-rounding: converting a
+    // Cycles back to double and rounding again is the identity.
     for (double x : {0.25, 0.33333, 1.0, 1.332, 3.99, 42.0, 88.5}) {
-        double canon = db::canonicalCycles(x);
-        EXPECT_EQ(canon, db::canonicalCycles(canon));
+        Cycles canon = Cycles::round(x);
+        EXPECT_EQ(canon, Cycles::round(canon.toDouble()));
     }
 }
 
@@ -202,7 +245,7 @@ TEST(DbQuery, PointLookup)
     EXPECT_EQ(rec.mnemonic(), "ADD");
     EXPECT_EQ(rec.arch(), uarch::UArch::Skylake);
     EXPECT_GT(rec.uopCount(), 0);
-    EXPECT_GT(rec.tpMeasured(), 0.0);
+    EXPECT_GT(rec.tpMeasured().hundredths(), 0);
 
     EXPECT_FALSE(
         database.find(uarch::UArch::Skylake, "NO_SUCH_VARIANT"));
@@ -261,7 +304,7 @@ TEST(DbQuery, ThroughputAndLatencyRanges)
     auto rows = database.search(query);
     ASSERT_FALSE(rows.empty());
     for (uint32_t row : rows) {
-        double tp = database.record(row).tpMeasured();
+        double tp = database.record(row).tpMeasured().toDouble();
         EXPECT_GE(tp, 0.9);
         EXPECT_LE(tp, 30.0);
     }
@@ -422,7 +465,7 @@ TEST(DbConcurrency, ParallelReadersSeeIdenticalAnswers)
     const auto baseline_row =
         database.find(uarch::UArch::Skylake, "ADD_R64_R64");
     ASSERT_TRUE(baseline_row.has_value());
-    const double baseline_tp =
+    const Cycles baseline_tp =
         database.record(*baseline_row).tpMeasured();
 
     std::atomic<size_t> mismatches{0};

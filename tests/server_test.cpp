@@ -139,6 +139,37 @@ TEST(Http, SerializesResponsesWithLengthAndClose)
     EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
     EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
     EXPECT_NE(wire.find("\r\n\r\n{\"a\":1}"), std::string::npos);
+
+    std::string persistent = server::serializeResponse(response, true);
+    EXPECT_NE(persistent.find("Connection: keep-alive\r\n"),
+              std::string::npos);
+    EXPECT_EQ(persistent.find("Connection: close"), std::string::npos);
+}
+
+TEST(Http, KeepAliveSemanticsPerVersionAndHeader)
+{
+    auto head = [](const std::string &text) {
+        return server::parseRequestHead(text);
+    };
+    // HTTP/1.1: persistent by default, opt-out with close.
+    EXPECT_TRUE(server::wantsKeepAlive(
+        head("GET / HTTP/1.1\r\nHost: x")));
+    EXPECT_FALSE(server::wantsKeepAlive(
+        head("GET / HTTP/1.1\r\nConnection: close")));
+    EXPECT_FALSE(server::wantsKeepAlive(
+        head("GET / HTTP/1.1\r\nConnection: CLOSE")));
+    // Connection carries a token list; "close" anywhere in it wins.
+    EXPECT_FALSE(server::wantsKeepAlive(
+        head("GET / HTTP/1.1\r\nConnection: TE, close")));
+    EXPECT_FALSE(server::wantsKeepAlive(
+        head("GET / HTTP/1.1\r\nConnection: close, TE")));
+    // HTTP/1.0: close by default, opt-in with keep-alive.
+    EXPECT_FALSE(server::wantsKeepAlive(
+        head("GET / HTTP/1.0\r\nHost: x")));
+    EXPECT_TRUE(server::wantsKeepAlive(
+        head("GET / HTTP/1.0\r\nConnection: Keep-Alive")));
+    EXPECT_EQ(head("GET / HTTP/1.0\r\nHost: x").minor_version, 0);
+    EXPECT_EQ(head("GET / HTTP/1.1\r\nHost: x").minor_version, 1);
 }
 
 // ---------------------------------------------------------------------
@@ -215,9 +246,17 @@ TEST(Service, SearchEndpointFiltersAndCounts)
         service->handle(get("/search?uarch=SKL&uses=p05&limit=3"));
     EXPECT_EQ(by_ports.status, 200);
 
-    // Bad parameters are user errors, not 500s.
+    // Bad parameters are user errors, not 500s. strtod accepts "nan"
+    // and "inf", so they reach the fixed-point bound conversion:
+    // NaN must 400, infinities are legal unbounded ranges.
     EXPECT_EQ(service->handle(get("/search?tp_min=abc")).status, 400);
     EXPECT_EQ(service->handle(get("/search?uarch=XYZ")).status, 400);
+    EXPECT_EQ(service->handle(get("/search?tp_min=nan")).status, 400);
+    EXPECT_EQ(service->handle(get("/search?tp_max=nan")).status, 400);
+    EXPECT_EQ(
+        service->handle(get("/search?uarch=SKL&tp_max=inf&limit=1"))
+            .status,
+        200);
 }
 
 TEST(Service, DiffEndpointComparesUArches)
@@ -382,13 +421,13 @@ TEST(ServiceConcurrency, HammeredEndpointsStaySnapshotIdentical)
 // Socket end-to-end.
 // ---------------------------------------------------------------------
 
-/** Blocking loopback HTTP GET; returns the full wire response. */
-std::string
-httpGet(uint16_t port, const std::string &target)
+/** Loopback TCP connect; -1 on failure. */
+int
+connectTo(uint16_t port)
 {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
-        return "";
+        return -1;
     sockaddr_in addr;
     std::memset(&addr, 0, sizeof addr);
     addr.sin_family = AF_INET;
@@ -397,18 +436,75 @@ httpGet(uint16_t port, const std::string &target)
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof addr) < 0) {
         ::close(fd);
-        return "";
+        return -1;
     }
-    std::string request = "GET " + target +
-                          " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    return fd;
+}
+
+void
+sendRaw(int fd, const std::string &bytes)
+{
     size_t sent = 0;
-    while (sent < request.size()) {
-        ssize_t n = ::send(fd, request.data() + sent,
-                           request.size() - sent, 0);
+    while (sent < bytes.size()) {
+        ssize_t n = ::send(fd, bytes.data() + sent,
+                           bytes.size() - sent, 0);
         if (n <= 0)
             break;
         sent += static_cast<size_t>(n);
     }
+}
+
+/**
+ * Read exactly one Content-Length-framed response off the socket
+ * (the keep-alive world's framing; reading to EOF only works on the
+ * final response of a connection).
+ */
+std::string
+readOneResponse(int fd, std::string &carry)
+{
+    std::string response = std::move(carry);
+    carry.clear();
+    char chunk[4096];
+    size_t head_end;
+    while (true) {
+        size_t pos = response.find("\r\n\r\n");
+        if (pos != std::string::npos) {
+            head_end = pos + 4;
+            break;
+        }
+        ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            return response;
+        response.append(chunk, static_cast<size_t>(n));
+    }
+    size_t body_bytes = 0;
+    size_t cl = response.find("Content-Length: ");
+    if (cl != std::string::npos && cl < head_end)
+        body_bytes = static_cast<size_t>(
+            std::strtoul(response.c_str() + cl + 16, nullptr, 10));
+    while (response.size() < head_end + body_bytes) {
+        ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            break;
+        response.append(chunk, static_cast<size_t>(n));
+    }
+    carry = response.substr(
+        std::min(response.size(), head_end + body_bytes));
+    response.resize(std::min(response.size(), head_end + body_bytes));
+    return response;
+}
+
+/** Blocking loopback HTTP GET on a fresh connection; returns the
+ *  full wire response. Sends Connection: close so EOF framing works. */
+std::string
+httpGet(uint16_t port, const std::string &target)
+{
+    int fd = connectTo(port);
+    if (fd < 0)
+        return "";
+    sendRaw(fd, "GET " + target +
+                    " HTTP/1.1\r\nHost: localhost\r\n"
+                    "Connection: close\r\n\r\n");
     std::string response;
     char chunk[4096];
     ssize_t n;
@@ -468,6 +564,73 @@ TEST(HttpServerSocket, ConcurrentClientsGetConsistentAnswers)
     // /healthz is uncached, so every response was freshly rendered;
     // all of them must still be byte-identical.
     EXPECT_EQ(mismatches.load(), 0u);
+
+    http.stop();
+}
+
+TEST(HttpServerSocket, KeepAliveServesManyRequestsPerConnection)
+{
+    auto service = makeService();
+    server::HttpServer http(*service);
+    http.start();
+
+    int fd = connectTo(http.port());
+    ASSERT_GE(fd, 0);
+    std::string carry;
+
+    // Several sequential requests over the one connection.
+    for (int i = 0; i < 5; ++i) {
+        sendRaw(fd, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        std::string response = readOneResponse(fd, carry);
+        EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos)
+            << "request " << i;
+        EXPECT_NE(response.find("Connection: keep-alive"),
+                  std::string::npos)
+            << "request " << i;
+    }
+
+    // Two pipelined requests in a single write: both answered, in
+    // order, off the buffered stream.
+    sendRaw(fd, "GET /uarchs HTTP/1.1\r\nHost: x\r\n\r\n"
+                "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    std::string first = readOneResponse(fd, carry);
+    std::string second = readOneResponse(fd, carry);
+    EXPECT_NE(first.find("\"uarchs\""), std::string::npos);
+    EXPECT_NE(second.find("\"status\":\"ok\""), std::string::npos);
+
+    // Connection: close is honored with a close frame and EOF.
+    sendRaw(fd, "GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                "Connection: close\r\n\r\n");
+    std::string last = readOneResponse(fd, carry);
+    EXPECT_NE(last.find("Connection: close"), std::string::npos);
+    char byte;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);   // server closed
+    ::close(fd);
+
+    http.stop();
+}
+
+TEST(HttpServerSocket, KeepAliveConnectionBudgetIsBounded)
+{
+    auto service = makeService();
+    server::HttpServer::Options options;
+    options.max_requests_per_connection = 2;
+    server::HttpServer http(*service, options);
+    http.start();
+
+    int fd = connectTo(http.port());
+    ASSERT_GE(fd, 0);
+    std::string carry;
+    sendRaw(fd, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(readOneResponse(fd, carry).find("Connection: keep-alive"),
+              std::string::npos);
+    sendRaw(fd, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    // The budget's final response announces the close.
+    EXPECT_NE(readOneResponse(fd, carry).find("Connection: close"),
+              std::string::npos);
+    char byte;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+    ::close(fd);
 
     http.stop();
 }

@@ -158,7 +158,7 @@ TEST_P(Conformance, ThroughputNeverBeatsPortBound)
         double bound = lp::minMaxPortLoad(
             static_cast<size_t>(info.num_ports), usage);
         auto r = tp.analyze(*v);
-        EXPECT_GE(r.best(), bound - 0.07)
+        EXPECT_GE(r.best().toDouble(), bound - 0.07)
             << v->name() << " on " << info.short_name;
         ++checked;
     }

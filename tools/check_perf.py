@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
 """Perf-regression guard for the committed benchmark baselines.
 
-Compares a freshly produced ``--json`` output (bench_batch_sweep or
-bench_db_query) against the committed baseline file and fails when any
-matched run is slower than baseline by more than the tolerance.
+Compares freshly produced ``--json`` outputs (bench_batch_sweep and/or
+bench_db_query) against the committed baseline files and fails when
+any matched run is slower than baseline by more than the tolerance.
 
-    check_perf.py CURRENT.json BASELINE.json [--tolerance 0.25]
+    check_perf.py CURRENT.json BASELINE.json [CURRENT2.json BASELINE2.json ...]
+                  [--tolerance 0.25]
 
-Matching is generic over both benchmark formats: runs are keyed by
-their ``threads`` (sweep) or ``name`` (db query) field, and the
-throughput metric is ``tasks_per_s`` or ``ops_per_s``. The baseline
-file may nest its runs under ``optimized`` (BENCH_sweep.json) or
-``baseline`` (BENCH_db.json).
+Any number of (current, baseline) pairs may be given; CI guards both
+BENCH_sweep.json and BENCH_db.json in one invocation. Matching is
+generic over both benchmark formats: runs are keyed by their
+``threads`` (sweep) or ``name`` (db query) field, and the throughput
+metric is ``tasks_per_s`` or ``ops_per_s``. The baseline file may nest
+its runs under ``optimized`` (BENCH_sweep.json) or ``baseline``
+(BENCH_db.json). Runs present in only one file (e.g. a benchmark
+added after the baseline was recorded) are reported but not compared.
 
 Only slowdowns fail the check; speedups are reported but fine. The
 default tolerance is deliberately wide (25%) because shared CI
@@ -54,28 +58,18 @@ def run_metric(run):
     raise SystemExit(f"error: run without a throughput metric: {run}")
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="fresh --json output")
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.25,
-        help="maximum allowed fractional slowdown (default 0.25)",
-    )
-    args = parser.parse_args()
-
-    with open(args.current) as f:
+def compare_pair(current_path, baseline_path, tolerance, failures):
+    """Compare one (current, baseline) file pair; returns runs compared."""
+    with open(current_path) as f:
         current_doc = json.load(f)
-    with open(args.baseline) as f:
+    with open(baseline_path) as f:
         baseline_doc = json.load(f)
 
     current = {run_key(r): r for r in load_runs(current_doc)}
     baseline = {run_key(r): r for r in load_runs(baseline_doc)}
 
-    failures = []
     compared = 0
+    print(f"-- {current_path} vs {baseline_path}")
     print(f"{'run':<24} {'baseline':>12} {'current':>12} {'ratio':>8}")
     for key, base_run in baseline.items():
         if key not in current:
@@ -88,26 +82,60 @@ def main():
         ratio = cur_value / base_value
         compared += 1
         marker = ""
-        if ratio < 1.0 - args.tolerance:
+        if ratio < 1.0 - tolerance:
             marker = "  << REGRESSION"
             failures.append((key, ratio))
         print(
             f"{key:<24} {base_value:>12.1f} {cur_value:>12.1f}"
             f" {ratio:>7.2f}x{marker}"
         )
+    for key in current:
+        if key not in baseline:
+            print(f"{key:<24} {'(new run, no baseline yet)':>34}")
+    return compared
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="CURRENT BASELINE",
+        help="alternating fresh --json outputs and committed baselines",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional slowdown (default 0.25)",
+    )
+    args = parser.parse_args()
+    if len(args.files) % 2 != 0:
+        raise SystemExit(
+            "error: expected CURRENT BASELINE pairs, got an odd number "
+            "of files"
+        )
+
+    failures = []
+    compared = 0
+    for i in range(0, len(args.files), 2):
+        compared += compare_pair(
+            args.files[i], args.files[i + 1], args.tolerance, failures
+        )
+        print()
 
     if compared == 0:
         raise SystemExit("error: no comparable runs between the files")
     if failures:
         worst = min(failures, key=lambda f: f[1])
         print(
-            f"\nFAIL: {len(failures)} run(s) slower than baseline by "
+            f"FAIL: {len(failures)} run(s) slower than baseline by "
             f">{args.tolerance:.0%} (worst: {worst[0]} at "
             f"{worst[1]:.2f}x)",
             file=sys.stderr,
         )
         return 1
-    print(f"\nOK: {compared} run(s) within {args.tolerance:.0%} of baseline")
+    print(f"OK: {compared} run(s) within {args.tolerance:.0%} of baseline")
     return 0
 
 
