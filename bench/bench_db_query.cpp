@@ -2,9 +2,11 @@
  * @file
  * Benchmarks for the serving subsystem: database point lookups,
  * port-mask columnar scans, /predict through the query service with a
- * cold vs. warm response cache, and the two ingest paths — direct
+ * cold vs. warm response cache, the two ingest paths — direct
  * (per-record appends, exactly what the streaming SweepIngestor does)
- * versus materializing and re-parsing the results XML.
+ * versus materializing and re-parsing the results XML — and catalog
+ * snapshot loading through the zero-copy mmap path versus the
+ * copying stream path.
  *
  * The database is built once from a standard two-uarch sweep slice
  * (the same `id % 4 == 0` slice the batch-sweep scaling study uses),
@@ -22,11 +24,12 @@
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "bench_util.h"
 #include "core/batch.h"
-#include "db/snapshot.h"
+#include "db/catalog.h"
 #include "server/service.h"
 
 namespace uops::bench {
@@ -59,6 +62,28 @@ sliceDb()
         return built;
     }();
     return *database;
+}
+
+/** The slice as a sharded catalog (what QueryService serves). */
+std::shared_ptr<const db::DatabaseCatalog>
+sliceCatalog()
+{
+    static const auto catalog =
+        db::DatabaseCatalog::fromMonolith(sliceDb(), 1);
+    return catalog;
+}
+
+/** On-disk catalog dir for the snapshot_load benchmarks. */
+const std::string &
+catalogDir()
+{
+    static const std::string dir = [] {
+        std::string path = "/tmp/uops_bench_catalog";
+        std::filesystem::remove_all(path);
+        db::saveCatalogDir(*sliceCatalog(), path);
+        return path;
+    }();
+    return dir;
 }
 
 /** Direct ingest: drive the actual streaming SweepIngestor over the
@@ -156,9 +181,33 @@ BM_PortMaskScan(benchmark::State &state)
 BENCHMARK(BM_PortMaskScan);
 
 void
+BM_SnapshotLoadMmap(benchmark::State &state)
+{
+    catalogDir();
+    for (auto _ : state) {
+        auto catalog = db::loadCatalogDir(
+            catalogDir(), db::LoadMode::Mmap, false);
+        benchmark::DoNotOptimize(catalog->numRecords());
+    }
+}
+BENCHMARK(BM_SnapshotLoadMmap)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SnapshotLoadStream(benchmark::State &state)
+{
+    catalogDir();
+    for (auto _ : state) {
+        auto catalog = db::loadCatalogDir(
+            catalogDir(), db::LoadMode::Stream, false);
+        benchmark::DoNotOptimize(catalog->numRecords());
+    }
+}
+BENCHMARK(BM_SnapshotLoadStream)->Unit(benchmark::kMicrosecond);
+
+void
 BM_PredictUncached(benchmark::State &state)
 {
-    server::QueryService service(sliceDb(), db());
+    server::QueryService service(sliceCatalog(), db());
     size_t salt = 0;
     for (auto _ : state) {
         auto response = service.handle(predictRequest(salt++));
@@ -170,7 +219,7 @@ BENCHMARK(BM_PredictUncached)->Unit(benchmark::kMicrosecond);
 void
 BM_PredictCached(benchmark::State &state)
 {
-    server::QueryService service(sliceDb(), db());
+    server::QueryService service(sliceCatalog(), db());
     server::HttpRequest request = predictRequest(0);
     service.handle(request);   // warm the cache
     for (auto _ : state) {
@@ -253,7 +302,7 @@ jsonMode(const std::string &path)
     }));
 
     {
-        server::QueryService service(database, db());
+        server::QueryService service(sliceCatalog(), db());
         runs.push_back(
             timedLoop("predict_uncached", 2000, [&](size_t i) {
                 auto response = service.handle(predictRequest(i));
@@ -261,7 +310,7 @@ jsonMode(const std::string &path)
             }));
     }
     {
-        server::QueryService service(database, db());
+        server::QueryService service(sliceCatalog(), db());
         server::HttpRequest request = predictRequest(0);
         service.handle(request);
         runs.push_back(
@@ -277,6 +326,23 @@ jsonMode(const std::string &path)
     runs.push_back(timedLoop("ingest_via_xml", 100, [&](size_t) {
         benchmark::DoNotOptimize(ingestViaXml());
     }));
+
+    catalogDir();
+    // Hash verification reads every byte either way, which would
+    // mask the zero-copy difference; the load benchmarks measure the
+    // pure load path (verification is covered functionally in
+    // db_test).
+    runs.push_back(timedLoop("snapshot_load_mmap", 2000, [&](size_t) {
+        auto catalog = db::loadCatalogDir(catalogDir(),
+                                          db::LoadMode::Mmap, false);
+        benchmark::DoNotOptimize(catalog->numRecords());
+    }));
+    runs.push_back(
+        timedLoop("snapshot_load_stream", 2000, [&](size_t) {
+            auto catalog = db::loadCatalogDir(
+                catalogDir(), db::LoadMode::Stream, false);
+            benchmark::DoNotOptimize(catalog->numRecords());
+        }));
 
     std::string out = "{\n  \"benchmark\": \"bench_db_query\",\n";
     out += "  \"records\": " + std::to_string(database.numRecords()) +

@@ -1,37 +1,53 @@
 /**
  * @file
  * uopsq — the end-to-end driver for the results-serving subsystem:
- * characterize → snapshot → serve → query.
+ * characterize → sharded catalog → serve → query, with incremental
+ * re-sweeps and zero-restart reloads.
  *
  * Subcommands:
  *
- *   uopsq characterize --out DB.snap [--arches NHM,SKL] [--threads N]
- *                      [--mod N] [--xml RESULTS.xml]
- *       Run the batch sweep, ingest the results into an
- *       InstructionDatabase and save a binary snapshot (optionally
- *       also writing the Section 6.4 XML artifact).
+ *   uopsq characterize --out DIR [--arches NHM,SKL | --uarch SKL]
+ *                      [--threads N] [--mod N] [--xml RESULTS.xml]
+ *       Run the batch sweep and write a sharded catalog (one shard
+ *       file per uarch + generation manifest) under DIR. When DIR
+ *       already holds a catalog this is an *incremental* sweep: only
+ *       the listed uarches are re-characterized (default: all present)
+ *       and their fresh shards are spliced into a new generation —
+ *       untouched shards are not rewritten, just hash-verified.
  *
- *   uopsq ingest RESULTS.xml --out DB.snap
+ *   uopsq ingest RESULTS.xml --out DIR
  *       Re-ingest a previously exported results XML (uopsInfo or
- *       uopsBatch root) into a snapshot — the XML ingest path.
+ *       uopsBatch root) into a catalog — the XML ingest path.
  *
- *   uopsq info DB.snap
- *       Print record counts per microarchitecture.
+ *   uopsq migrate V2.snap DIR
+ *       Lossless legacy-monolith → sharded-catalog conversion: each
+ *       shard is bit-identical to what a fresh sweep would write
+ *       (v1 snapshots remain refused).
  *
- *   uopsq query DB.snap [--uarch SKL] [--name N] [--mnemonic M]
- *                       [--extension E] [--uses p05] [--tp-min X]
- *                       [--tp-max X] [--lat-min N] [--lat-max N]
- *                       [--limit N]
+ *   uopsq info PATH
+ *       Print generation and per-shard record counts / content
+ *       hashes. PATH may be a catalog dir or a legacy v2 snapshot.
+ *
+ *   uopsq query PATH [--uarch SKL] [--name N] [--mnemonic M]
+ *                    [--extension E] [--uses p05] [--tp-min X]
+ *                    [--tp-max X] [--lat-min N] [--lat-max N]
+ *                    [--limit N]
  *       Indexed search; prints one line per matching record.
  *
- *   uopsq diff DB.snap ARCH_A ARCH_B
+ *   uopsq diff PATH ARCH_A ARCH_B
  *       Cross-uarch comparison of shared variants.
  *
- *   uopsq serve DB.snap [--port P] [--address A] [--threads N]
+ *   uopsq serve PATH [--port P] [--address A] [--threads N]
+ *                    [--load mmap|stream] [--watch SECONDS]
  *       Start the HTTP/1.1 JSON API (port 0 picks an ephemeral port;
- *       the chosen port is printed). Runs until killed.
+ *       the chosen port is printed). Catalog shards are memory-mapped
+ *       zero-copy by default. POST /reload hot-swaps to the current
+ *       on-disk generation without dropping a request; --watch polls
+ *       the manifest and reloads automatically when a characterize
+ *       run publishes a new generation. Runs until killed.
  */
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -40,10 +56,11 @@
 #include <thread>
 
 #include "core/batch.h"
-#include "db/snapshot.h"
+#include "db/catalog.h"
 #include "isa/parser.h"
 #include "isa/results_xml.h"
 #include "server/http_server.h"
+#include "support/hash.h"
 #include "support/status.h"
 #include "support/strings.h"
 
@@ -64,13 +81,15 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: uopsq characterize --out DB [--arches A,B] [--threads N]"
-        " [--mod N] [--xml OUT]\n"
-        "       uopsq ingest RESULTS.xml --out DB\n"
-        "       uopsq info DB\n"
-        "       uopsq query DB [filters...]\n"
-        "       uopsq diff DB ARCH_A ARCH_B\n"
-        "       uopsq serve DB [--port P] [--address A] [--threads N]\n");
+        "usage: uopsq characterize --out DIR [--arches A,B | --uarch A]"
+        " [--threads N] [--mod N] [--xml OUT]\n"
+        "       uopsq ingest RESULTS.xml --out DIR\n"
+        "       uopsq migrate V2.snap DIR\n"
+        "       uopsq info PATH\n"
+        "       uopsq query PATH [filters...]\n"
+        "       uopsq diff PATH ARCH_A ARCH_B\n"
+        "       uopsq serve PATH [--port P] [--address A] [--threads N]"
+        " [--load mmap|stream] [--watch SECONDS]\n");
     std::exit(1);
 }
 
@@ -126,17 +145,43 @@ parseArches(const std::string &list)
     return out;
 }
 
+db::LoadMode
+parseLoadMode(const Args &args)
+{
+    const std::string *mode = args.option("load");
+    if (mode == nullptr || *mode == "mmap")
+        return db::LoadMode::Mmap;
+    fatalIf(*mode != "stream", "option --load expects mmap or stream, "
+                               "got '", *mode, "'");
+    return db::LoadMode::Stream;
+}
+
 int
 cmdCharacterize(const Args &args)
 {
-    const std::string *out_path = args.option("out");
-    fatalIf(out_path == nullptr, "characterize: --out is required");
+    const std::string *out_dir = args.option("out");
+    fatalIf(out_dir == nullptr, "characterize: --out is required");
 
-    std::vector<uarch::UArch> arches =
-        args.option("arches") ? parseArches(*args.option("arches"))
-                              : std::vector<uarch::UArch>{
-                                    uarch::UArch::Nehalem,
-                                    uarch::UArch::Skylake};
+    // An existing manifest makes this an incremental run: the base
+    // generation's untouched shards are spliced through unchanged.
+    std::shared_ptr<const db::DatabaseCatalog> base;
+    if (db::readCatalogGeneration(*out_dir))
+        base = db::loadCatalogDir(*out_dir);
+
+    const std::string *arch_list = args.option("arches");
+    if (arch_list == nullptr)
+        arch_list = args.option("uarch");
+    std::vector<uarch::UArch> arches;
+    if (arch_list != nullptr) {
+        arches = parseArches(*arch_list);
+    } else if (base) {
+        for (const db::ShardEntry &entry : base->shards())
+            arches.push_back(entry.arch);
+        fatalIf(arches.empty(), "characterize: existing catalog has "
+                                "no shards and no --arches given");
+    } else {
+        arches = {uarch::UArch::Nehalem, uarch::UArch::Skylake};
+    }
 
     core::BatchOptions options;
     options.num_threads =
@@ -150,20 +195,19 @@ cmdCharacterize(const Args &args)
             };
 
     auto instrs = isa::buildDefaultDb();
-    std::printf("characterizing %zu uarches (mod %ld)...\n",
+    std::printf("%s %zu uarches (mod %ld)...\n",
+                base ? "re-characterizing" : "characterizing",
                 arches.size(), mod);
 
-    // Results stream straight into the database while the sweep runs;
-    // the full per-variant report is only retained when the XML
-    // artifact was requested.
+    // Results stream straight into per-uarch shard databases while
+    // the sweep runs; the full per-variant report is only retained
+    // when the XML artifact was requested.
     const std::string *xml_path = args.option("xml");
-    db::InstructionDatabase database;
-    db::SweepIngestor ingestor(database);
-    options.sink = &ingestor;
     options.keep_results = xml_path != nullptr;
 
-    core::CharacterizationReport report =
-        core::runBatchSweep(*instrs, arches, options);
+    core::CharacterizationReport report;
+    auto catalog = db::runCatalogSweep(*instrs, arches, options,
+                                       base.get(), &report);
     std::printf("%zu tasks, %zu failed\n", report.numTasks(),
                 report.numFailed());
 
@@ -174,10 +218,12 @@ cmdCharacterize(const Args &args)
         std::printf("wrote %s\n", xml_path->c_str());
     }
 
-    db::saveSnapshotFile(database, *out_path);
-    std::printf("wrote %s (%zu records, %zu uarches)\n",
-                out_path->c_str(), database.numRecords(),
-                database.uarches().size());
+    db::saveCatalogDir(*catalog, *out_dir);
+    std::printf("wrote %s generation %llu (%zu records, %zu shards)\n",
+                out_dir->c_str(),
+                static_cast<unsigned long long>(
+                    catalog->generation()),
+                catalog->numRecords(), catalog->shards().size());
     return 0;
 }
 
@@ -186,8 +232,8 @@ cmdIngest(const Args &args)
 {
     fatalIf(args.positional.size() != 1,
             "ingest: expected exactly one RESULTS.xml");
-    const std::string *out_path = args.option("out");
-    fatalIf(out_path == nullptr, "ingest: --out is required");
+    const std::string *out_dir = args.option("out");
+    fatalIf(out_dir == nullptr, "ingest: --out is required");
 
     std::ifstream in(args.positional[0]);
     fatalIf(!in, "cannot open ", args.positional[0]);
@@ -198,31 +244,51 @@ cmdIngest(const Args &args)
     isa::ResultsDoc doc = isa::parseResultsXml(text.str());
     db::InstructionDatabase database;
     database.ingestResults(doc, instrs.get());
-    db::saveSnapshotFile(database, *out_path);
+    auto catalog = db::DatabaseCatalog::fromMonolith(database, 1);
+    db::saveCatalogDir(*catalog, *out_dir);
     std::printf("wrote %s (%zu records from %zu uarches)\n",
-                out_path->c_str(), database.numRecords(),
+                out_dir->c_str(), catalog->numRecords(),
                 doc.uarches.size());
+    return 0;
+}
+
+int
+cmdMigrate(const Args &args)
+{
+    fatalIf(args.positional.size() != 2,
+            "migrate: expected V2.snap and an output directory");
+    db::migrateSnapshot(args.positional[0], args.positional[1]);
+    auto catalog = db::loadCatalogDir(args.positional[1]);
+    std::printf("migrated %s -> %s (%zu records, %zu shards)\n",
+                args.positional[0].c_str(),
+                args.positional[1].c_str(), catalog->numRecords(),
+                catalog->shards().size());
     return 0;
 }
 
 int
 cmdInfo(const Args &args)
 {
-    fatalIf(args.positional.size() != 1, "info: expected DB path");
-    auto database = db::loadSnapshotFile(args.positional[0]);
-    std::printf("%zu records\n", database->numRecords());
-    for (uarch::UArch arch : database->uarches())
-        std::printf("  %-4s %5zu records\n",
-                    uarch::uarchShortName(arch).c_str(),
-                    database->numRecords(arch));
+    fatalIf(args.positional.size() != 1, "info: expected PATH");
+    auto catalog = db::openCatalog(args.positional[0]);
+    std::printf("generation %llu, %zu records\n",
+                static_cast<unsigned long long>(
+                    catalog->generation()),
+                catalog->numRecords());
+    for (const db::ShardEntry &entry : catalog->shards())
+        std::printf("  %-4s %5llu records  %s  %s\n",
+                    uarch::uarchShortName(entry.arch).c_str(),
+                    static_cast<unsigned long long>(entry.records),
+                    hashHex(entry.hash).c_str(),
+                    entry.file.c_str());
     return 0;
 }
 
 int
 cmdQuery(const Args &args)
 {
-    fatalIf(args.positional.size() != 1, "query: expected DB path");
-    auto database = db::loadSnapshotFile(args.positional[0]);
+    fatalIf(args.positional.size() != 1, "query: expected PATH");
+    auto catalog = db::openCatalog(args.positional[0]);
 
     db::Query query;
     if (const std::string *v = args.option("uarch"))
@@ -256,10 +322,9 @@ cmdQuery(const Args &args)
     query.limit =
         static_cast<size_t>(args.intOption("limit", 1 << 20));
 
-    std::vector<uint32_t> rows = database->search(query);
-    std::printf("%zu match(es)\n", rows.size());
-    for (uint32_t row : rows) {
-        db::RecordView rec = database->record(row);
+    std::vector<db::RecordView> records = catalog->search(query);
+    std::printf("%zu match(es)\n", records.size());
+    for (const db::RecordView &rec : records) {
         std::printf("  %-4s %-24s %-6s tp=%-6s lat<=%-3d %s\n",
                     uarch::uarchShortName(rec.arch()).c_str(),
                     std::string(rec.name()).c_str(),
@@ -275,29 +340,27 @@ int
 cmdDiff(const Args &args)
 {
     fatalIf(args.positional.size() != 3,
-            "diff: expected DB ARCH_A ARCH_B");
-    auto database = db::loadSnapshotFile(args.positional[0]);
+            "diff: expected PATH ARCH_A ARCH_B");
+    auto catalog = db::openCatalog(args.positional[0]);
     uarch::UArch a = uarch::parseUArch(args.positional[1]);
     uarch::UArch b = uarch::parseUArch(args.positional[2]);
 
-    db::DiffResult diff = database->diff(a, b);
+    db::CatalogDiff diff = catalog->diff(a, b);
     std::printf("%zu shared variants, %zu changed, %zu only-%s, "
                 "%zu only-%s\n",
                 diff.common, diff.changed.size(), diff.only_a.size(),
                 args.positional[1].c_str(), diff.only_b.size(),
                 args.positional[2].c_str());
-    for (const db::DiffEntry &entry : diff.changed) {
-        db::RecordView rec_a = database->record(entry.row_a);
-        db::RecordView rec_b = database->record(entry.row_b);
-        std::printf("  %-24s", std::string(rec_a.name()).c_str());
+    for (const db::CatalogDiffEntry &entry : diff.changed) {
+        std::printf("  %-24s", std::string(entry.a.name()).c_str());
         if (entry.tp_differs)
             std::printf("  tp %s -> %s",
-                        rec_a.tpMeasured().str().c_str(),
-                        rec_b.tpMeasured().str().c_str());
+                        entry.a.tpMeasured().str().c_str(),
+                        entry.b.tpMeasured().str().c_str());
         if (entry.ports_differ)
             std::printf("  ports %s -> %s",
-                        rec_a.portUsage().toString().c_str(),
-                        rec_b.portUsage().toString().c_str());
+                        entry.a.portUsage().toString().c_str(),
+                        entry.b.portUsage().toString().c_str());
         if (entry.latency_differs)
             std::printf("  latency differs");
         std::printf("\n");
@@ -308,11 +371,20 @@ cmdDiff(const Args &args)
 int
 cmdServe(const Args &args)
 {
-    fatalIf(args.positional.size() != 1, "serve: expected DB path");
-    auto database = db::loadSnapshotFile(args.positional[0]);
+    fatalIf(args.positional.size() != 1, "serve: expected PATH");
+    const std::string path = args.positional[0];
+    const db::LoadMode mode = parseLoadMode(args);
     auto instrs = isa::buildDefaultDb();
 
-    server::QueryService service(*database, *instrs);
+    // The service owns the only long-lived handle: after a hot swap
+    // the old generation (mmaps included) must be able to die with
+    // its last in-flight request, so no local CatalogPtr may outlive
+    // this scope.
+    server::QueryService service(db::openCatalog(path, mode),
+                                 *instrs);
+    service.setReloader(
+        [path, mode] { return db::openCatalog(path, mode); });
+
     server::HttpServer::Options options;
     options.port =
         static_cast<uint16_t>(args.intOption("port", 0));
@@ -321,19 +393,53 @@ cmdServe(const Args &args)
     options.num_threads =
         static_cast<size_t>(args.intOption("threads", 0));
 
+    long watch_seconds = args.intOption("watch", 0);
+    fatalIf(watch_seconds < 0, "--watch must be >= 0");
+
     server::HttpServer http(service, options);
     http.start();
-    std::printf("serving %zu records on http://%s:%u/\n",
-                database->numRecords(), options.bind_address.c_str(),
-                http.port());
+    std::printf("serving %zu records (generation %llu) on "
+                "http://%s:%u/\n",
+                service.catalog()->numRecords(),
+                static_cast<unsigned long long>(
+                    service.catalog()->generation()),
+                options.bind_address.c_str(), http.port());
     std::printf("endpoints: /healthz /uarchs /instr/{name} /search "
-                "/diff /predict /stats\n");
+                "/diff /predict /reload /stats\n");
+    if (watch_seconds > 0)
+        std::printf("watching %s every %lds for new generations\n",
+                    path.c_str(), watch_seconds);
     std::fflush(stdout);
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
-    while (!g_stop && http.running())
+    auto last_poll = std::chrono::steady_clock::now();
+    while (!g_stop && http.running()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (watch_seconds <= 0)
+            continue;
+        auto now = std::chrono::steady_clock::now();
+        if (now - last_poll < std::chrono::seconds(watch_seconds))
+            continue;
+        last_poll = now;
+        // Cheap manifest-header peek; only a published newer
+        // generation triggers the full reload + swap.
+        auto on_disk = db::readCatalogGeneration(path);
+        if (!on_disk ||
+            *on_disk == service.catalog()->generation())
+            continue;
+        try {
+            service.reload();
+            std::printf("reloaded: generation %llu now serving\n",
+                        static_cast<unsigned long long>(
+                            service.catalog()->generation()));
+            std::fflush(stdout);
+        } catch (const std::exception &e) {
+            // Keep serving the current generation; a publisher may
+            // still be mid-write.
+            std::fprintf(stderr, "reload failed: %s\n", e.what());
+        }
+    }
     http.stop();
     std::printf("stopped\n");
     return 0;
@@ -353,6 +459,8 @@ try {
         return cmdCharacterize(args);
     if (command == "ingest")
         return cmdIngest(args);
+    if (command == "migrate")
+        return cmdMigrate(args);
     if (command == "info")
         return cmdInfo(args);
     if (command == "query")

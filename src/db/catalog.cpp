@@ -1,0 +1,646 @@
+#include "catalog.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/hash.h"
+#include "support/status.h"
+
+namespace fs = std::filesystem;
+
+namespace uops::db {
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'U', 'O', 'P', 'S', 'M',
+                                    'F', '\x1a', '\n'};
+constexpr uint32_t kManifestVersion = 1;
+constexpr uint32_t kEndianTag = 0x0A0B0C0Du;
+
+std::string
+shardFileName(uarch::UArch arch, uint64_t hash)
+{
+    return uarch::uarchShortName(arch) + "-" + hashHex(hash) +
+           ".shard";
+}
+
+/** Stream sink that digests instead of storing: hashing a shard
+ *  costs one serialization pass but no second copy of the bytes. */
+class FnvStreamBuf final : public std::streambuf
+{
+  public:
+    uint64_t hash() const { return hash_; }
+
+  protected:
+    int_type
+    overflow(int_type ch) override
+    {
+        if (ch != traits_type::eof()) {
+            char c = traits_type::to_char_type(ch);
+            hash_ = fnv1a64(&c, 1, hash_);
+        }
+        return ch;
+    }
+
+    std::streamsize
+    xsputn(const char *s, std::streamsize n) override
+    {
+        hash_ = fnv1a64(s, static_cast<size_t>(n), hash_);
+        return n;
+    }
+
+  private:
+    uint64_t hash_ = kFnvOffsetBasis;
+};
+
+uint64_t
+shardHash(const InstructionDatabase &db, uarch::UArch arch)
+{
+    FnvStreamBuf buffer;
+    std::ostream os(&buffer);
+    saveShard(db, arch, os);
+    return buffer.hash();
+}
+
+/** (name, row) pairs of one shard, sorted by name (names are unique
+ *  within a shard: one record per (uarch, variant)). */
+std::vector<std::pair<std::string_view, uint32_t>>
+sortedNames(const InstructionDatabase &db)
+{
+    std::vector<std::pair<std::string_view, uint32_t>> out;
+    out.reserve(db.numRecords());
+    for (uint32_t row = 0;
+         row < static_cast<uint32_t>(db.numRecords()); ++row)
+        out.emplace_back(db.record(row).name(), row);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "db catalog: cannot open ", path);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    fatalIf(!is && !is.eof(), "db catalog: read of ", path,
+            " failed");
+    return std::move(buffer).str();
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        fatalIf(!os, "db catalog: cannot open ", tmp,
+                " for writing");
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+        os.flush();
+        fatalIf(!os, "db catalog: write to ", tmp, " failed");
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    fatalIf(static_cast<bool>(ec), "db catalog: rename ", tmp,
+            " -> ", path, ": ", ec.message());
+}
+
+} // namespace
+
+const char *const kManifestFile = "manifest";
+
+// ---------------------------------------------------------------------
+// DatabaseCatalog
+// ---------------------------------------------------------------------
+
+DatabaseCatalog::DatabaseCatalog(std::vector<ShardEntry> shards,
+                                 uint64_t generation)
+    : shards_(std::move(shards)), generation_(generation)
+{
+    for (ShardEntry &entry : shards_) {
+        fatalIf(entry.db == nullptr, "db catalog: null shard for ",
+                uarch::uarchShortName(entry.arch));
+        for (uarch::UArch arch : entry.db->uarches())
+            fatalIf(arch != entry.arch,
+                    "db catalog: shard for ",
+                    uarch::uarchShortName(entry.arch),
+                    " contains records for ",
+                    uarch::uarchShortName(arch));
+        entry.records = entry.db->numRecords();
+        if (entry.hash == 0)
+            entry.hash = shardHash(*entry.db, entry.arch);
+        if (entry.file.empty())
+            entry.file = shardFileName(entry.arch, entry.hash);
+    }
+    std::sort(shards_.begin(), shards_.end(),
+              [](const ShardEntry &a, const ShardEntry &b) {
+                  return static_cast<uint8_t>(a.arch) <
+                         static_cast<uint8_t>(b.arch);
+              });
+    for (size_t i = 1; i < shards_.size(); ++i)
+        fatalIf(shards_[i - 1].arch == shards_[i].arch,
+                "db catalog: duplicate shard for ",
+                uarch::uarchShortName(shards_[i].arch));
+}
+
+const InstructionDatabase *
+DatabaseCatalog::shard(uarch::UArch arch) const
+{
+    for (const ShardEntry &entry : shards_)
+        if (entry.arch == arch)
+            return entry.db.get();
+    return nullptr;
+}
+
+size_t
+DatabaseCatalog::numRecords() const
+{
+    size_t n = 0;
+    for (const ShardEntry &entry : shards_)
+        n += entry.db->numRecords();
+    return n;
+}
+
+size_t
+DatabaseCatalog::numRecords(uarch::UArch arch) const
+{
+    const InstructionDatabase *db = shard(arch);
+    return db ? db->numRecords() : 0;
+}
+
+std::vector<uarch::UArch>
+DatabaseCatalog::uarches() const
+{
+    std::vector<uarch::UArch> out;
+    out.reserve(shards_.size());
+    for (const ShardEntry &entry : shards_)
+        if (entry.db->numRecords() > 0)
+            out.push_back(entry.arch);
+    return out;
+}
+
+std::optional<RecordView>
+DatabaseCatalog::find(uarch::UArch arch, std::string_view name) const
+{
+    const InstructionDatabase *db = shard(arch);
+    if (db == nullptr)
+        return std::nullopt;
+    auto row = db->find(arch, name);
+    if (!row)
+        return std::nullopt;
+    return db->record(*row);
+}
+
+std::vector<RecordView>
+DatabaseCatalog::findByName(std::string_view name) const
+{
+    std::vector<RecordView> out;
+    for (const ShardEntry &entry : shards_)
+        if (auto row = entry.db->find(entry.arch, name))
+            out.push_back(entry.db->record(*row));
+    return out;
+}
+
+std::vector<RecordView>
+DatabaseCatalog::search(const Query &query) const
+{
+    std::vector<RecordView> out;
+    for (const ShardEntry &entry : shards_) {
+        if (query.arch && *query.arch != entry.arch)
+            continue;
+        if (out.size() >= query.limit)
+            break;
+        Query rest = query;
+        rest.limit = query.limit - out.size();
+        for (uint32_t row : entry.db->search(rest))
+            out.push_back(entry.db->record(row));
+    }
+    return out;
+}
+
+CatalogDiff
+DatabaseCatalog::diff(uarch::UArch a, uarch::UArch b) const
+{
+    CatalogDiff out;
+    const InstructionDatabase *db_a = shard(a);
+    const InstructionDatabase *db_b = shard(b);
+
+    // Merge-walk the two shards' name-sorted records: the same visit
+    // order as the monolith's by-name index walk, so only_a / only_b
+    // and the changed list keep their historical ordering.
+    auto names_a = db_a
+                       ? sortedNames(*db_a)
+                       : std::vector<
+                             std::pair<std::string_view, uint32_t>>{};
+    auto names_b = db_b
+                       ? sortedNames(*db_b)
+                       : std::vector<
+                             std::pair<std::string_view, uint32_t>>{};
+    size_t i = 0, j = 0;
+    while (i < names_a.size() || j < names_b.size()) {
+        if (j == names_b.size() ||
+            (i < names_a.size() &&
+             names_a[i].first < names_b[j].first)) {
+            out.only_a.emplace_back(names_a[i++].first);
+            continue;
+        }
+        if (i == names_a.size() ||
+            names_b[j].first < names_a[i].first) {
+            out.only_b.emplace_back(names_b[j++].first);
+            continue;
+        }
+        ++out.common;
+        CatalogDiffEntry entry{db_a->record(names_a[i].second),
+                               db_b->record(names_b[j].second)};
+        compareRecords(entry.a, entry.b, entry);
+        if (entry.tp_differs || entry.ports_differ ||
+            entry.latency_differs)
+            out.changed.push_back(entry);
+        ++i;
+        ++j;
+    }
+    return out;
+}
+
+core::CharacterizationSet
+DatabaseCatalog::toCharacterizationSet(
+    uarch::UArch arch, const isa::InstrDb &instr_db) const
+{
+    const InstructionDatabase *db = shard(arch);
+    if (db == nullptr) {
+        core::CharacterizationSet empty;
+        empty.arch = arch;
+        return empty;
+    }
+    return db->toCharacterizationSet(arch, instr_db);
+}
+
+std::shared_ptr<const DatabaseCatalog>
+DatabaseCatalog::fromMonolith(const InstructionDatabase &db,
+                              uint64_t generation)
+{
+    std::vector<ShardEntry> shards;
+    for (uarch::UArch arch : db.uarches()) {
+        auto shard = std::make_unique<InstructionDatabase>();
+        const uint8_t arch_id = static_cast<uint8_t>(arch);
+        for (uint32_t row = 0;
+             row < static_cast<uint32_t>(db.numRecords()); ++row) {
+            if (db.arch_[row] != arch_id)
+                continue;
+            // Repackage through Canonical: bit-identical to a fresh
+            // single-uarch ingest because row order and per-shard
+            // string interning order are both preserved.
+            RecordView view = db.record(row);
+            InstructionDatabase::Canonical rec;
+            rec.arch = arch_id;
+            rec.name = std::string(view.name());
+            rec.mnemonic = std::string(view.mnemonic());
+            rec.extension = std::string(view.extension());
+            rec.usage = view.portUsage();
+            rec.tp_measured = view.tpMeasured();
+            rec.tp_breakers = view.tpWithBreakers();
+            rec.tp_slow = view.tpSlow();
+            rec.tp_ports = view.tpFromPorts();
+            rec.lats = view.latencies();
+            rec.same_reg = view.sameRegCycles();
+            rec.store_rt = view.storeRoundTrip();
+            shard->append(rec);
+        }
+        shard->rebuildIndexes();
+        ShardEntry entry;
+        entry.arch = arch;
+        entry.db = std::move(shard);
+        shards.push_back(std::move(entry));
+    }
+    return std::make_shared<DatabaseCatalog>(std::move(shards),
+                                             generation);
+}
+
+std::shared_ptr<const DatabaseCatalog>
+DatabaseCatalog::splice(const DatabaseCatalog &base,
+                        std::vector<ShardEntry> fresh)
+{
+    std::vector<ShardEntry> merged = base.shards_;
+    for (ShardEntry &entry : fresh) {
+        auto it = std::find_if(merged.begin(), merged.end(),
+                               [&](const ShardEntry &e) {
+                                   return e.arch == entry.arch;
+                               });
+        // Fresh shards carry new content: drop any stale file/hash
+        // identity so the catalog recomputes their address.
+        entry.hash = 0;
+        entry.file.clear();
+        if (it != merged.end())
+            *it = std::move(entry);
+        else
+            merged.push_back(std::move(entry));
+    }
+    return std::make_shared<DatabaseCatalog>(
+        std::move(merged), base.generation() + 1);
+}
+
+// ---------------------------------------------------------------------
+// Directory store
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct ManifestShard
+{
+    uint8_t arch = 0;
+    uint64_t records = 0;
+    uint64_t hash = 0;
+    std::string file;
+};
+
+struct Manifest
+{
+    uint64_t generation = 0;
+    std::vector<ManifestShard> shards;
+};
+
+std::string
+manifestBytes(const DatabaseCatalog &catalog)
+{
+    std::ostringstream os(std::ios::binary);
+    auto scalar = [&os](uint64_t value) {
+        os.write(reinterpret_cast<const char *>(&value),
+                 sizeof value);
+    };
+    os.write(kManifestMagic, sizeof kManifestMagic);
+    uint32_t head[2] = {kManifestVersion, kEndianTag};
+    os.write(reinterpret_cast<const char *>(head), sizeof head);
+    scalar(catalog.generation());
+    scalar(catalog.shards().size());
+    for (const ShardEntry &entry : catalog.shards()) {
+        scalar(static_cast<uint8_t>(entry.arch));
+        scalar(entry.records);
+        scalar(entry.hash);
+        scalar(entry.file.size());
+        os.write(entry.file.data(),
+                 static_cast<std::streamsize>(entry.file.size()));
+        static const char zeros[8] = {};
+        os.write(zeros,
+                 static_cast<std::streamsize>(
+                     (8 - entry.file.size() % 8) % 8));
+    }
+    return std::move(os).str();
+}
+
+Manifest
+parseManifest(const std::string &bytes, const std::string &dir)
+{
+    std::istringstream is(bytes, std::ios::binary);
+    auto raw = [&is, &dir](void *out, size_t n) {
+        is.read(static_cast<char *>(out),
+                static_cast<std::streamsize>(n));
+        fatalIf(static_cast<size_t>(is.gcount()) != n,
+                "db catalog: truncated manifest in ", dir);
+    };
+    auto scalar = [&raw] {
+        uint64_t value = 0;
+        raw(&value, sizeof value);
+        return value;
+    };
+    char magic[8];
+    raw(magic, sizeof magic);
+    fatalIf(std::memcmp(magic, kManifestMagic, sizeof magic) != 0,
+            "db catalog: bad manifest magic in ", dir);
+    uint32_t head[2];
+    raw(head, sizeof head);
+    fatalIf(head[0] != kManifestVersion,
+            "db catalog: unsupported manifest version ", head[0]);
+    fatalIf(head[1] != kEndianTag,
+            "db catalog: manifest has foreign byte order");
+
+    Manifest manifest;
+    manifest.generation = scalar();
+    uint64_t count = scalar();
+    fatalIf(count > 256, "db catalog: implausible shard count ",
+            count);
+    for (uint64_t i = 0; i < count; ++i) {
+        ManifestShard shard;
+        uint64_t arch = scalar();
+        fatalIf(arch > 0xff, "db catalog: implausible uarch id ",
+                arch);
+        shard.arch = static_cast<uint8_t>(arch);
+        shard.records = scalar();
+        shard.hash = scalar();
+        uint64_t name_len = scalar();
+        fatalIf(name_len > 4096,
+                "db catalog: implausible shard file name length");
+        shard.file.resize(static_cast<size_t>(name_len));
+        if (name_len)
+            raw(shard.file.data(), shard.file.size());
+        char pad[8];
+        raw(pad, (8 - name_len % 8) % 8);
+        fatalIf(shard.file.find('/') != std::string::npos ||
+                    shard.file.find("..") != std::string::npos,
+                "db catalog: manifest shard file escapes the "
+                "catalog directory: ",
+                shard.file);
+        manifest.shards.push_back(std::move(shard));
+    }
+    return manifest;
+}
+
+} // namespace
+
+void
+saveCatalogDir(const DatabaseCatalog &catalog, const std::string &dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    fatalIf(static_cast<bool>(ec), "db catalog: cannot create ", dir,
+            ": ", ec.message());
+
+    for (const ShardEntry &entry : catalog.shards()) {
+        const std::string path = dir + "/" + entry.file;
+        if (fs::exists(path)) {
+            // Content-addressed: an existing file under this name
+            // must already hold these bytes. Verify instead of
+            // rewriting — this is what keeps an incremental save from
+            // touching shards it did not re-characterize.
+            uint64_t on_disk = fnv1a64(readFileBytes(path));
+            fatalIf(on_disk != entry.hash, "db catalog: ", path,
+                    " exists with hash ", hashHex(on_disk),
+                    " but the catalog expects ",
+                    hashHex(entry.hash),
+                    " (corrupt store?)");
+            continue;
+        }
+        writeFileAtomic(path, shardBytes(*entry.db, entry.arch));
+    }
+
+    // The manifest rename is the commit point: readers see the old
+    // generation or the new one, never a mix.
+    writeFileAtomic(dir + "/" + kManifestFile,
+                    manifestBytes(catalog));
+}
+
+std::shared_ptr<const DatabaseCatalog>
+loadCatalogDir(const std::string &dir, LoadMode mode,
+               bool verify_hashes)
+{
+    Manifest manifest = parseManifest(
+        readFileBytes(dir + "/" + kManifestFile), dir);
+
+    std::vector<ShardEntry> shards;
+    for (const ManifestShard &ms : manifest.shards) {
+        const std::string path = dir + "/" + ms.file;
+        const uarch::UArch arch = static_cast<uarch::UArch>(ms.arch);
+        ShardEntry entry;
+        entry.arch = arch;
+        entry.hash = ms.hash;
+        entry.file = ms.file;
+        if (mode == LoadMode::Mmap) {
+            auto mapping = mapFile(path);
+            fatalIf(verify_hashes &&
+                        fnv1a64(mapping->view()) != ms.hash,
+                    "db catalog: shard ", path,
+                    " does not match its manifest hash");
+            entry.db = loadShardMapped(std::move(mapping), arch);
+        } else {
+            std::string bytes = readFileBytes(path);
+            fatalIf(verify_hashes && fnv1a64(bytes) != ms.hash,
+                    "db catalog: shard ", path,
+                    " does not match its manifest hash");
+            std::istringstream is(bytes, std::ios::binary);
+            entry.db = loadShard(is, arch);
+        }
+        fatalIf(entry.db->numRecords() != ms.records,
+                "db catalog: shard ", path, " holds ",
+                entry.db->numRecords(),
+                " records but the manifest expects ", ms.records);
+        shards.push_back(std::move(entry));
+    }
+    return std::make_shared<DatabaseCatalog>(std::move(shards),
+                                             manifest.generation);
+}
+
+std::optional<uint64_t>
+readCatalogGeneration(const std::string &dir)
+{
+    const std::string path = dir + "/" + kManifestFile;
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    char head[24];
+    is.read(head, sizeof head);
+    if (static_cast<size_t>(is.gcount()) != sizeof head)
+        return std::nullopt;
+    if (std::memcmp(head, kManifestMagic, 8) != 0)
+        return std::nullopt;
+    uint64_t generation = 0;
+    std::memcpy(&generation, head + 16, sizeof generation);
+    return generation;
+}
+
+std::shared_ptr<const DatabaseCatalog>
+openCatalog(const std::string &path, LoadMode mode)
+{
+    if (fs::is_directory(path))
+        return loadCatalogDir(path, mode);
+    // Legacy single-file containers: split into per-uarch shards so
+    // everything downstream speaks catalog. Generation 0 marks "not
+    // from a sharded store".
+    auto monolith = loadSnapshotFile(path);
+    return DatabaseCatalog::fromMonolith(*monolith, 0);
+}
+
+void
+migrateSnapshot(const std::string &snapshot_path,
+                const std::string &dir)
+{
+    auto monolith = loadSnapshotFile(snapshot_path);
+    auto catalog = DatabaseCatalog::fromMonolith(*monolith, 1);
+    saveCatalogDir(*catalog, dir);
+}
+
+// ---------------------------------------------------------------------
+// Sweep integration
+// ---------------------------------------------------------------------
+
+void
+CatalogSweepIngestor::onVariant(uarch::UArch arch,
+                                const core::VariantOutcome &outcome)
+{
+    panicIf(finished_, "CatalogSweepIngestor: onVariant after finish");
+    if (!outcome.ok)
+        return;   // failures are reported by the sweep, not stored
+    auto it = shards_.find(arch);
+    if (it == shards_.end())
+        it = shards_
+                 .emplace(arch,
+                          std::make_unique<InstructionDatabase>())
+                 .first;
+    it->second->appendCharacterization(static_cast<uint8_t>(arch),
+                                       outcome.result);
+    ++ingested_;
+}
+
+void
+CatalogSweepIngestor::declareArch(uarch::UArch arch)
+{
+    panicIf(finished_, "CatalogSweepIngestor: declareArch after finish");
+    if (shards_.find(arch) == shards_.end())
+        shards_.emplace(arch,
+                        std::make_unique<InstructionDatabase>());
+}
+
+void
+CatalogSweepIngestor::finishOnce()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    for (auto &[arch, db] : shards_)
+        db->rebuildIndexes();
+}
+
+std::vector<ShardEntry>
+CatalogSweepIngestor::takeShards()
+{
+    panicIf(!finished_,
+            "CatalogSweepIngestor: takeShards before finish");
+    std::vector<ShardEntry> out;
+    for (auto &[arch, db] : shards_) {
+        ShardEntry entry;
+        entry.arch = arch;
+        entry.db = std::move(db);
+        out.push_back(std::move(entry));
+    }
+    shards_.clear();
+    return out;
+}
+
+std::shared_ptr<const DatabaseCatalog>
+runCatalogSweep(const isa::InstrDb &instrs,
+                const std::vector<uarch::UArch> &arches,
+                core::BatchOptions options,
+                const DatabaseCatalog *base,
+                core::CharacterizationReport *report_out)
+{
+    fatalIf(options.sink != nullptr,
+            "runCatalogSweep: options.sink is owned by the catalog "
+            "ingestor");
+    CatalogSweepIngestor ingestor;
+    for (uarch::UArch arch : arches)
+        ingestor.declareArch(arch);
+    options.sink = &ingestor;
+    core::CharacterizationReport report =
+        core::runBatchSweep(instrs, arches, options);
+    if (report_out)
+        *report_out = std::move(report);
+    std::vector<ShardEntry> fresh = ingestor.takeShards();
+    if (base)
+        return DatabaseCatalog::splice(*base, std::move(fresh));
+    return std::make_shared<DatabaseCatalog>(std::move(fresh), 1);
+}
+
+} // namespace uops::db

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * The sharded storage engine: per-uarch snapshot shards behind one
+ * queryable catalog, with generation-numbered manifests, incremental
+ * splicing, and atomic hot-swap friendly ownership.
+ *
+ * uops.info is a living dataset — the pipeline re-runs per
+ * microarchitecture and republishes without rebuilding the world. The
+ * monolithic InstructionDatabase snapshot could not express that: one
+ * blob, rewritten wholesale, reloaded only by restarting the server.
+ * The catalog splits storage at the natural boundary, one shard
+ * (a single-uarch InstructionDatabase) per microarchitecture:
+ *
+ *   catalog-dir/
+ *     manifest            generation number + per-shard (uarch,
+ *                         record count, content hash, file name)
+ *     SKL-<hash16>.shard  version-3 shard containers, named by the
+ *     NHM-<hash16>.shard  FNV-1a hash of their bytes
+ *
+ * Content-addressed shard files make every useful property fall out:
+ * an incremental re-sweep writes only the shards it re-characterized
+ * (unchanged uarches keep their file, hash-verified), the manifest
+ * swap is a single atomic rename, and a serving process can mmap
+ * shards zero-copy without fear of in-place rewrites. Shards are held
+ * as shared_ptr<const InstructionDatabase>, so a spliced catalog
+ * shares untouched shards with its predecessor and a hot-swapped
+ * server generation keeps old shards alive until the last in-flight
+ * request drops its handle.
+ *
+ * A catalog answers the same queries the monolith did, routing by
+ * uarch where possible and merging across shards (in chronological
+ * uarch order, matching the monolith's arch-major row order) where
+ * not. Catalogs are immutable once built; "mutation" is constructing
+ * the next generation.
+ */
+
+#ifndef UOPS_DB_CATALOG_H
+#define UOPS_DB_CATALOG_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/snapshot.h"
+
+namespace uops::db {
+
+/** How shard containers are brought into memory. */
+enum class LoadMode {
+    Mmap,     ///< zero-copy: columns point into the mapped file
+    Stream,   ///< portable copy through iostreams
+};
+
+/** One microarchitecture's shard inside a catalog. */
+struct ShardEntry
+{
+    uarch::UArch arch = uarch::UArch::Nehalem;
+    std::shared_ptr<const InstructionDatabase> db;
+    uint64_t records = 0;
+    uint64_t hash = 0;        ///< FNV-1a 64 of the shard file bytes
+    std::string file;         ///< file name inside the catalog dir
+                              ///  (empty for in-memory shards)
+};
+
+/** Cross-uarch difference of one variant, catalog-level. */
+struct CatalogDiffEntry
+{
+    RecordView a;
+    RecordView b;
+    bool tp_differs = false;
+    bool ports_differ = false;
+    bool latency_differs = false;
+};
+
+struct CatalogDiff
+{
+    size_t common = 0;
+    std::vector<CatalogDiffEntry> changed;
+    std::vector<std::string> only_a;
+    std::vector<std::string> only_b;
+};
+
+class DatabaseCatalog
+{
+  public:
+    /** Build from per-uarch shards (each must be single-uarch; they
+     *  are sorted into chronological uarch order). Hashes and record
+     *  counts are computed for entries that carry none. */
+    DatabaseCatalog(std::vector<ShardEntry> shards,
+                    uint64_t generation);
+
+    DatabaseCatalog(const DatabaseCatalog &) = delete;
+    DatabaseCatalog &operator=(const DatabaseCatalog &) = delete;
+
+    uint64_t generation() const { return generation_; }
+    const std::vector<ShardEntry> &shards() const { return shards_; }
+
+    /** The shard for one uarch; nullptr when absent. */
+    const InstructionDatabase *shard(uarch::UArch arch) const;
+
+    // ---- monolith-equivalent queries --------------------------------
+
+    size_t numRecords() const;
+    size_t numRecords(uarch::UArch arch) const;
+    std::vector<uarch::UArch> uarches() const;
+
+    std::optional<RecordView> find(uarch::UArch arch,
+                                   std::string_view name) const;
+
+    /** All records with this variant name, in uarch order. */
+    std::vector<RecordView> findByName(std::string_view name) const;
+
+    /**
+     * Indexed search. Routed to a single shard when the query
+     * constrains the uarch; otherwise per-shard results are
+     * concatenated in chronological uarch order — exactly the row
+     * order of the old arch-major monolith. Query::limit spans
+     * shards.
+     */
+    std::vector<RecordView> search(const Query &query) const;
+
+    CatalogDiff diff(uarch::UArch a, uarch::UArch b) const;
+
+    core::CharacterizationSet
+    toCharacterizationSet(uarch::UArch arch,
+                          const isa::InstrDb &instr_db) const;
+
+    // ---- construction helpers ---------------------------------------
+
+    /**
+     * Split a multi-uarch monolith into per-uarch shards (the v2 ->
+     * v3 migration, and the compatibility path for loading legacy
+     * snapshots). Lossless and deterministic: each shard's bytes are
+     * identical to what a fresh single-uarch sweep of the same
+     * results would produce.
+     */
+    static std::shared_ptr<const DatabaseCatalog>
+    fromMonolith(const InstructionDatabase &db, uint64_t generation);
+
+    /**
+     * Next generation: @p base with @p fresh shards spliced in (per
+     * uarch, replacing or adding); untouched shards are shared, not
+     * copied. This is the commit step of an incremental sweep.
+     */
+    static std::shared_ptr<const DatabaseCatalog>
+    splice(const DatabaseCatalog &base,
+           std::vector<ShardEntry> fresh);
+
+  private:
+    std::vector<ShardEntry> shards_;   ///< uarch-ascending
+    uint64_t generation_ = 0;
+};
+
+// ---- directory store -------------------------------------------------
+
+/** Manifest file name inside a catalog directory. */
+extern const char *const kManifestFile;
+
+/**
+ * Persist @p catalog under @p dir (created if missing): every shard
+ * whose content-addressed file is not already present is written,
+ * present files are hash-verified, and the manifest is replaced by an
+ * atomic rename — a concurrent reader sees either the old or the new
+ * generation, never a torn one. Shard files of older generations are
+ * left in place (a serving process may still have them mapped).
+ */
+void saveCatalogDir(const DatabaseCatalog &catalog,
+                    const std::string &dir);
+
+/**
+ * Load a catalog directory. Shard content is hash-verified against
+ * the manifest (@p verify_hashes), so a spliced catalog's untouched
+ * shards are provably the bytes the previous generation wrote.
+ */
+std::shared_ptr<const DatabaseCatalog>
+loadCatalogDir(const std::string &dir,
+               LoadMode mode = LoadMode::Mmap,
+               bool verify_hashes = true);
+
+/** Generation recorded in a directory's manifest (cheap header read;
+ *  nullopt when there is no manifest). Powers `serve --watch`. */
+std::optional<uint64_t>
+readCatalogGeneration(const std::string &dir);
+
+/**
+ * Open either storage format: a directory is a v3 sharded catalog, a
+ * file is a legacy v2 monolith (split per uarch via fromMonolith,
+ * generation 0) or a single v3 shard file.
+ */
+std::shared_ptr<const DatabaseCatalog>
+openCatalog(const std::string &path,
+            LoadMode mode = LoadMode::Mmap);
+
+/**
+ * Lossless v2 -> v3 migration: load the monolith at @p snapshot_path,
+ * shard it per uarch, and write a generation-1 catalog under
+ * @p dir. v1 snapshots are still refused (their doubles cannot be
+ * reproduced bit-exactly).
+ */
+void migrateSnapshot(const std::string &snapshot_path,
+                     const std::string &dir);
+
+// ---- sweep integration -----------------------------------------------
+
+/**
+ * Streaming sweep -> sharded catalog sink: like SweepIngestor, but
+ * every uarch accumulates into its own shard database, so the result
+ * is per-uarch shards ready to splice. Delivery order (uarch-major,
+ * variant-id) makes each shard bit-identical to a single-uarch sweep
+ * of the same variants — the property that lets an incremental
+ * re-sweep reproduce a full sweep's bytes.
+ */
+class CatalogSweepIngestor final : public core::SweepSink
+{
+  public:
+    CatalogSweepIngestor() = default;
+    ~CatalogSweepIngestor() override { finishOnce(); }
+
+    void onVariant(uarch::UArch arch,
+                   const core::VariantOutcome &outcome) override;
+    void finish() override { finishOnce(); }
+
+    size_t numIngested() const { return ingested_; }
+
+    /** The finished shards (call after the sweep returned). An arch
+     *  swept with zero successful variants still yields an (empty)
+     *  shard, so a re-sweep can erase a uarch deliberately. */
+    std::vector<ShardEntry> takeShards();
+
+    /** Pre-register @p arch so it yields a shard even when the sweep
+     *  produces no successful outcome for it. */
+    void declareArch(uarch::UArch arch);
+
+  private:
+    void finishOnce();
+
+    std::map<uarch::UArch, std::unique_ptr<InstructionDatabase>>
+        shards_;
+    size_t ingested_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Incremental sweep: characterize @p arches (with @p options) and
+ * splice the resulting shards into @p base. Pass base = nullptr for
+ * a full fresh catalog (generation 1). The sweep report is returned
+ * through @p report_out when non-null.
+ */
+std::shared_ptr<const DatabaseCatalog>
+runCatalogSweep(const isa::InstrDb &instrs,
+                const std::vector<uarch::UArch> &arches,
+                core::BatchOptions options,
+                const DatabaseCatalog *base,
+                core::CharacterizationReport *report_out = nullptr);
+
+} // namespace uops::db
+
+#endif // UOPS_DB_CATALOG_H

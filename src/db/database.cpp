@@ -200,7 +200,7 @@ std::string_view
 InstructionDatabase::str(uint32_t id) const
 {
     panicIf(id >= str_off_.size(), "db: bad string id ", id);
-    return std::string_view(pool_).substr(str_off_[id], str_len_[id]);
+    return pool_.substr(str_off_[id], str_len_[id]);
 }
 
 void
@@ -581,23 +581,7 @@ InstructionDatabase::diff(uarch::UArch a, uarch::UArch b) const
         DiffEntry entry;
         entry.row_a = *row_a;
         entry.row_b = *row_b;
-        entry.tp_differs =
-            tp_measured_[*row_a] != tp_measured_[*row_b];
-        entry.ports_differ = !(record(*row_a).portUsage() ==
-                               record(*row_b).portUsage());
-        auto lats_a = record(*row_a).latencies();
-        auto lats_b = record(*row_b).latencies();
-        entry.latency_differs = lats_a.size() != lats_b.size();
-        for (size_t i = 0;
-             !entry.latency_differs && i < lats_a.size(); ++i) {
-            const auto &la = lats_a[i];
-            const auto &lb = lats_b[i];
-            entry.latency_differs =
-                la.src_op != lb.src_op || la.dst_op != lb.dst_op ||
-                la.cycles != lb.cycles ||
-                la.upper_bound != lb.upper_bound ||
-                la.slow_cycles != lb.slow_cycles;
-        }
+        compareRecords(record(*row_a), record(*row_b), entry);
         if (entry.tp_differs || entry.ports_differ ||
             entry.latency_differs)
             out.changed.push_back(entry);

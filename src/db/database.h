@@ -10,12 +10,17 @@
  * downstream tools (uiCA-style simulators, throughput predictors)
  * issue against uops.info.
  *
- * Storage is columnar: one growable array per field, with all strings
+ * Storage is columnar: one flat array per field, with all strings
  * interned in a shared pool and all variable-length payloads (port
  * usage entries, latency pairs) packed into flat side arrays
  * referenced by (offset, count). This keeps point lookups and column
  * scans cache-friendly and makes the snapshot format (snapshot.h) a
- * direct dump of the arrays.
+ * direct dump of the arrays. Columns are owned-or-borrowed
+ * (support/column.h): ingest grows owned vectors, while the zero-copy
+ * shard loader binds every column straight into a memory-mapped
+ * buffer that the database keeps alive via a shared backing handle;
+ * the first mutation of a borrowed column transparently copies it
+ * out, so a mapped database is never written through.
  *
  * Three ingest paths produce *bit-identical* databases for the same
  * results: the in-memory path (a CharacterizationSet / batch report),
@@ -38,6 +43,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -45,6 +51,7 @@
 
 #include "core/batch.h"
 #include "isa/results_xml.h"
+#include "support/column.h"
 #include "support/cycles.h"
 #include "uarch/timing.h"
 
@@ -121,6 +128,30 @@ struct DiffEntry
     bool ports_differ = false;
     bool latency_differs = false;
 };
+
+/** Field-by-field record comparison shared by the monolith diff and
+ *  the catalog diff — one definition of "changed". Fills the three
+ *  *_differs flags of @p entry (a DiffEntry or CatalogDiffEntry). */
+template <typename Entry>
+void
+compareRecords(const RecordView &a, const RecordView &b, Entry &entry)
+{
+    entry.tp_differs = a.tpMeasured() != b.tpMeasured();
+    entry.ports_differ = !(a.portUsage() == b.portUsage());
+    auto lats_a = a.latencies();
+    auto lats_b = b.latencies();
+    entry.latency_differs = lats_a.size() != lats_b.size();
+    for (size_t i = 0; !entry.latency_differs && i < lats_a.size();
+         ++i) {
+        const auto &la = lats_a[i];
+        const auto &lb = lats_b[i];
+        entry.latency_differs =
+            la.src_op != lb.src_op || la.dst_op != lb.dst_op ||
+            la.cycles != lb.cycles ||
+            la.upper_bound != lb.upper_bound ||
+            la.slow_cycles != lb.slow_cycles;
+    }
+}
 
 /** Result of diff(): what changed between two microarchitectures. */
 struct DiffResult
@@ -199,6 +230,8 @@ class InstructionDatabase
   private:
     friend class RecordView;
     friend class SweepIngestor;
+    friend class CatalogSweepIngestor;
+    friend class DatabaseCatalog;
     friend struct SnapshotCodec;
 
     /** Canonical record, shared by every ingest path. */
@@ -224,28 +257,32 @@ class InstructionDatabase
     // ---- columnar storage (everything below is serialized) ----------
 
     /** String pool: bytes + (offset, length) spans, id = span index. */
-    std::string pool_;
-    std::vector<uint32_t> str_off_, str_len_;
+    BytePool pool_;
+    Column<uint32_t> str_off_, str_len_;
 
     /** Per-record columns (parallel, row-indexed). */
-    std::vector<uint8_t> arch_;
-    std::vector<uint32_t> name_, mnemonic_, ext_;   ///< string ids
-    std::vector<uint16_t> port_union_;
-    std::vector<uint16_t> uop_count_;
-    std::vector<uint16_t> max_latency_;
-    std::vector<uint8_t> flags_;                    ///< presence bits
+    Column<uint8_t> arch_;
+    Column<uint32_t> name_, mnemonic_, ext_;        ///< string ids
+    Column<uint16_t> port_union_;
+    Column<uint16_t> uop_count_;
+    Column<uint16_t> max_latency_;
+    Column<uint8_t> flags_;                         ///< presence bits
     /** Cycle columns hold raw fixed-point integers (Cycles is a
      *  single int64, trivially copyable), dumped as-is by snapshots. */
-    std::vector<Cycles> tp_measured_, tp_breakers_, tp_slow_, tp_ports_;
-    std::vector<Cycles> same_reg_, store_rt_;
-    std::vector<uint32_t> ports_off_, lat_off_;
-    std::vector<uint16_t> ports_n_, lat_n_;
+    Column<Cycles> tp_measured_, tp_breakers_, tp_slow_, tp_ports_;
+    Column<Cycles> same_reg_, store_rt_;
+    Column<uint32_t> ports_off_, lat_off_;
+    Column<uint16_t> ports_n_, lat_n_;
 
     /** Flat pools for variable-length payloads. */
-    std::vector<uint16_t> pu_mask_, pu_count_;      ///< port usage
-    std::vector<int16_t> lat_src_, lat_dst_;        ///< latency pairs
-    std::vector<uint8_t> lat_flags_;
-    std::vector<Cycles> lat_cycles_, lat_slow_;
+    Column<uint16_t> pu_mask_, pu_count_;           ///< port usage
+    Column<int16_t> lat_src_, lat_dst_;             ///< latency pairs
+    Column<uint8_t> lat_flags_;
+    Column<Cycles> lat_cycles_, lat_slow_;
+
+    /** Keep-alive for the mapped buffer borrowed columns point into
+     *  (null for owned databases). */
+    std::shared_ptr<const void> backing_;
 
     // ---- in-memory indexes (rebuilt, never serialized) ---------------
 

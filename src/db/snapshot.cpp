@@ -42,9 +42,8 @@ class Writer
 
     template <typename T>
     void
-    array(const std::vector<T> &xs)
+    array(const Column<T> &xs)
     {
-        static_assert(std::is_trivially_copyable_v<T>);
         scalar<uint64_t>(xs.size());
         size_t bytes = xs.size() * sizeof(T);
         if (bytes)
@@ -53,10 +52,10 @@ class Writer
     }
 
     void
-    array(const std::string &s)
+    array(const BytePool &s)
     {
         scalar<uint64_t>(s.size());
-        if (!s.empty())
+        if (s.size())
             raw(s.data(), s.size());
         pad(s.size());
     }
@@ -112,26 +111,25 @@ class Reader
 
     template <typename T>
     void
-    array(std::vector<T> &xs)
+    array(Column<T> &xs)
     {
-        static_assert(std::is_trivially_copyable_v<T>);
         uint64_t n = scalar<uint64_t>();
         checkSize(n, sizeof(T));
-        xs.resize(static_cast<size_t>(n));
+        T *buffer = xs.resizeForRead(static_cast<size_t>(n));
         size_t bytes = xs.size() * sizeof(T);
         if (bytes)
-            raw(xs.data(), bytes);
+            raw(buffer, bytes);
         skip(bytes);
     }
 
     void
-    array(std::string &s)
+    array(BytePool &s)
     {
         uint64_t n = scalar<uint64_t>();
         checkSize(n, 1);
-        s.resize(static_cast<size_t>(n));
-        if (!s.empty())
-            raw(s.data(), s.size());
+        char *buffer = s.resizeForRead(static_cast<size_t>(n));
+        if (s.size())
+            raw(buffer, s.size());
         skip(s.size());
     }
 
@@ -159,6 +157,84 @@ class Reader
 
     /** Remaining stream bytes; absent for non-seekable streams. */
     std::optional<uint64_t> bytes_left_;
+};
+
+/**
+ * Zero-copy archive: array() binds columns straight into the mapped
+ * buffer instead of copying. Alignment holds by format: the header is
+ * a multiple of 8 bytes and every array is padded to 8, so each
+ * element pointer is 8-byte aligned within the page-aligned mapping.
+ */
+class MappedReader
+{
+  public:
+    MappedReader(const char *data, size_t size)
+        : p_(data), left_(size)
+    {
+    }
+
+    void
+    raw(void *out, size_t bytes)
+    {
+        fatalIf(bytes > left_, "db snapshot: truncated file");
+        std::memcpy(out, p_, bytes);
+        advance(bytes);
+    }
+
+    template <typename T>
+    T
+    scalar()
+    {
+        T value;
+        raw(&value, sizeof value);
+        return value;
+    }
+
+    template <typename T>
+    void
+    array(Column<T> &xs)
+    {
+        uint64_t n = scalar<uint64_t>();
+        size_t bytes = static_cast<size_t>(n) * sizeof(T);
+        fatalIf(n > (1ull << 32) || bytes > left_,
+                "db snapshot: array size ", n,
+                " exceeds remaining file bytes");
+        xs.bind(reinterpret_cast<const T *>(p_),
+                static_cast<size_t>(n));
+        advance(bytes);
+        skipPad(bytes);
+    }
+
+    void
+    array(BytePool &s)
+    {
+        uint64_t n = scalar<uint64_t>();
+        fatalIf(n > (1ull << 32) || n > left_,
+                "db snapshot: array size ", n,
+                " exceeds remaining file bytes");
+        s.bind(p_, static_cast<size_t>(n));
+        advance(static_cast<size_t>(n));
+        skipPad(static_cast<size_t>(n));
+    }
+
+  private:
+    void
+    advance(size_t bytes)
+    {
+        p_ += bytes;
+        left_ -= bytes;
+    }
+
+    void
+    skipPad(size_t bytes)
+    {
+        size_t pad = paddingFor(bytes);
+        fatalIf(pad > left_, "db snapshot: truncated file");
+        advance(pad);
+    }
+
+    const char *p_;
+    size_t left_;
 };
 
 } // namespace
@@ -236,7 +312,7 @@ struct SnapshotCodec
                     db.lat_src_.size() != db.lat_cycles_.size() ||
                     db.lat_src_.size() != db.lat_slow_.size(),
                 "db snapshot: latency pool mismatch");
-        auto check_string_ids = [&](const std::vector<uint32_t> &ids) {
+        auto check_string_ids = [&](const Column<uint32_t> &ids) {
             for (uint32_t id : ids)
                 fatalIf(id >= db.str_off_.size(),
                         "db snapshot: string id out of range");
@@ -256,6 +332,17 @@ struct SnapshotCodec
         }
     }
 
+    /** A shard must be single-uarch; the header says which. */
+    static void
+    validateShardArch(const InstructionDatabase &db, uint8_t arch)
+    {
+        for (uint8_t a : db.arch_)
+            fatalIf(a != arch, "db shard: record uarch ",
+                    static_cast<int>(a),
+                    " disagrees with shard header uarch ",
+                    static_cast<int>(arch));
+    }
+
     static void
     rebuild(InstructionDatabase &db)
     {
@@ -266,7 +353,75 @@ struct SnapshotCodec
             db.intern_map_.emplace(std::string(db.str(id)), id);
         db.rebuildIndexes();
     }
+
+    static void
+    setBacking(InstructionDatabase &db,
+               std::shared_ptr<const void> backing)
+    {
+        db.backing_ = std::move(backing);
+    }
 };
+
+namespace {
+
+/** Shared head parsing for both container kinds. Returns the format
+ *  version and fills @p records / @p shard_arch (v3 only). */
+template <typename Archive>
+uint32_t
+readHeader(Archive &ar, uint64_t &records,
+           std::optional<uint8_t> &shard_arch)
+{
+    char magic[8];
+    ar.raw(magic, sizeof magic);
+    fatalIf(std::memcmp(magic, kMagic, sizeof magic) != 0,
+            "db snapshot: bad magic");
+    uint32_t version = ar.template scalar<uint32_t>();
+    fatalIf(version == 1,
+            "db snapshot: version 1 (floating-point cycle columns) is "
+            "no longer supported; re-run characterize or re-ingest the "
+            "results XML to produce a current snapshot");
+    fatalIf(version != kSnapshotVersion && version != kShardVersion,
+            "db snapshot: unsupported version ", version);
+    uint32_t endian = ar.template scalar<uint32_t>();
+    fatalIf(endian != kEndianTag, "db snapshot: foreign byte order");
+    records = ar.template scalar<uint64_t>();
+    if (version == kShardVersion) {
+        uint64_t arch = ar.template scalar<uint64_t>();
+        fatalIf(arch > 0xff, "db shard: implausible uarch id ", arch);
+        shard_arch = static_cast<uint8_t>(arch);
+    }
+    return version;
+}
+
+template <typename Archive>
+std::unique_ptr<InstructionDatabase>
+loadContainer(Archive &ar, std::optional<uarch::UArch> expected)
+{
+    uint64_t records = 0;
+    std::optional<uint8_t> shard_arch;
+    uint32_t version = readHeader(ar, records, shard_arch);
+    if (expected) {
+        fatalIf(version != kShardVersion,
+                "db shard: expected a version-", kShardVersion,
+                " shard, got a version-", version, " container");
+        fatalIf(*shard_arch != static_cast<uint8_t>(*expected),
+                "db shard: header uarch ",
+                uarch::uarchShortName(
+                    static_cast<uarch::UArch>(*shard_arch)),
+                " does not match expected ",
+                uarch::uarchShortName(*expected));
+    }
+
+    auto db = std::make_unique<InstructionDatabase>();
+    SnapshotCodec::columns(ar, *db);
+    SnapshotCodec::validate(*db, records);
+    if (shard_arch)
+        SnapshotCodec::validateShardArch(*db, *shard_arch);
+    SnapshotCodec::rebuild(*db);
+    return db;
+}
+
+} // namespace
 
 void
 saveSnapshot(const InstructionDatabase &db, std::ostream &os)
@@ -292,27 +447,7 @@ std::unique_ptr<InstructionDatabase>
 loadSnapshot(std::istream &is)
 {
     Reader reader(is);
-    char magic[8];
-    reader.raw(magic, sizeof magic);
-    fatalIf(std::memcmp(magic, kMagic, sizeof magic) != 0,
-            "db snapshot: bad magic");
-    uint32_t version = reader.scalar<uint32_t>();
-    fatalIf(version == 1,
-            "db snapshot: version 1 (floating-point cycle columns) is "
-            "no longer supported; re-run characterize or re-ingest the "
-            "results XML to produce a v2 snapshot");
-    fatalIf(version != kSnapshotVersion,
-            "db snapshot: unsupported version ", version);
-    uint32_t endian = reader.scalar<uint32_t>();
-    fatalIf(endian != kEndianTag,
-            "db snapshot: foreign byte order");
-    uint64_t records = reader.scalar<uint64_t>();
-
-    auto db = std::make_unique<InstructionDatabase>();
-    SnapshotCodec::columns(reader, *db);
-    SnapshotCodec::validate(*db, records);
-    SnapshotCodec::rebuild(*db);
-    return db;
+    return loadContainer(reader, std::nullopt);
 }
 
 std::unique_ptr<InstructionDatabase>
@@ -338,6 +473,52 @@ loadSnapshotFile(const std::string &path)
     std::ifstream is(path, std::ios::binary);
     fatalIf(!is, "db snapshot: cannot open ", path);
     return loadSnapshot(is);
+}
+
+// ---------------------------------------------------------------------
+// Per-uarch shards
+// ---------------------------------------------------------------------
+
+void
+saveShard(const InstructionDatabase &db, uarch::UArch arch,
+          std::ostream &os)
+{
+    SnapshotCodec::validateShardArch(db,
+                                     static_cast<uint8_t>(arch));
+    Writer writer(os);
+    writer.raw(kMagic, sizeof kMagic);
+    writer.scalar<uint32_t>(kShardVersion);
+    writer.scalar<uint32_t>(kEndianTag);
+    writer.scalar<uint64_t>(db.numRecords());
+    writer.scalar<uint64_t>(static_cast<uint8_t>(arch));
+    SnapshotCodec::columns(writer, db);
+    fatalIf(!os, "db shard: write failed");
+}
+
+std::string
+shardBytes(const InstructionDatabase &db, uarch::UArch arch)
+{
+    std::ostringstream os(std::ios::binary);
+    saveShard(db, arch, os);
+    return os.str();
+}
+
+std::unique_ptr<InstructionDatabase>
+loadShard(std::istream &is, uarch::UArch expected)
+{
+    Reader reader(is);
+    return loadContainer(reader, expected);
+}
+
+std::unique_ptr<InstructionDatabase>
+loadShardMapped(std::shared_ptr<const MappedFile> mapping,
+                uarch::UArch expected)
+{
+    fatalIf(mapping == nullptr, "db shard: null mapping");
+    MappedReader reader(mapping->data(), mapping->size());
+    auto db = loadContainer(reader, expected);
+    SnapshotCodec::setBacking(*db, std::move(mapping));
+    return db;
 }
 
 } // namespace uops::db

@@ -1,30 +1,37 @@
 /**
  * @file
- * Versioned binary snapshot format for the instruction database.
+ * Versioned binary container formats for the instruction database.
  *
- * Layout (version 2, little-endian, mmap-friendly):
+ * Two container kinds share one layout family (little-endian,
+ * mmap-friendly, every array 8-byte aligned):
  *
- *   header   8-byte magic "UOPSDB\x1a\n", u32 version, u32 endian tag
- *            (0x0A0B0C0D as written by the producer — a reader on a
- *            byte-swapped host rejects the file instead of misreading
- *            it), u64 record count
- *   arrays   the columnar arrays of InstructionDatabase, in a fixed
- *            order, each as: u64 element count, raw element bytes,
- *            zero padding to the next 8-byte boundary
+ *   monolith (version 2)
+ *     header   8-byte magic "UOPSDB\x1a\n", u32 version, u32 endian
+ *              tag (0x0A0B0C0D as written by the producer — a reader
+ *              on a byte-swapped host rejects the file instead of
+ *              misreading it), u64 record count
+ *     arrays   the columnar arrays of InstructionDatabase, in a fixed
+ *              order, each as: u64 element count, raw element bytes,
+ *              zero padding to the next 8-byte boundary
  *
- * Version 2 stores every cycle column as fixed-point int64 hundredths
- * of a cycle (uops::Cycles) instead of v1's IEEE doubles — same
- * widths and offsets, integer content. v1 files are refused with an
- * explicit error; re-ingest the results XML to migrate.
+ *   shard (version 3)
+ *     identical, plus one u64 microarchitecture id after the record
+ *     count. A shard holds exactly one uarch's records — the unit of
+ *     the sharded catalog store (catalog.h), which writes one shard
+ *     file per uarch plus a manifest.
  *
- * Because every array is a contiguous raw dump aligned to 8 bytes, a
- * loader may equally point into a memory-mapped buffer instead of
- * copying; this implementation reads through iostreams for
- * portability. The in-memory query indexes are *not* serialized —
- * they are deterministically rebuilt on load, so two databases with
- * equal snapshots answer every query identically.
+ * Version 2 remains fully readable (and writable, for migration
+ * tests); v1 files (IEEE-double cycle columns) are refused with an
+ * explicit error. Because every array is a contiguous raw dump
+ * aligned to 8 bytes, the shard loader has a zero-copy path: it binds
+ * the columns straight into a memory-mapped buffer
+ * (loadShardMapped), the database keeping the mapping alive. The
+ * stream loaders copy through iostreams instead. The in-memory query
+ * indexes are *not* serialized — they are deterministically rebuilt
+ * on load, so two databases with equal container bytes answer every
+ * query identically, whichever loader produced them.
  *
- * Snapshots are bit-exact: save(load(save(db))) == save(db), and a
+ * Containers are bit-exact: save(load(save(db))) == save(db), and a
  * database ingested from XML produces the same bytes as one ingested
  * in memory from the same results (see tests/db_test.cpp).
  */
@@ -37,26 +44,31 @@
 #include <string>
 
 #include "db/database.h"
+#include "support/mmap_file.h"
 
 namespace uops::db {
 
-/** Current snapshot format version. */
+/** Monolith (single-file, multi-uarch) container version. */
 constexpr uint32_t kSnapshotVersion = 2;
+
+/** Per-uarch shard container version. */
+constexpr uint32_t kShardVersion = 3;
 
 /** Serialize @p db to @p os (throws FatalError on stream failure). */
 void saveSnapshot(const InstructionDatabase &db, std::ostream &os);
 
-/** Serialized snapshot bytes. */
+/** Serialized monolith bytes. */
 std::string snapshotBytes(const InstructionDatabase &db);
 
 /**
- * Deserialize a snapshot (throws FatalError on malformed input:
- * bad magic, unsupported version, foreign endianness, truncated or
- * inconsistent arrays).
+ * Deserialize a monolith or shard container (throws FatalError on
+ * malformed input: bad magic, unsupported version, foreign
+ * endianness, truncated or inconsistent arrays, or a shard whose
+ * records disagree with its header uarch).
  */
 std::unique_ptr<InstructionDatabase> loadSnapshot(std::istream &is);
 
-/** Parse a snapshot held in memory. */
+/** Parse a container held in memory. */
 std::unique_ptr<InstructionDatabase>
 loadSnapshotBytes(const std::string &bytes);
 
@@ -65,6 +77,37 @@ void saveSnapshotFile(const InstructionDatabase &db,
                       const std::string &path);
 std::unique_ptr<InstructionDatabase>
 loadSnapshotFile(const std::string &path);
+
+// ---- per-uarch shards (catalog storage unit) -------------------------
+
+/**
+ * Serialize @p db as a version-3 shard for @p arch. Every record must
+ * belong to @p arch (throws FatalError otherwise) — a shard is
+ * single-uarch by definition.
+ */
+void saveShard(const InstructionDatabase &db, uarch::UArch arch,
+               std::ostream &os);
+
+/** Serialized shard bytes (the content that shard hashes cover). */
+std::string shardBytes(const InstructionDatabase &db,
+                       uarch::UArch arch);
+
+/**
+ * Load a shard through the stream path (columns copied into owned
+ * storage). @p expected guards against a manifest/file mismatch.
+ */
+std::unique_ptr<InstructionDatabase>
+loadShard(std::istream &is, uarch::UArch expected);
+
+/**
+ * Zero-copy shard load: columns are bound directly into @p mapping,
+ * which the returned database keeps alive; only the rebuilt indexes
+ * allocate. The first mutation of the returned database (ingesting on
+ * top of it) copies the touched columns out of the mapping.
+ */
+std::unique_ptr<InstructionDatabase>
+loadShardMapped(std::shared_ptr<const MappedFile> mapping,
+                uarch::UArch expected);
 
 } // namespace uops::db
 

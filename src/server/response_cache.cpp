@@ -25,12 +25,16 @@ ResponseCache::shardFor(const std::string &key)
 }
 
 std::optional<HttpResponse>
-ResponseCache::get(const std::string &key)
+ResponseCache::get(const std::string &key, uint64_t epoch)
 {
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.index.find(std::string_view(key));
-    if (it == shard.index.end()) {
+    if (it == shard.index.end() || it->second->epoch != epoch) {
+        // Absent, or rendered under another generation: a miss for
+        // this epoch. The foreign-epoch entry stays put — requests
+        // still pinning its generation may hit it, and the current
+        // generation's put() will overwrite it in place.
         shard.misses.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
@@ -38,26 +42,28 @@ ResponseCache::get(const std::string &key)
     // the string_view key stay valid (list nodes are stable).
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     shard.hits.fetch_add(1, std::memory_order_relaxed);
-    return it->second->second;
+    return it->second->response;
 }
 
 void
-ResponseCache::put(const std::string &key, const HttpResponse &response)
+ResponseCache::put(const std::string &key, uint64_t epoch,
+                   const HttpResponse &response)
 {
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.index.find(std::string_view(key));
     if (it != shard.index.end()) {
-        it->second->second = response;
+        it->second->epoch = epoch;
+        it->second->response = response;
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         return;
     }
-    shard.lru.emplace_front(key, response);
-    shard.index.emplace(std::string_view(shard.lru.front().first),
+    shard.lru.push_front(Entry{key, epoch, response});
+    shard.index.emplace(std::string_view(shard.lru.front().key),
                         shard.lru.begin());
     shard.insertions.fetch_add(1, std::memory_order_relaxed);
     while (shard.lru.size() > capacity_per_shard_) {
-        shard.index.erase(std::string_view(shard.lru.back().first));
+        shard.index.erase(std::string_view(shard.lru.back().key));
         shard.lru.pop_back();
         shard.evictions.fetch_add(1, std::memory_order_relaxed);
     }

@@ -9,9 +9,18 @@
  * its own lock, keyed by a hash of the request target. Hit/miss
  * counters are plain atomics outside the locks.
  *
- * Values are complete HttpResponse bodies; the database is immutable
- * while a service is running, so entries never expire — eviction is
- * purely capacity-driven (per shard, true LRU).
+ * Values are complete HttpResponse bodies. A serving generation's
+ * catalog is immutable, but the generation itself can be hot-swapped
+ * (QueryService::swapCatalog), so every entry carries the serving
+ * epoch it was rendered under and a lookup hits only when the epochs
+ * match: a response rendered from generation N can never be returned
+ * while generation N+1 is being served, without any flush-on-swap
+ * coordination. The epoch lives in the entry rather than the key, so
+ * a hit stays a zero-allocation string_view lookup and a new
+ * generation's put() overwrites the retired entry in place instead
+ * of letting it squat until LRU eviction. Within an epoch entries
+ * never expire — eviction is purely capacity-driven (per shard,
+ * true LRU).
  */
 
 #ifndef UOPS_SERVER_RESPONSE_CACHE_H
@@ -50,20 +59,35 @@ class ResponseCache
      */
     ResponseCache(size_t num_shards, size_t capacity_per_shard);
 
-    /** Look up a rendered response; counts a hit or miss. */
-    std::optional<HttpResponse> get(const std::string &key);
+    /** Look up a rendered response for one serving epoch; counts a
+     *  hit or miss. An entry rendered under a different epoch is a
+     *  miss (but stays cached for requests still pinning its
+     *  generation). The epoch is deliberately non-defaulted: put()
+     *  requires one, and a mismatched epoch is a silent 0% hit rate,
+     *  not an error. */
+    std::optional<HttpResponse> get(const std::string &key,
+                                    uint64_t epoch);
 
-    /** Insert (or refresh) an entry, evicting the shard's LRU tail. */
-    void put(const std::string &key, const HttpResponse &response);
+    /** Insert (or overwrite) an entry, evicting the shard's LRU
+     *  tail. */
+    void put(const std::string &key, uint64_t epoch,
+             const HttpResponse &response);
 
     Stats stats() const;
 
   private:
+    struct Entry
+    {
+        std::string key;
+        uint64_t epoch;
+        HttpResponse response;
+    };
+
     struct Shard
     {
         std::mutex mutex;
         /** Most-recent first; map values point into this list. */
-        std::list<std::pair<std::string, HttpResponse>> lru;
+        std::list<Entry> lru;
         std::unordered_map<std::string_view,
                            decltype(lru)::iterator>
             index;

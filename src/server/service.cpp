@@ -87,6 +87,7 @@ endpointName(Endpoint endpoint)
       case Endpoint::Search: return "/search";
       case Endpoint::Diff: return "/diff";
       case Endpoint::Predict: return "/predict";
+      case Endpoint::Reload: return "/reload";
       case Endpoint::Stats: return "/stats";
       case Endpoint::Other: return "other";
     }
@@ -107,17 +108,86 @@ errorResponse(int status, const std::string &message)
     return response;
 }
 
-QueryService::QueryService(const db::InstructionDatabase &database,
+QueryService::QueryService(CatalogPtr catalog,
                            const isa::InstrDb &instrs, Options options)
-    : db_(database), instrs_(instrs),
+    : instrs_(instrs),
       cache_(options.cache_shards, options.cache_capacity_per_shard)
+{
+    fatalIf(catalog == nullptr, "QueryService: null catalog");
+    swapCatalog(std::move(catalog));
+}
+
+QueryService::QueryService(CatalogPtr catalog,
+                           const isa::InstrDb &instrs)
+    : QueryService(std::move(catalog), instrs, Options{})
 {
 }
 
-QueryService::QueryService(const db::InstructionDatabase &database,
-                           const isa::InstrDb &instrs)
-    : QueryService(database, instrs, Options{})
+QueryService::StatePtr
+QueryService::state() const
 {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return state_;
+}
+
+QueryService::CatalogPtr
+QueryService::catalog() const
+{
+    return state()->catalog;
+}
+
+uint64_t
+QueryService::epoch() const
+{
+    return state()->epoch;
+}
+
+QueryService::StatePtr
+QueryService::installCatalog(CatalogPtr next)
+{
+    fatalIf(next == nullptr, "QueryService: null catalog");
+    auto fresh = std::make_shared<ServingState>();
+    fresh->catalog = std::move(next);
+    // Epoch assignment happens under the same lock as the install so
+    // concurrent swaps can neither interleave (installing an older
+    // epoch over a newer one) nor observe a regressing epoch(); the
+    // installed state is the single source of truth for the epoch.
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    fresh->epoch = state_ ? state_->epoch + 1 : 1;
+    state_ = fresh;
+    return fresh;
+}
+
+uint64_t
+QueryService::swapCatalog(CatalogPtr next)
+{
+    return installCatalog(std::move(next))->epoch;
+}
+
+void
+QueryService::setReloader(Reloader reloader)
+{
+    std::lock_guard<std::mutex> lock(reload_mutex_);
+    reloader_ = std::move(reloader);
+}
+
+QueryService::StatePtr
+QueryService::reloadState()
+{
+    // One reload at a time: concurrent /reload requests (or a --watch
+    // tick racing a manual reload) serialize here, each installing a
+    // complete generation.
+    std::lock_guard<std::mutex> lock(reload_mutex_);
+    fatalIf(!reloader_, "reload: no reload source configured");
+    CatalogPtr next = reloader_();
+    fatalIf(next == nullptr, "reload: reloader produced no catalog");
+    return installCatalog(std::move(next));
+}
+
+uint64_t
+QueryService::reload()
+{
+    return reloadState()->epoch;
 }
 
 Endpoint
@@ -136,6 +206,8 @@ QueryService::route(const HttpRequest &request) const
         return Endpoint::Diff;
     if (path == "/predict")
         return Endpoint::Predict;
+    if (path == "/reload")
+        return Endpoint::Reload;
     if (path == "/stats")
         return Endpoint::Stats;
     return Endpoint::Other;
@@ -149,6 +221,11 @@ QueryService::handle(const HttpRequest &request)
     Counters &counters = counters_[static_cast<size_t>(endpoint)];
     counters.requests.fetch_add(1, std::memory_order_relaxed);
 
+    // Pin the serving generation once: everything below — cache key,
+    // dispatch, predictor contexts — runs against this state even if
+    // a swap lands mid-request.
+    StatePtr st = state();
+
     HttpResponse response;
     bool cacheable =
         request.method == "GET" &&
@@ -157,7 +234,7 @@ QueryService::handle(const HttpRequest &request)
 
     bool from_cache = false;
     if (cacheable) {
-        if (auto cached = cache_.get(request.target)) {
+        if (auto cached = cache_.get(request.target, st->epoch)) {
             response = *cached;
             response.cache_hit = true;
             from_cache = true;
@@ -167,14 +244,14 @@ QueryService::handle(const HttpRequest &request)
     }
     if (!from_cache) {
         try {
-            response = dispatch(endpoint, request);
+            response = dispatch(endpoint, request, *st);
         } catch (const FatalError &e) {
             response = errorResponse(400, e.what());
         } catch (const std::exception &e) {
             response = errorResponse(500, e.what());
         }
         if (cacheable && response.status == 200)
-            cache_.put(request.target, response);
+            cache_.put(request.target, st->epoch, response);
     }
 
     if (response.status >= 400)
@@ -190,34 +267,44 @@ QueryService::handle(const HttpRequest &request)
 }
 
 HttpResponse
-QueryService::dispatch(Endpoint endpoint, const HttpRequest &request)
+QueryService::dispatch(Endpoint endpoint, const HttpRequest &request,
+                       ServingState &state)
 {
+    if (endpoint == Endpoint::Reload && request.method != "POST")
+        return errorResponse(405,
+                             "reload mutates serving state: POST it");
     if (request.method != "GET" &&
-        !(request.method == "POST" && endpoint == Endpoint::Predict))
+        !(request.method == "POST" &&
+          (endpoint == Endpoint::Predict ||
+           endpoint == Endpoint::Reload)))
         return errorResponse(405, "method not allowed");
 
     switch (endpoint) {
-      case Endpoint::Healthz: return handleHealthz();
-      case Endpoint::UArchs: return handleUArchs();
-      case Endpoint::Instr: return handleInstr(request);
-      case Endpoint::Search: return handleSearch(request);
-      case Endpoint::Diff: return handleDiff(request);
-      case Endpoint::Predict: return handlePredict(request);
-      case Endpoint::Stats: return handleStats();
+      case Endpoint::Healthz: return handleHealthz(state);
+      case Endpoint::UArchs: return handleUArchs(state);
+      case Endpoint::Instr: return handleInstr(request, state);
+      case Endpoint::Search: return handleSearch(request, state);
+      case Endpoint::Diff: return handleDiff(request, state);
+      case Endpoint::Predict: return handlePredict(request, state);
+      case Endpoint::Reload: return handleReload(request);
+      case Endpoint::Stats: return handleStats(state);
       case Endpoint::Other: break;
     }
     return errorResponse(404, "no such endpoint: " + request.path);
 }
 
 HttpResponse
-QueryService::handleHealthz()
+QueryService::handleHealthz(const ServingState &state)
 {
+    const db::DatabaseCatalog &catalog = *state.catalog;
     JsonWriter json;
     json.beginObject();
     json.member("status", "ok");
-    json.member("records", db_.numRecords());
+    json.member("records", catalog.numRecords());
+    json.member("generation", catalog.generation());
+    json.member("epoch", state.epoch);
     json.key("uarches").beginArray();
-    for (uarch::UArch arch : db_.uarches())
+    for (uarch::UArch arch : catalog.uarches())
         json.value(std::string_view(uarch::uarchShortName(arch)));
     json.endArray();
     json.endObject();
@@ -225,19 +312,20 @@ QueryService::handleHealthz()
 }
 
 HttpResponse
-QueryService::handleUArchs()
+QueryService::handleUArchs(const ServingState &state)
 {
+    const db::DatabaseCatalog &catalog = *state.catalog;
     JsonWriter json;
     json.beginObject();
     json.key("uarchs").beginArray();
-    for (uarch::UArch arch : db_.uarches()) {
+    for (uarch::UArch arch : catalog.uarches()) {
         const uarch::UArchInfo &info = uarch::uarchInfo(arch);
         json.beginObject();
         json.member("name", std::string_view(info.short_name));
         json.member("full_name", std::string_view(info.full_name));
         json.member("processor", std::string_view(info.processor));
         json.member("ports", info.num_ports);
-        json.member("records", db_.numRecords(arch));
+        json.member("records", catalog.numRecords(arch));
         json.endObject();
     }
     json.endArray();
@@ -246,20 +334,22 @@ QueryService::handleUArchs()
 }
 
 HttpResponse
-QueryService::handleInstr(const HttpRequest &request)
+QueryService::handleInstr(const HttpRequest &request,
+                          const ServingState &state)
 {
+    const db::DatabaseCatalog &catalog = *state.catalog;
     if (request.path == "/instr" || request.path == "/instr/")
         return errorResponse(400, "usage: /instr/{variant-name}");
     std::string name = request.path.substr(strlen("/instr/"));
 
-    std::vector<uint32_t> rows;
+    std::vector<db::RecordView> records;
     if (auto arch = parseArchParam(request, "uarch")) {
-        if (auto row = db_.find(*arch, name))
-            rows.push_back(*row);
+        if (auto view = catalog.find(*arch, name))
+            records.push_back(*view);
     } else {
-        rows = db_.findByName(name);
+        records = catalog.findByName(name);
     }
-    if (rows.empty())
+    if (records.empty())
         return errorResponse(404, "no results for variant '" + name +
                                       "'");
 
@@ -267,16 +357,18 @@ QueryService::handleInstr(const HttpRequest &request)
     json.beginObject();
     json.member("name", std::string_view(name));
     json.key("results").beginArray();
-    for (uint32_t row : rows)
-        writeRecord(json, db_.record(row));
+    for (const db::RecordView &view : records)
+        writeRecord(json, view);
     json.endArray();
     json.endObject();
     return jsonResponse(std::move(json).str());
 }
 
 HttpResponse
-QueryService::handleSearch(const HttpRequest &request)
+QueryService::handleSearch(const HttpRequest &request,
+                           const ServingState &state)
 {
+    const db::DatabaseCatalog &catalog = *state.catalog;
     db::Query query;
     query.arch = parseArchParam(request, "uarch");
     query.name = request.param("name");
@@ -312,28 +404,30 @@ QueryService::handleSearch(const HttpRequest &request)
         query.limit = static_cast<size_t>(*limit);
     }
 
-    std::vector<uint32_t> rows = db_.search(query);
+    std::vector<db::RecordView> records = catalog.search(query);
 
     JsonWriter json;
     json.beginObject();
-    json.member("count", rows.size());
+    json.member("count", records.size());
     json.key("results").beginArray();
-    for (uint32_t row : rows)
-        writeRecord(json, db_.record(row));
+    for (const db::RecordView &view : records)
+        writeRecord(json, view);
     json.endArray();
     json.endObject();
     return jsonResponse(std::move(json).str());
 }
 
 HttpResponse
-QueryService::handleDiff(const HttpRequest &request)
+QueryService::handleDiff(const HttpRequest &request,
+                         const ServingState &state)
 {
+    const db::DatabaseCatalog &catalog = *state.catalog;
     auto a = parseArchParam(request, "a");
     auto b = parseArchParam(request, "b");
     if (!a || !b)
         return errorResponse(400, "usage: /diff?a=NHM&b=SKL");
 
-    db::DiffResult diff = db_.diff(*a, *b);
+    db::CatalogDiff diff = catalog.diff(*a, *b);
 
     JsonWriter json;
     json.beginObject();
@@ -341,25 +435,23 @@ QueryService::handleDiff(const HttpRequest &request)
     json.member("b", std::string_view(uarch::uarchShortName(*b)));
     json.member("common", diff.common);
     json.key("changed").beginArray();
-    for (const db::DiffEntry &entry : diff.changed) {
-        db::RecordView rec_a = db_.record(entry.row_a);
-        db::RecordView rec_b = db_.record(entry.row_b);
+    for (const db::CatalogDiffEntry &entry : diff.changed) {
         json.beginObject();
-        json.member("name", std::string_view(rec_a.name()));
+        json.member("name", std::string_view(entry.a.name()));
         json.member("tp_differs", entry.tp_differs);
         json.member("ports_differ", entry.ports_differ);
         json.member("latency_differs", entry.latency_differs);
         json.key("a").beginObject();
         json.member("ports", std::string_view(
-                                 rec_a.portUsage().toString()));
-        json.member("tp", rec_a.tpMeasured());
-        json.member("max_latency", rec_a.maxLatency());
+                                 entry.a.portUsage().toString()));
+        json.member("tp", entry.a.tpMeasured());
+        json.member("max_latency", entry.a.maxLatency());
         json.endObject();
         json.key("b").beginObject();
         json.member("ports", std::string_view(
-                                 rec_b.portUsage().toString()));
-        json.member("tp", rec_b.tpMeasured());
-        json.member("max_latency", rec_b.maxLatency());
+                                 entry.b.portUsage().toString()));
+        json.member("tp", entry.b.tpMeasured());
+        json.member("max_latency", entry.b.maxLatency());
         json.endObject();
         json.endObject();
     }
@@ -377,22 +469,25 @@ QueryService::handleDiff(const HttpRequest &request)
 }
 
 const QueryService::PredictContext &
-QueryService::predictContext(uarch::UArch arch)
+QueryService::predictContext(ServingState &state, uarch::UArch arch)
 {
-    std::lock_guard<std::mutex> lock(predict_mutex_);
-    auto it = predict_contexts_.find(arch);
-    if (it == predict_contexts_.end()) {
+    std::lock_guard<std::mutex> lock(state.predict_mutex);
+    auto it = state.predict_contexts.find(arch);
+    if (it == state.predict_contexts.end()) {
         auto context = std::make_unique<PredictContext>();
-        context->set = db_.toCharacterizationSet(arch, instrs_);
+        context->set =
+            state.catalog->toCharacterizationSet(arch, instrs_);
         context->predictor =
             std::make_unique<core::PerformancePredictor>(context->set);
-        it = predict_contexts_.emplace(arch, std::move(context)).first;
+        it = state.predict_contexts.emplace(arch, std::move(context))
+                 .first;
     }
     return *it->second;
 }
 
 HttpResponse
-QueryService::handlePredict(const HttpRequest &request)
+QueryService::handlePredict(const HttpRequest &request,
+                            ServingState &state)
 {
     auto arch = parseArchParam(request, "uarch");
     if (!arch)
@@ -418,7 +513,7 @@ QueryService::handlePredict(const HttpRequest &request)
     if (kernel.empty())
         return errorResponse(400, "empty kernel");
 
-    const PredictContext &context = predictContext(*arch);
+    const PredictContext &context = predictContext(state, *arch);
     core::Prediction prediction =
         context.predictor->analyzeLoop(kernel);
 
@@ -445,10 +540,41 @@ QueryService::handlePredict(const HttpRequest &request)
 }
 
 HttpResponse
-QueryService::handleStats()
+QueryService::handleReload(const HttpRequest &)
+{
+    StatePtr installed;
+    try {
+        installed = reloadState();
+    } catch (const std::exception &e) {
+        // Configuration problems (no reloader) and reload failures
+        // are the server's fault, not the client's: uniformly 503.
+        return errorResponse(503, e.what());
+    }
+
+    // Render from the state *this* reload installed — a racing
+    // reload may already have replaced it, but this response must
+    // describe the generation its own swap published.
+    JsonWriter json;
+    json.beginObject();
+    json.member("status", "reloaded");
+    json.member("generation", installed->catalog->generation());
+    json.member("epoch", installed->epoch);
+    json.member("records", installed->catalog->numRecords());
+    json.key("uarches").beginArray();
+    for (uarch::UArch arch : installed->catalog->uarches())
+        json.value(std::string_view(uarch::uarchShortName(arch)));
+    json.endArray();
+    json.endObject();
+    return jsonResponse(std::move(json).str());
+}
+
+HttpResponse
+QueryService::handleStats(const ServingState &state)
 {
     JsonWriter json;
     json.beginObject();
+    json.member("generation", state.catalog->generation());
+    json.member("epoch", state.epoch);
     json.key("endpoints").beginObject();
     for (size_t i = 0; i < kNumEndpoints; ++i) {
         EndpointMetrics m = metrics(static_cast<Endpoint>(i));

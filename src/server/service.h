@@ -1,31 +1,45 @@
 /**
  * @file
- * The query service: routes HTTP requests against an
- * InstructionDatabase to JSON responses.
+ * The query service: routes HTTP requests against a sharded
+ * DatabaseCatalog to JSON responses.
  *
  * Endpoints (all responses application/json):
  *
- *   GET /healthz                       liveness + record counts
- *   GET /uarchs                        served microarchitectures
- *   GET /instr/{name}[?uarch=SKL]      one variant, all/one uarch(s)
- *   GET /search?...                    indexed search; parameters:
+ *   GET  /healthz                      liveness + record counts +
+ *                                      serving generation
+ *   GET  /uarchs                       served microarchitectures
+ *   GET  /instr/{name}[?uarch=SKL]     one variant, all/one uarch(s)
+ *   GET  /search?...                   indexed search; parameters:
  *         uarch=SKL mnemonic=ADD extension=SSE2 uses=p05
  *         tp_min= tp_max= lat_min= lat_max= limit=
- *   GET /diff?a=NHM&b=SKL              cross-uarch differences
- *   GET /predict?uarch=SKL&asm=...     basic-block throughput via
+ *   GET  /diff?a=NHM&b=SKL             cross-uarch differences
+ *   GET  /predict?uarch=SKL&asm=...    basic-block throughput via
  *                                      core::PerformancePredictor
  *         (';' or newlines separate instructions; POST with the
  *          listing as text/plain body is the uncached equivalent)
- *   GET /stats                         per-endpoint metrics + cache
+ *   POST /reload                       hot-swap to the freshly
+ *                                      reloaded catalog generation
+ *   GET  /stats                        per-endpoint metrics + cache
+ *
+ * Hot swap is epoch-style: the service holds one immutable
+ * ServingState (catalog handle + lazily built per-uarch predictor
+ * contexts) behind a shared_ptr; every request pins the state once
+ * and runs entirely against it, so a concurrent swapCatalog() —
+ * triggered by /reload or `uopsq serve --watch` — installs the next
+ * generation atomically while in-flight requests finish on the old
+ * one, which stays alive (shards, mappings and all) until its last
+ * request drops the handle.
  *
  * GET responses for /instr, /search, /diff and /predict pass through
- * the sharded LRU response cache keyed by the raw request target;
- * /healthz and /stats are never cached. Every request updates the
- * per-endpoint metrics (requests, errors, cache hits, total µs).
+ * the sharded LRU response cache keyed by (serving epoch, raw request
+ * target), so a swap can never serve a response rendered from a
+ * previous generation; /healthz and /stats are never cached. Every
+ * request updates the per-endpoint metrics (requests, errors, cache
+ * hits, total µs).
  *
- * handle() is thread-safe: the database and instruction set are
- * immutable, the cache and metrics are internally synchronized, and
- * per-uarch predictor contexts are built once under a mutex.
+ * handle() is thread-safe: catalogs are immutable, the cache and
+ * metrics are internally synchronized, and per-uarch predictor
+ * contexts are built once per generation under that state's mutex.
  */
 
 #ifndef UOPS_SERVER_SERVICE_H
@@ -33,11 +47,12 @@
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 
 #include "core/predictor.h"
-#include "db/database.h"
+#include "db/catalog.h"
 #include "server/http.h"
 #include "server/response_cache.h"
 
@@ -51,11 +66,12 @@ enum class Endpoint : uint8_t {
     Search,
     Diff,
     Predict,
+    Reload,
     Stats,
     Other,
 };
 
-constexpr size_t kNumEndpoints = 8;
+constexpr size_t kNumEndpoints = 9;
 
 /** Metrics name of a route ("/instr", ...). */
 const char *endpointName(Endpoint endpoint);
@@ -72,6 +88,14 @@ struct EndpointMetrics
 class QueryService
 {
   public:
+    using CatalogPtr = std::shared_ptr<const db::DatabaseCatalog>;
+
+    /** Produces the next catalog generation for /reload (typically:
+     *  re-open the catalog directory). Runs on a request thread,
+     *  serialized across concurrent reloads; any exception maps to a
+     *  503 response and the current generation keeps serving. */
+    using Reloader = std::function<CatalogPtr()>;
+
     struct Options
     {
         size_t cache_shards = 8;
@@ -79,16 +103,15 @@ class QueryService
     };
 
     /**
-     * @param database Query database (immutable while serving).
-     * @param instrs   Instruction set used to assemble /predict
-     *                 kernels and resolve variants.
+     * @param catalog First served generation (non-null).
+     * @param instrs  Instruction set used to assemble /predict
+     *                kernels and resolve variants.
      */
-    QueryService(const db::InstructionDatabase &database,
-                 const isa::InstrDb &instrs, Options options);
+    QueryService(CatalogPtr catalog, const isa::InstrDb &instrs,
+                 Options options);
 
     /** Default options. */
-    QueryService(const db::InstructionDatabase &database,
-                 const isa::InstrDb &instrs);
+    QueryService(CatalogPtr catalog, const isa::InstrDb &instrs);
 
     /** Route one request to a response (thread-safe). */
     HttpResponse handle(const HttpRequest &request);
@@ -98,7 +121,26 @@ class QueryService
 
     ResponseCache::Stats cacheStats() const { return cache_.stats(); }
 
-    const db::InstructionDatabase &database() const { return db_; }
+    /** The currently served catalog generation. */
+    CatalogPtr catalog() const;
+
+    /** Monotonic swap counter (also the cache key space id). */
+    uint64_t epoch() const;
+
+    /**
+     * Atomically install @p next as the serving generation. In-flight
+     * requests finish on the generation they pinned; new requests see
+     * @p next. Returns the new epoch.
+     */
+    uint64_t swapCatalog(CatalogPtr next);
+
+    /** Configure the /reload source. */
+    void setReloader(Reloader reloader);
+
+    /** Run the reloader and swap (what POST /reload does). Returns
+     *  the new epoch. Throws when no reloader is configured or the
+     *  reloader fails. */
+    uint64_t reload();
 
   private:
     struct Counters
@@ -116,28 +158,56 @@ class QueryService
         std::unique_ptr<core::PerformancePredictor> predictor;
     };
 
+    /**
+     * One serving generation: everything a request needs, pinned by
+     * a single shared_ptr copy at dispatch. Immutable except for the
+     * lazily populated predictor contexts (guarded by their mutex).
+     */
+    struct ServingState
+    {
+        CatalogPtr catalog;
+        uint64_t epoch = 0;
+
+        std::mutex predict_mutex;
+        std::map<uarch::UArch, std::unique_ptr<PredictContext>>
+            predict_contexts;
+    };
+    using StatePtr = std::shared_ptr<ServingState>;
+
+    StatePtr state() const;
+    StatePtr installCatalog(CatalogPtr next);
+    StatePtr reloadState();
+
     Endpoint route(const HttpRequest &request) const;
     HttpResponse dispatch(Endpoint endpoint,
-                          const HttpRequest &request);
+                          const HttpRequest &request,
+                          ServingState &state);
 
-    HttpResponse handleHealthz();
-    HttpResponse handleUArchs();
-    HttpResponse handleInstr(const HttpRequest &request);
-    HttpResponse handleSearch(const HttpRequest &request);
-    HttpResponse handleDiff(const HttpRequest &request);
-    HttpResponse handlePredict(const HttpRequest &request);
-    HttpResponse handleStats();
+    HttpResponse handleHealthz(const ServingState &state);
+    HttpResponse handleUArchs(const ServingState &state);
+    HttpResponse handleInstr(const HttpRequest &request,
+                             const ServingState &state);
+    HttpResponse handleSearch(const HttpRequest &request,
+                              const ServingState &state);
+    HttpResponse handleDiff(const HttpRequest &request,
+                            const ServingState &state);
+    HttpResponse handlePredict(const HttpRequest &request,
+                               ServingState &state);
+    HttpResponse handleReload(const HttpRequest &request);
+    HttpResponse handleStats(const ServingState &state);
 
-    const PredictContext &predictContext(uarch::UArch arch);
+    const PredictContext &predictContext(ServingState &state,
+                                         uarch::UArch arch);
 
-    const db::InstructionDatabase &db_;
     const isa::InstrDb &instrs_;
     ResponseCache cache_;
     std::array<Counters, kNumEndpoints> counters_;
 
-    std::mutex predict_mutex_;
-    std::map<uarch::UArch, std::unique_ptr<PredictContext>>
-        predict_contexts_;
+    mutable std::mutex state_mutex_;
+    StatePtr state_;
+
+    std::mutex reload_mutex_;
+    Reloader reloader_;
 };
 
 /** JSON error body {"error": message}. */

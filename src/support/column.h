@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Owned-or-borrowed columnar storage.
+ *
+ * The instruction database stores every field as a flat array of
+ * trivially copyable elements. During ingest those arrays must grow;
+ * after a zero-copy snapshot load they are views into a memory-mapped
+ * buffer that the database does not own. Column<T> unifies the two:
+ * it is a growable vector in owned mode and a (pointer, size) view in
+ * borrowed mode, with copy-on-write — the first mutation of a
+ * borrowed column materializes a private owned copy, so ingesting on
+ * top of a mapped database is legal and never writes through the map.
+ *
+ * The holder of borrowed columns is responsible for keeping the
+ * backing buffer alive (InstructionDatabase retains a shared_ptr to
+ * the mapping); a Column never frees borrowed memory.
+ */
+
+#ifndef UOPS_SUPPORT_COLUMN_H
+#define UOPS_SUPPORT_COLUMN_H
+
+#include <cstddef>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace uops {
+
+template <typename T>
+class Column
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "columns are raw-dumped by snapshots");
+
+  public:
+    Column() = default;
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const T *data() const { return data_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+    const T &operator[](size_t i) const { return data_[i]; }
+
+    /** Whether the elements live in an external (mapped) buffer. */
+    bool borrowed() const { return borrowed_; }
+
+    void
+    push_back(const T &value)
+    {
+        ensureOwned();
+        owned_.push_back(value);
+        refresh();
+    }
+
+    void
+    append(const T *ptr, size_t n)
+    {
+        ensureOwned();
+        owned_.insert(owned_.end(), ptr, ptr + n);
+        refresh();
+    }
+
+    /**
+     * Size the owned storage for a bulk read (stream snapshot load);
+     * returns the writable element buffer.
+     */
+    T *
+    resizeForRead(size_t n)
+    {
+        borrowed_ = false;
+        owned_.resize(n);
+        refresh();
+        return owned_.data();
+    }
+
+    /** Become a view of @p n elements at @p ptr (caller keeps the
+     *  buffer alive; zero-copy snapshot load). */
+    void
+    bind(const T *ptr, size_t n)
+    {
+        owned_.clear();
+        owned_.shrink_to_fit();
+        data_ = ptr;
+        size_ = n;
+        borrowed_ = true;
+    }
+
+    Column(const Column &) = delete;
+    Column &operator=(const Column &) = delete;
+
+  private:
+    void
+    ensureOwned()
+    {
+        if (!borrowed_)
+            return;
+        owned_.assign(data_, data_ + size_);
+        borrowed_ = false;
+        refresh();
+    }
+
+    void
+    refresh()
+    {
+        data_ = owned_.data();
+        size_ = owned_.size();
+    }
+
+    const T *data_ = nullptr;
+    size_t size_ = 0;
+    bool borrowed_ = false;
+    std::vector<T> owned_;
+};
+
+/** Column<char> with string-pool ergonomics. */
+class BytePool
+{
+  public:
+    size_t size() const { return bytes_.size(); }
+    const char *data() const { return bytes_.data(); }
+    std::string_view view() const { return {data(), size()}; }
+
+    std::string_view
+    substr(size_t offset, size_t length) const
+    {
+        return view().substr(offset, length);
+    }
+
+    void
+    append(std::string_view s)
+    {
+        bytes_.append(s.data(), s.size());
+    }
+
+    char *resizeForRead(size_t n) { return bytes_.resizeForRead(n); }
+    void bind(const char *ptr, size_t n) { bytes_.bind(ptr, n); }
+    bool borrowed() const { return bytes_.borrowed(); }
+
+  private:
+    Column<char> bytes_;
+};
+
+} // namespace uops
+
+#endif // UOPS_SUPPORT_COLUMN_H

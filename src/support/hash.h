@@ -1,0 +1,63 @@
+/**
+ * @file
+ * FNV-1a 64-bit content hashing.
+ *
+ * The sharded snapshot store identifies every shard file by the hash
+ * of its bytes: manifests record it, incremental saves skip shards
+ * whose hash is already on disk, and loaders verify it so a spliced
+ * catalog is provably bit-identical to a fresh sweep. FNV-1a is not
+ * cryptographic — it guards against corruption and accidental
+ * mismatch, not adversaries — but it is fast, dependency-free and
+ * stable across platforms, which is exactly what a content address
+ * in a little-endian on-disk format needs.
+ */
+
+#ifndef UOPS_SUPPORT_HASH_H
+#define UOPS_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace uops {
+
+constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/** Hash @p bytes, optionally continuing from a previous digest. */
+inline uint64_t
+fnv1a64(const void *bytes, size_t size,
+        uint64_t seed = kFnvOffsetBasis)
+{
+    const auto *p = static_cast<const unsigned char *>(bytes);
+    uint64_t hash = seed;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= p[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+inline uint64_t
+fnv1a64(std::string_view bytes, uint64_t seed = kFnvOffsetBasis)
+{
+    return fnv1a64(bytes.data(), bytes.size(), seed);
+}
+
+/** Canonical fixed-width lowercase-hex rendering of a digest. */
+inline std::string
+hashHex(uint64_t hash)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    return out;
+}
+
+} // namespace uops
+
+#endif // UOPS_SUPPORT_HASH_H

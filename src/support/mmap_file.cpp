@@ -1,0 +1,58 @@
+#include "mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/status.h"
+
+namespace uops {
+
+MappedFile::MappedFile(const std::string &path) : path_(path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    fatalIf(fd < 0, "mmap: cannot open ", path, ": ",
+            std::strerror(errno));
+
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        int err = errno;
+        ::close(fd);
+        fatal("mmap: fstat(", path, "): ", std::strerror(err));
+    }
+    size_ = static_cast<size_t>(st.st_size);
+    if (size_ == 0) {
+        ::close(fd);
+        return;
+    }
+
+    // MAP_PRIVATE: the mapping is a stable snapshot of the pages we
+    // touch; the store never rewrites a shard file in place (shard
+    // names are content-addressed), so the bytes cannot shift under a
+    // live generation either way.
+    void *mapped =
+        ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    int err = errno;
+    ::close(fd);
+    fatalIf(mapped == MAP_FAILED, "mmap: mmap(", path,
+            "): ", std::strerror(err));
+    data_ = static_cast<const char *>(mapped);
+}
+
+MappedFile::~MappedFile()
+{
+    if (data_ != nullptr)
+        ::munmap(const_cast<char *>(data_), size_);
+}
+
+std::shared_ptr<const MappedFile>
+mapFile(const std::string &path)
+{
+    return std::make_shared<const MappedFile>(path);
+}
+
+} // namespace uops

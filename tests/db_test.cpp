@@ -3,18 +3,25 @@
  * Tests for the instruction-performance database (src/db): the
  * golden round-trip property (characterize → XML export → XML ingest
  * → snapshot save → snapshot load must be bit-identical to the
- * in-memory ingest path), columnar queries, snapshot validation, and
- * snapshot-identical answers under concurrent readers.
+ * in-memory ingest path), columnar queries, snapshot validation,
+ * snapshot-identical answers under concurrent readers, and the
+ * sharded catalog engine (golden shard round-trip over both the
+ * stream and the zero-copy mmap loader, incremental-sweep splicing
+ * bit-identical to a full sweep, lossless v2 → v3 migration, and
+ * corrupt-store rejection).
  */
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "core/batch.h"
-#include "db/snapshot.h"
+#include "db/catalog.h"
 #include "isa/results_xml.h"
+#include "support/hash.h"
 #include "support/thread_pool.h"
 #include "test_util.h"
 
@@ -501,6 +508,312 @@ TEST(DbConcurrency, ParallelReadersSeeIdenticalAnswers)
         }
     });
     EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// The sharded catalog engine.
+// ---------------------------------------------------------------------
+
+/** Fresh, empty temp directory for one test. */
+std::string
+freshDir(const std::string &name)
+{
+    auto path = std::filesystem::temp_directory_path() /
+                ("uops_db_test_" + name);
+    std::filesystem::remove_all(path);
+    return path.string();
+}
+
+/** Catalog built by the sharded streaming sweep (same slice). */
+std::shared_ptr<const db::DatabaseCatalog>
+sweepCatalog()
+{
+    static const auto catalog = [] {
+        core::BatchOptions options;
+        options.num_threads = 2;
+        options.characterizer.filter = sliceFilter;
+        options.keep_results = false;
+        return db::runCatalogSweep(defaultDb(), kArches, options,
+                                   nullptr);
+    }();
+    return catalog;
+}
+
+TEST(Catalog, ShardedSweepMatchesMonolithSplit)
+{
+    // The two construction paths — streaming per-uarch sweep ingest
+    // and splitting a monolithic database — must produce the same
+    // shard bytes, or migration and incremental sweeps could not be
+    // compared by hash.
+    auto split = db::DatabaseCatalog::fromMonolith(sliceDb(), 1);
+    ASSERT_EQ(split->shards().size(),
+              sweepCatalog()->shards().size());
+    for (size_t i = 0; i < split->shards().size(); ++i) {
+        const db::ShardEntry &a = split->shards()[i];
+        const db::ShardEntry &b = sweepCatalog()->shards()[i];
+        EXPECT_EQ(a.arch, b.arch);
+        EXPECT_EQ(db::shardBytes(*a.db, a.arch),
+                  db::shardBytes(*b.db, b.arch));
+        EXPECT_EQ(a.hash, b.hash);
+        EXPECT_EQ(a.file, b.file);
+    }
+}
+
+TEST(Catalog, GoldenShardRoundTripStreamAndMmap)
+{
+    const std::string dir = freshDir("roundtrip");
+    db::saveCatalogDir(*sweepCatalog(), dir);
+
+    for (db::LoadMode mode :
+         {db::LoadMode::Stream, db::LoadMode::Mmap}) {
+        auto loaded = db::loadCatalogDir(dir, mode);
+        EXPECT_EQ(loaded->generation(),
+                  sweepCatalog()->generation());
+        ASSERT_EQ(loaded->shards().size(),
+                  sweepCatalog()->shards().size());
+        for (size_t i = 0; i < loaded->shards().size(); ++i) {
+            const db::ShardEntry &got = loaded->shards()[i];
+            const db::ShardEntry &want =
+                sweepCatalog()->shards()[i];
+            EXPECT_EQ(got.arch, want.arch);
+            EXPECT_EQ(got.records, want.records);
+            EXPECT_EQ(got.hash, want.hash);
+            // Loaded shards re-serialize to the exact bytes saved —
+            // through the copying loader and the zero-copy one.
+            EXPECT_EQ(db::shardBytes(*got.db, got.arch),
+                      db::shardBytes(*want.db, want.arch));
+        }
+
+        // Query answers are loader-independent.
+        auto view =
+            loaded->find(uarch::UArch::Skylake, "ADD_R64_R64");
+        ASSERT_TRUE(view.has_value());
+        auto want_view = sweepCatalog()->find(uarch::UArch::Skylake,
+                                              "ADD_R64_R64");
+        EXPECT_EQ(view->tpMeasured(), want_view->tpMeasured());
+        db::Query query;
+        query.uses_ports = uarch::portMask({0});
+        EXPECT_EQ(loaded->search(query).size(),
+                  sweepCatalog()->search(query).size());
+    }
+}
+
+TEST(Catalog, IncrementalSpliceEqualsFullSweep)
+{
+    // Acceptance criterion: re-sweeping one uarch into an existing
+    // catalog must reproduce the full fresh sweep bit for bit,
+    // per-shard hash-checked.
+    core::BatchOptions options;
+    options.num_threads = 2;
+    options.characterizer.filter = sliceFilter;
+
+    auto base = db::runCatalogSweep(
+        defaultDb(), {uarch::UArch::Nehalem}, options, nullptr);
+    EXPECT_EQ(base->generation(), 1u);
+
+    auto spliced = db::runCatalogSweep(defaultDb(),
+                                       {uarch::UArch::Skylake},
+                                       options, base.get());
+    EXPECT_EQ(spliced->generation(), 2u);
+
+    ASSERT_EQ(spliced->shards().size(),
+              sweepCatalog()->shards().size());
+    for (size_t i = 0; i < spliced->shards().size(); ++i) {
+        const db::ShardEntry &got = spliced->shards()[i];
+        const db::ShardEntry &want = sweepCatalog()->shards()[i];
+        EXPECT_EQ(got.arch, want.arch);
+        EXPECT_EQ(got.hash, want.hash)
+            << uarch::uarchShortName(got.arch);
+        EXPECT_EQ(db::shardBytes(*got.db, got.arch),
+                  db::shardBytes(*want.db, want.arch));
+    }
+    // The untouched shard is shared with the base, not copied.
+    EXPECT_EQ(spliced->shard(uarch::UArch::Nehalem),
+              base->shard(uarch::UArch::Nehalem));
+
+    // On disk: saving base then splicing writes only the fresh
+    // shard; the directory ends up with the same shard files as a
+    // full-sweep save.
+    const std::string dir_full = freshDir("splice_full");
+    const std::string dir_incr = freshDir("splice_incr");
+    db::saveCatalogDir(*sweepCatalog(), dir_full);
+    db::saveCatalogDir(*base, dir_incr);
+    db::saveCatalogDir(*spliced, dir_incr);
+    for (const db::ShardEntry &entry : sweepCatalog()->shards()) {
+        std::ifstream a(dir_full + "/" + entry.file,
+                        std::ios::binary);
+        std::ifstream b(dir_incr + "/" + entry.file,
+                        std::ios::binary);
+        ASSERT_TRUE(a && b) << entry.file;
+        std::stringstream bytes_a, bytes_b;
+        bytes_a << a.rdbuf();
+        bytes_b << b.rdbuf();
+        EXPECT_EQ(bytes_a.str(), bytes_b.str()) << entry.file;
+        EXPECT_EQ(fnv1a64(bytes_a.str()), entry.hash);
+    }
+    EXPECT_EQ(db::loadCatalogDir(dir_incr)->generation(), 2u);
+}
+
+TEST(Catalog, MigrateV2SnapshotIsLossless)
+{
+    // A legacy monolith converts to a shard set whose bytes equal a
+    // fresh sharded sweep of the same results (v1 stays refused by
+    // the loader underneath).
+    const std::string snap =
+        freshDir("migrate_src") + "_v2.snap";
+    db::saveSnapshotFile(sliceDb(), snap);
+
+    const std::string dir = freshDir("migrate_out");
+    db::migrateSnapshot(snap, dir);
+    auto migrated = db::loadCatalogDir(dir);
+    EXPECT_EQ(migrated->generation(), 1u);
+    ASSERT_EQ(migrated->shards().size(),
+              sweepCatalog()->shards().size());
+    for (size_t i = 0; i < migrated->shards().size(); ++i)
+        EXPECT_EQ(migrated->shards()[i].hash,
+                  sweepCatalog()->shards()[i].hash);
+
+    // openCatalog serves the legacy file directly too (generation 0
+    // marks "not from a sharded store").
+    auto legacy = db::openCatalog(snap);
+    EXPECT_EQ(legacy->generation(), 0u);
+    EXPECT_EQ(legacy->numRecords(), sliceDb().numRecords());
+}
+
+TEST(Catalog, QueriesMatchMonolith)
+{
+    const db::DatabaseCatalog &catalog = *sweepCatalog();
+    const db::InstructionDatabase &mono = sliceDb();
+
+    EXPECT_EQ(catalog.numRecords(), mono.numRecords());
+    EXPECT_EQ(catalog.uarches(), mono.uarches());
+
+    // Search answers in the same order as the arch-major monolith.
+    db::Query query;
+    query.uses_ports = uarch::portMask({0, 5});
+    auto catalog_rows = catalog.search(query);
+    auto mono_rows = mono.search(query);
+    ASSERT_EQ(catalog_rows.size(), mono_rows.size());
+    for (size_t i = 0; i < mono_rows.size(); ++i) {
+        db::RecordView want = mono.record(mono_rows[i]);
+        EXPECT_EQ(catalog_rows[i].name(), want.name());
+        EXPECT_EQ(catalog_rows[i].arch(), want.arch());
+        EXPECT_EQ(catalog_rows[i].tpMeasured(), want.tpMeasured());
+    }
+
+    // Limits span shards exactly like a monolith row-order scan.
+    db::Query limited;
+    limited.limit = static_cast<size_t>(
+        mono.numRecords(uarch::UArch::Nehalem) + 2);
+    auto spanning = catalog.search(limited);
+    ASSERT_EQ(spanning.size(), limited.limit);
+    EXPECT_EQ(spanning.front().arch(), uarch::UArch::Nehalem);
+    EXPECT_EQ(spanning.back().arch(), uarch::UArch::Skylake);
+
+    EXPECT_EQ(catalog.findByName("ADD_R64_R64").size(),
+              mono.findByName("ADD_R64_R64").size());
+
+    // Diff agrees with the monolith in content and order.
+    auto catalog_diff =
+        catalog.diff(uarch::UArch::Nehalem, uarch::UArch::Skylake);
+    auto mono_diff =
+        mono.diff(uarch::UArch::Nehalem, uarch::UArch::Skylake);
+    EXPECT_EQ(catalog_diff.common, mono_diff.common);
+    EXPECT_EQ(catalog_diff.only_a, mono_diff.only_a);
+    EXPECT_EQ(catalog_diff.only_b, mono_diff.only_b);
+    ASSERT_EQ(catalog_diff.changed.size(),
+              mono_diff.changed.size());
+    for (size_t i = 0; i < mono_diff.changed.size(); ++i) {
+        EXPECT_EQ(catalog_diff.changed[i].a.name(),
+                  mono.record(mono_diff.changed[i].row_a).name());
+        EXPECT_EQ(catalog_diff.changed[i].tp_differs,
+                  mono_diff.changed[i].tp_differs);
+        EXPECT_EQ(catalog_diff.changed[i].ports_differ,
+                  mono_diff.changed[i].ports_differ);
+        EXPECT_EQ(catalog_diff.changed[i].latency_differs,
+                  mono_diff.changed[i].latency_differs);
+    }
+}
+
+TEST(Catalog, MmapLoadIsCopyOnWriteForLaterIngest)
+{
+    // Ingesting on top of a zero-copy-loaded shard must produce the
+    // same bytes as the all-in-memory build: the first mutation
+    // copies the borrowed columns out of the mapping.
+    const std::string dir = freshDir("mmap_cow");
+    db::saveCatalogDir(*sweepCatalog(), dir);
+    const db::ShardEntry &nhm = sweepCatalog()->shards().front();
+    ASSERT_EQ(nhm.arch, uarch::UArch::Nehalem);
+
+    auto mapped = db::loadShardMapped(mapFile(dir + "/" + nhm.file),
+                                      uarch::UArch::Nehalem);
+    mapped->ingest(sliceReport().uarches[1].toSet());
+
+    db::InstructionDatabase direct;
+    direct.ingest(sliceReport().uarches[0].toSet());
+    direct.ingest(sliceReport().uarches[1].toSet());
+    EXPECT_EQ(db::snapshotBytes(*mapped),
+              db::snapshotBytes(direct));
+}
+
+TEST(Catalog, CorruptStoreIsRefused)
+{
+    const std::string dir = freshDir("corrupt");
+    db::saveCatalogDir(*sweepCatalog(), dir);
+    EXPECT_EQ(db::readCatalogGeneration(dir),
+              std::optional<uint64_t>(1));
+    EXPECT_EQ(db::readCatalogGeneration(dir + "_missing"),
+              std::nullopt);
+
+    // Flip one byte of a shard: the manifest hash check refuses it
+    // on both load paths.
+    const std::string victim =
+        dir + "/" + sweepCatalog()->shards().back().file;
+    {
+        std::fstream file(victim, std::ios::binary | std::ios::in |
+                                      std::ios::out);
+        ASSERT_TRUE(file);
+        file.seekg(100);
+        char byte = 0;
+        file.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x5a);
+        file.seekp(100);
+        file.write(&byte, 1);
+    }
+    EXPECT_THROW(db::loadCatalogDir(dir, db::LoadMode::Stream),
+                 FatalError);
+    EXPECT_THROW(db::loadCatalogDir(dir, db::LoadMode::Mmap),
+                 FatalError);
+
+    // A torn manifest is rejected too.
+    {
+        std::ofstream manifest(dir + "/manifest",
+                               std::ios::binary | std::ios::trunc);
+        manifest << "UOPSMF";
+    }
+    EXPECT_THROW(db::loadCatalogDir(dir), FatalError);
+}
+
+TEST(Catalog, EmptyShardRoundTrips)
+{
+    // A uarch swept with zero successful variants still publishes an
+    // (empty) shard — the mechanism for deliberately erasing one.
+    core::BatchOptions options;
+    options.characterizer.filter = [](const isa::InstrVariant &) {
+        return false;
+    };
+    auto catalog = db::runCatalogSweep(
+        defaultDb(), {uarch::UArch::Nehalem}, options, nullptr);
+    ASSERT_EQ(catalog->shards().size(), 1u);
+    EXPECT_EQ(catalog->numRecords(), 0u);
+    EXPECT_TRUE(catalog->uarches().empty());
+
+    const std::string dir = freshDir("empty");
+    db::saveCatalogDir(*catalog, dir);
+    auto loaded = db::loadCatalogDir(dir);
+    EXPECT_EQ(loaded->numRecords(uarch::UArch::Nehalem), 0u);
+    EXPECT_EQ(loaded->shards().front().hash,
+              catalog->shards().front().hash);
 }
 
 } // namespace

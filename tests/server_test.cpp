@@ -1,10 +1,12 @@
 /**
  * @file
  * Tests for the HTTP serving layer (src/server): JSON/HTTP plumbing,
- * endpoint responses, the sharded LRU response cache, per-endpoint
- * metrics, concurrent request hammering with snapshot-identical
- * responses, and an end-to-end socket round trip against a live
- * HttpServer on an ephemeral loopback port.
+ * endpoint responses, the epoch-keyed sharded LRU response cache,
+ * per-endpoint metrics, concurrent request hammering with
+ * snapshot-identical responses, catalog hot-swap (generation
+ * atomicity, stale-cache regression, /reload), and end-to-end socket
+ * round trips against a live HttpServer on an ephemeral loopback
+ * port — including swapping generations under concurrent load.
  */
 
 #include <atomic>
@@ -20,7 +22,7 @@
 
 #include "core/batch.h"
 #include "core/predictor.h"
-#include "db/snapshot.h"
+#include "db/catalog.h"
 #include "server/http_server.h"
 #include "server/json.h"
 #include "support/thread_pool.h"
@@ -58,11 +60,38 @@ sliceDb()
     return *database;
 }
 
-/** Fresh service over the shared slice database. */
+/** The shared slice as a sharded catalog (the serving input). */
+std::shared_ptr<const db::DatabaseCatalog>
+sliceCatalog()
+{
+    static const auto catalog =
+        db::DatabaseCatalog::fromMonolith(sliceDb(), 1);
+    return catalog;
+}
+
+/** A visibly different generation: ADD/XOR only, Skylake only. */
+std::shared_ptr<const db::DatabaseCatalog>
+altCatalog()
+{
+    static const auto catalog = [] {
+        core::BatchOptions options;
+        options.num_threads = 2;
+        options.characterizer.filter =
+            [](const isa::InstrVariant &v) {
+                return v.mnemonic() == "ADD" || v.mnemonic() == "XOR";
+            };
+        return db::runCatalogSweep(defaultDb(),
+                                   {uarch::UArch::Skylake}, options,
+                                   nullptr);
+    }();
+    return catalog;
+}
+
+/** Fresh service over the shared slice catalog. */
 std::unique_ptr<server::QueryService>
 makeService()
 {
-    return std::make_unique<server::QueryService>(sliceDb(),
+    return std::make_unique<server::QueryService>(sliceCatalog(),
                                                   defaultDb());
 }
 
@@ -181,19 +210,34 @@ TEST(Cache, LruEvictsLeastRecentlyUsedPerShard)
     server::ResponseCache cache(1, 2);
     HttpResponse response;
     response.body = "x";
-    cache.put("a", response);
-    cache.put("b", response);
-    EXPECT_TRUE(cache.get("a").has_value());  // refresh a
-    cache.put("c", response);                 // evicts b
-    EXPECT_TRUE(cache.get("a").has_value());
-    EXPECT_FALSE(cache.get("b").has_value());
-    EXPECT_TRUE(cache.get("c").has_value());
+    cache.put("a", 1, response);
+    cache.put("b", 1, response);
+    EXPECT_TRUE(cache.get("a", 1).has_value());  // refresh a
+    cache.put("c", 1, response);                 // evicts b
+    EXPECT_TRUE(cache.get("a", 1).has_value());
+    EXPECT_FALSE(cache.get("b", 1).has_value());
+    EXPECT_TRUE(cache.get("c", 1).has_value());
 
     auto stats = cache.stats();
     EXPECT_EQ(stats.evictions, 1u);
     EXPECT_EQ(stats.entries, 2u);
     EXPECT_EQ(stats.hits, 3u);
     EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(Cache, EntriesAreKeyedByEpoch)
+{
+    server::ResponseCache cache(4, 8);
+    HttpResponse response;
+    response.body = "generation one";
+    cache.put("/instr/X", 1, response);
+    EXPECT_TRUE(cache.get("/instr/X", 1).has_value());
+    // The same target under a newer epoch is a miss: a swap can
+    // never surface a response rendered from an older generation.
+    EXPECT_FALSE(cache.get("/instr/X", 2).has_value());
+    // The old entry is not invalidated either — in-flight requests
+    // that pinned the old state still hit it.
+    EXPECT_EQ(cache.get("/instr/X", 1)->body, "generation one");
 }
 
 // ---------------------------------------------------------------------
@@ -376,6 +420,112 @@ TEST(Service, StatsEndpointExposesMetricsAndCache)
               std::string::npos)
         << response.body;
     EXPECT_NE(response.body.find("\"cache\":{"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Hot swap: generations, /reload, and the stale-cache regression.
+// ---------------------------------------------------------------------
+
+TEST(ServiceSwap, SwapServesNewGenerationImmediately)
+{
+    auto service = makeService();
+    EXPECT_EQ(service->catalog()->generation(), 1u);
+    uint64_t first_epoch = service->epoch();
+
+    HttpResponse before = service->handle(get("/healthz"));
+    EXPECT_NE(before.body.find("\"uarches\":[\"NHM\",\"SKL\"]"),
+              std::string::npos);
+
+    service->swapCatalog(altCatalog());
+    EXPECT_GT(service->epoch(), first_epoch);
+    HttpResponse after = service->handle(get("/healthz"));
+    EXPECT_NE(after.body.find("\"uarches\":[\"SKL\"]"),
+              std::string::npos)
+        << after.body;
+}
+
+TEST(ServiceSwap, CacheNeverServesAcrossGenerations)
+{
+    // The stale-cache regression test: a response cached for one
+    // generation must be unreachable after a hot swap, in both
+    // directions, without any flush.
+    auto service = makeService();
+    // Any DIV variant: present in the slice, absent from altCatalog.
+    db::Query div_query;
+    div_query.mnemonic = "DIV";
+    div_query.arch = uarch::UArch::Skylake;
+    div_query.limit = 1;
+    auto div_records = sliceCatalog()->search(div_query);
+    ASSERT_EQ(div_records.size(), 1u);
+    const std::string target = "/instr/" +
+                               std::string(div_records[0].name()) +
+                               "?uarch=SKL";
+    HttpResponse original = service->handle(get(target));
+    ASSERT_EQ(original.status, 200) << original.body;
+    EXPECT_TRUE(service->handle(get(target)).cache_hit);
+
+    // The alternate generation has no DIV records at all: a stale
+    // cache entry would keep answering 200.
+    service->swapCatalog(altCatalog());
+    HttpResponse swapped = service->handle(get(target));
+    EXPECT_FALSE(swapped.cache_hit);
+    EXPECT_EQ(swapped.status, 404) << swapped.body;
+
+    // Swapping back serves the original content again, but through a
+    // fresh epoch: the first request must be a miss, not a replay of
+    // the epoch-1 entry.
+    service->swapCatalog(sliceCatalog());
+    HttpResponse back = service->handle(get(target));
+    EXPECT_FALSE(back.cache_hit);
+    EXPECT_EQ(back.status, 200);
+    EXPECT_EQ(back.body, original.body);
+}
+
+TEST(ServiceSwap, PredictContextsAreRebuiltPerGeneration)
+{
+    auto service = makeService();
+    const std::string target =
+        "/predict?uarch=SKL&asm=ADD%20RAX,%20RBX";
+    HttpResponse before = service->handle(get(target));
+    ASSERT_EQ(before.status, 200) << before.body;
+
+    // The alternate catalog lacks IMUL entirely; a predictor context
+    // leaked across the swap would still price it.
+    service->swapCatalog(altCatalog());
+    HttpResponse after = service->handle(get(target));
+    EXPECT_EQ(after.status, 200) << after.body;
+    HttpResponse imul = service->handle(
+        get("/predict?uarch=SKL&asm=IMUL%20RCX,%20RAX"));
+    EXPECT_NE(imul.body.find("not present in the characterization"),
+              std::string::npos)
+        << imul.body;
+}
+
+TEST(ServiceSwap, ReloadEndpointSwapsViaReloader)
+{
+    auto service = makeService();
+    // /reload mutates serving state: GET is rejected, and without a
+    // configured source POST reports server-side unavailability.
+    EXPECT_EQ(service->handle(get("/reload")).status, 405);
+
+    HttpRequest post;
+    post.method = "POST";
+    post.target = "/reload";
+    post.path = "/reload";
+    EXPECT_EQ(service->handle(post).status, 503);
+
+    size_t reloads = 0;
+    service->setReloader([&reloads] {
+        ++reloads;
+        return altCatalog();
+    });
+    HttpResponse response = service->handle(post);
+    EXPECT_EQ(response.status, 200) << response.body;
+    EXPECT_NE(response.body.find("\"status\":\"reloaded\""),
+              std::string::npos);
+    EXPECT_EQ(reloads, 1u);
+    EXPECT_EQ(service->catalog().get(), altCatalog().get());
+    EXPECT_EQ(service->metrics(Endpoint::Reload).requests, 3u);
 }
 
 // ---------------------------------------------------------------------
@@ -631,6 +781,89 @@ TEST(HttpServerSocket, KeepAliveConnectionBudgetIsBounded)
     char byte;
     EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
     ::close(fd);
+
+    http.stop();
+}
+
+TEST(HttpServerSocket, HotSwapUnderConcurrentLoadIsAtomic)
+{
+    // The acceptance-criterion test: generations are swapped while
+    // socket clients hammer the server. Every observed response must
+    // be byte-identical to the answer one of the two generations
+    // gives in isolation — a mixed or stale body fails — and after
+    // the final swap a fresh request must serve the final generation.
+    // Targets whose answers differ between the generations (the
+    // slice has NHM + SKL and five mnemonics; alt has SKL ADD/XOR).
+    const std::vector<std::string> targets = {
+        "/instr/ADD_R64_R64",
+        "/search?uses=p0&limit=5",
+        "/diff?a=NHM&b=SKL",
+    };
+
+    // Per-generation baselines from standalone services (no swaps).
+    auto baseline_of =
+        [&](std::shared_ptr<const db::DatabaseCatalog> catalog) {
+            server::QueryService isolated(catalog, defaultDb());
+            std::vector<std::string> out;
+            for (const std::string &target : targets)
+                out.push_back(isolated.handle(get(target)).body);
+            return out;
+        };
+    const std::vector<std::string> baseline_a =
+        baseline_of(sliceCatalog());
+    const std::vector<std::string> baseline_b =
+        baseline_of(altCatalog());
+    for (size_t i = 0; i < targets.size(); ++i)
+        ASSERT_NE(baseline_a[i], baseline_b[i]) << targets[i];
+
+    auto service = makeService();
+    server::HttpServer http(*service);
+    http.start();
+
+    std::atomic<bool> done{false};
+    std::atomic<size_t> served{0};
+    std::atomic<size_t> foreign{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+        clients.emplace_back([&, t] {
+            size_t i = static_cast<size_t>(t);
+            while (!done.load(std::memory_order_relaxed)) {
+                size_t pick = i++ % targets.size();
+                std::string wire =
+                    httpGet(http.port(), targets[pick]);
+                size_t body_at = wire.find("\r\n\r\n");
+                if (body_at == std::string::npos)
+                    continue;   // connection raced server shutdown
+                std::string body = wire.substr(body_at + 4);
+                ++served;
+                if (body != baseline_a[pick] &&
+                    body != baseline_b[pick])
+                    ++foreign;
+            }
+        });
+    }
+
+    // Swap back and forth while the clients run.
+    for (int swap = 0; swap < 20; ++swap) {
+        service->swapCatalog(swap % 2 == 0 ? altCatalog()
+                                           : sliceCatalog());
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    service->swapCatalog(altCatalog());
+    done.store(true);
+    for (std::thread &client : clients)
+        client.join();
+
+    EXPECT_GT(served.load(), 0u);
+    EXPECT_EQ(foreign.load(), 0u);
+
+    // Post-swap requests serve the final generation, not a stale one.
+    for (size_t i = 0; i < targets.size(); ++i) {
+        std::string wire = httpGet(http.port(), targets[i]);
+        EXPECT_EQ(wire.substr(wire.find("\r\n\r\n") + 4),
+                  baseline_b[i])
+            << targets[i];
+    }
 
     http.stop();
 }
