@@ -37,6 +37,16 @@
  *   uopsq diff PATH ARCH_A ARCH_B
  *       Cross-uarch comparison of shared variants.
  *
+ *   uopsq predict PATH --uarch SKL [--asm "ADD RAX, RBX; ..."]
+ *                      [--file KERNEL.s]
+ *       Simulate a basic block offline through the same code path
+ *       /predict serves: cycle-level throughput, port pressure, and
+ *       (where the catalog covers the kernel) the static analysis.
+ *       The listing comes from --asm, --file, or stdin; ';' and
+ *       newlines both separate instructions, '#' starts a comment.
+ *       Prints the JSON response body; exits non-zero unless the
+ *       prediction succeeded.
+ *
  *   uopsq serve PATH [--port P] [--address A] [--threads N]
  *                    [--load mmap|stream] [--watch SECONDS]
  *       Start the HTTP/1.1 JSON API (port 0 picks an ephemeral port;
@@ -52,6 +62,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <thread>
 
@@ -88,6 +99,8 @@ usage()
         "       uopsq info PATH\n"
         "       uopsq query PATH [filters...]\n"
         "       uopsq diff PATH ARCH_A ARCH_B\n"
+        "       uopsq predict PATH --uarch A [--asm LISTING |"
+        " --file KERNEL.s]\n"
         "       uopsq serve PATH [--port P] [--address A] [--threads N]"
         " [--load mmap|stream] [--watch SECONDS]\n");
     std::exit(1);
@@ -369,6 +382,46 @@ cmdDiff(const Args &args)
 }
 
 int
+cmdPredict(const Args &args)
+{
+    fatalIf(args.positional.size() != 1, "predict: expected PATH");
+    const std::string *arch = args.option("uarch");
+    fatalIf(arch == nullptr, "predict: --uarch is required");
+
+    std::string listing;
+    if (const std::string *text = args.option("asm")) {
+        listing = *text;
+    } else if (const std::string *file = args.option("file")) {
+        std::ifstream in(*file);
+        fatalIf(!in, "cannot open ", *file);
+        std::ostringstream text;
+        text << in.rdbuf();
+        listing = text.str();
+    } else {
+        std::ostringstream text;
+        text << std::cin.rdbuf();
+        listing = text.str();
+    }
+
+    auto instrs = isa::buildDefaultDb();
+    server::QueryService service(
+        db::openCatalog(args.positional[0], parseLoadMode(args)),
+        *instrs);
+
+    // Drive the exact request path the HTTP server serves, so the
+    // offline tool can never drift from the service.
+    server::HttpRequest request;
+    request.method = "POST";
+    request.path = "/predict";
+    request.target = "/predict?uarch=" + *arch;
+    request.query["uarch"] = *arch;
+    request.body = std::move(listing);
+    server::HttpResponse response = service.handle(request);
+    std::printf("%s\n", response.body.c_str());
+    return response.status == 200 ? 0 : 1;
+}
+
+int
 cmdServe(const Args &args)
 {
     fatalIf(args.positional.size() != 1, "serve: expected PATH");
@@ -467,6 +520,8 @@ try {
         return cmdQuery(args);
     if (command == "diff")
         return cmdDiff(args);
+    if (command == "predict")
+        return cmdPredict(args);
     if (command == "serve")
         return cmdServe(args);
     usage();

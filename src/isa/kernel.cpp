@@ -94,6 +94,18 @@ makeInstance(const InstrVariant &variant,
 
 namespace {
 
+/** Untrusted-input bounds for assembler text (the /predict path
+ *  feeds raw client bytes through here). Generous for any legitimate
+ *  kernel; tight enough that hostile input cannot smuggle extreme
+ *  values past the narrower internal types. */
+constexpr size_t kMaxAsmLineBytes = 512;
+constexpr size_t kMaxAsmOperands = 8;
+/** Displacements are symbolic memory-location tags (isa::MemLoc),
+ *  not addresses; negative values collide with the reserved implicit
+ *  stack tag and a long->int cast would silently alias distinct
+ *  displacements, so the accepted range is bounded explicitly. */
+constexpr long kMaxMemDisplacement = 1 << 20;
+
 /** Parse one explicit operand token from assembler text. */
 OperandValue
 parseAsmOperand(const std::string &token, OpKind &kind_out)
@@ -111,6 +123,9 @@ parseAsmOperand(const std::string &token, OpKind &kind_out)
             base = trim(inner.substr(0, plus));
             auto tag = parseInt(inner.substr(plus + 1));
             fatalIf(!tag, "assemble: bad displacement in '", t, "'");
+            fatalIf(*tag < 0 || *tag > kMaxMemDisplacement,
+                    "assemble: displacement out of range [0, ",
+                    kMaxMemDisplacement, "] in '", t, "'");
             val.mem.tag = static_cast<int>(*tag);
         }
         auto reg = parseRegName(trim(base));
@@ -152,6 +167,8 @@ InstrInstance
 assembleLine(const InstrDb &db, const std::string &line)
 {
     std::string text = trim(line);
+    fatalIf(text.size() > kMaxAsmLineBytes,
+            "assemble: line exceeds ", kMaxAsmLineBytes, " bytes");
     size_t space = text.find(' ');
     std::string mnemonic =
         toUpper(space == std::string::npos ? text : text.substr(0, space));
@@ -162,6 +179,9 @@ assembleLine(const InstrDb &db, const std::string &line)
     std::vector<OpKind> kinds;
     if (!trim(rest).empty()) {
         for (const auto &tok : split(rest, ',')) {
+            fatalIf(values.size() >= kMaxAsmOperands,
+                    "assemble: more than ", kMaxAsmOperands,
+                    " operands in '", line, "'");
             OpKind kind;
             values.push_back(parseAsmOperand(tok, kind));
             kinds.push_back(kind);

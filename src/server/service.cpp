@@ -1,5 +1,6 @@
 #include "service.h"
 
+#include <bit>
 #include <chrono>
 #include <cstring>
 
@@ -110,8 +111,11 @@ errorResponse(int status, const std::string &message)
 
 QueryService::QueryService(CatalogPtr catalog,
                            const isa::InstrDb &instrs, Options options)
-    : instrs_(instrs),
-      cache_(options.cache_shards, options.cache_capacity_per_shard)
+    : instrs_(instrs), options_(options),
+      cache_(options.cache_shards, options.cache_capacity_per_shard),
+      kernel_memo_(options.memo_shards,
+                   options.memo_capacity_per_shard),
+      engine_(instrs, options.engine)
 {
     fatalIf(catalog == nullptr, "QueryService: null catalog");
     swapCatalog(std::move(catalog));
@@ -257,12 +261,13 @@ QueryService::handle(const HttpRequest &request)
     if (response.status >= 400)
         counters.errors.fetch_add(1, std::memory_order_relaxed);
     auto t1 = std::chrono::steady_clock::now();
-    counters.total_us.fetch_add(
-        static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(t1 -
-                                                                  t0)
-                .count()),
-        std::memory_order_relaxed);
+    uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+    counters.total_us.fetch_add(us, std::memory_order_relaxed);
+    size_t bucket = std::min<size_t>(std::bit_width(us),
+                                     kLatencyBuckets - 1);
+    counters.latency[bucket].fetch_add(1, std::memory_order_relaxed);
     return response;
 }
 
@@ -485,6 +490,25 @@ QueryService::predictContext(ServingState &state, uarch::UArch arch)
     return *it->second;
 }
 
+namespace {
+
+/** Instruction lines in a listing, with assemble()'s line semantics
+ *  ('#' comments, blank lines). Admission control must not depend on
+ *  doing the parse work it exists to bound, so this is a raw scan. */
+size_t
+countInstructionLines(const std::string &listing)
+{
+    size_t count = 0;
+    for (const auto &raw : split(listing, '\n')) {
+        std::string line = raw.substr(0, raw.find('#'));
+        if (!trim(line).empty())
+            ++count;
+    }
+    return count;
+}
+
+} // namespace
+
 HttpResponse
 QueryService::handlePredict(const HttpRequest &request,
                             ServingState &state)
@@ -492,7 +516,8 @@ QueryService::handlePredict(const HttpRequest &request,
     auto arch = parseArchParam(request, "uarch");
     if (!arch)
         return errorResponse(
-            400, "usage: /predict?uarch=SKL&asm=ADD RAX, RBX; ...");
+            400, "usage: /predict?uarch=SKL&asm=ADD RAX, RBX; ... "
+                 "(or POST the listing as the request body)");
 
     std::string listing;
     if (request.method == "POST") {
@@ -504,39 +529,163 @@ QueryService::handlePredict(const HttpRequest &request,
         return errorResponse(400,
                              "missing kernel: pass ?asm= or a POST "
                              "body with one instruction per line");
+
+    const PredictAdmission &admission = options_.admission;
+    if (listing.size() > admission.max_listing_bytes) {
+        rejected_oversize_.fetch_add(1, std::memory_order_relaxed);
+        JsonWriter json;
+        json.beginObject();
+        json.member("error", "kernel listing too large");
+        json.member("status", 413);
+        json.member("rejected_by", "admission");
+        json.member("listing_bytes", listing.size());
+        json.member("max_listing_bytes", admission.max_listing_bytes);
+        json.endObject();
+        HttpResponse response;
+        response.status = 413;
+        response.body = std::move(json).str();
+        return response;
+    }
+
     // Accept ';' as a line separator so kernels fit in a query string.
     for (char &c : listing)
         if (c == ';')
             c = '\n';
 
+    size_t instructions = countInstructionLines(listing);
+    if (instructions == 0)
+        return errorResponse(400, "empty kernel");
+    if (instructions > admission.max_instructions) {
+        rejected_oversize_.fetch_add(1, std::memory_order_relaxed);
+        JsonWriter json;
+        json.beginObject();
+        json.member("error", "kernel has too many instructions");
+        json.member("status", 413);
+        json.member("rejected_by", "admission");
+        json.member("instructions", instructions);
+        json.member("max_instructions", admission.max_instructions);
+        json.endObject();
+        HttpResponse response;
+        response.status = 413;
+        response.body = std::move(json).str();
+        return response;
+    }
+
     isa::Kernel kernel = isa::assemble(instrs_, listing);
     if (kernel.empty())
         return errorResponse(400, "empty kernel");
 
-    const PredictContext &context = predictContext(state, *arch);
-    core::Prediction prediction =
-        context.predictor->analyzeLoop(kernel);
+    // The memo key is the exact simulation fingerprint, so every
+    // spelling of one kernel (GET vs POST, ';' vs newlines, comments,
+    // whitespace) shares a single entry — and a hit is byte-identical
+    // to a cold render by construction. Epoch-keyed because the
+    // static-analysis half of the body is generation-dependent.
+    std::string memo_key = engine_.fingerprint(*arch, kernel);
+    if (auto memoized = kernel_memo_.get(memo_key, state.epoch)) {
+        HttpResponse response = *memoized;
+        response.cache_hit = true;
+        counters_[static_cast<size_t>(Endpoint::Predict)]
+            .cache_hits.fetch_add(1, std::memory_order_relaxed);
+        return response;
+    }
 
+    sim::Measurement measured;
+    try {
+        measured = engine_.simulate(*arch, kernel);
+    } catch (const sim::CycleBudgetExceeded &e) {
+        rejected_budget_.fetch_add(1, std::memory_order_relaxed);
+        JsonWriter json;
+        json.beginObject();
+        json.member("error", std::string_view(e.what()));
+        json.member("status", 429);
+        json.member("rejected_by", "admission");
+        json.member("cycle_budget", e.budget());
+        json.endObject();
+        HttpResponse response;
+        response.status = 429;
+        response.body = std::move(json).str();
+        return response;
+    } catch (const PredictOverloaded &e) {
+        rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+        JsonWriter json;
+        json.beginObject();
+        json.member("error", std::string_view(e.what()));
+        json.member("status", 429);
+        json.member("rejected_by", "admission");
+        json.member("max_inflight", e.maxInflight());
+        json.endObject();
+        HttpResponse response;
+        response.status = 429;
+        response.body = std::move(json).str();
+        return response;
+    }
+    // Any other FatalError (e.g. an instruction the generation lacks)
+    // falls through to handle()'s 400.
+
+    // Static IACA-style analysis from the serving generation's
+    // catalog. Simulation is ground truth and works on any of the
+    // nine generations; analysis additionally needs catalog coverage
+    // of every instruction, so thin catalogs degrade to
+    // "analysis": null with the reason, not an error.
+    const core::Prediction *analysis = nullptr;
+    core::Prediction analysis_storage;
+    std::string analysis_error;
+    try {
+        const PredictContext &context = predictContext(state, *arch);
+        analysis_storage = context.predictor->analyzeLoop(kernel);
+        analysis = &analysis_storage;
+    } catch (const FatalError &e) {
+        analysis_error = e.what();
+    }
+
+    int num_ports = uarch::uarchInfo(*arch).num_ports;
     JsonWriter json;
     json.beginObject();
     json.member("uarch",
                 std::string_view(uarch::uarchShortName(*arch)));
+    json.member("generation", state.catalog->generation());
     json.member("instructions", kernel.size());
-    json.member("block_throughput", prediction.block_throughput);
-    json.member("bottleneck", std::string_view(prediction.bottleneck));
-    json.key("bounds").beginObject();
-    json.member("ports", prediction.port_bound);
-    json.member("dependencies", prediction.dependency_bound);
-    json.member("frontend", prediction.frontend_bound);
-    json.member("divider", prediction.divider_bound);
-    json.endObject();
+    json.key("kernel").beginArray();
+    for (const isa::InstrInstance &inst : kernel)
+        json.value(std::string_view(inst.toAsm()));
+    json.endArray();
+    json.member("block_throughput", measured.cycles);
+    json.key("simulation").beginObject();
+    json.member("cycles_per_iteration", measured.cycles);
+    json.member("uops_issued", measured.uops_issued);
+    json.member("uops_eliminated", measured.uops_eliminated);
     json.key("port_pressure").beginArray();
-    int num_ports = uarch::uarchInfo(*arch).num_ports;
     for (int p = 0; p < num_ports; ++p)
-        json.value(prediction.port_pressure[static_cast<size_t>(p)]);
+        json.value(measured.port_uops[static_cast<size_t>(p)]);
     json.endArray();
     json.endObject();
-    return jsonResponse(std::move(json).str());
+    if (analysis != nullptr) {
+        json.key("analysis").beginObject();
+        json.member("block_throughput", analysis->block_throughput);
+        json.member("bottleneck",
+                    std::string_view(analysis->bottleneck));
+        json.key("bounds").beginObject();
+        json.member("ports", analysis->port_bound);
+        json.member("dependencies", analysis->dependency_bound);
+        json.member("frontend", analysis->frontend_bound);
+        json.member("divider", analysis->divider_bound);
+        json.endObject();
+        json.key("port_pressure").beginArray();
+        for (int p = 0; p < num_ports; ++p)
+            json.value(
+                analysis->port_pressure[static_cast<size_t>(p)]);
+        json.endArray();
+        json.endObject();
+    } else {
+        json.key("analysis").valueNull();
+        json.member("analysis_error",
+                    std::string_view(analysis_error));
+    }
+    json.endObject();
+
+    HttpResponse response = jsonResponse(std::move(json).str());
+    kernel_memo_.put(memo_key, state.epoch, response);
+    return response;
 }
 
 HttpResponse
@@ -584,22 +733,82 @@ QueryService::handleStats(const ServingState &state)
         json.member("errors", m.errors);
         json.member("cache_hits", m.cache_hits);
         json.member("total_us", m.total_us);
+        json.member("p50_us", m.p50_us);
+        json.member("p99_us", m.p99_us);
         json.endObject();
     }
     json.endObject();
-    ResponseCache::Stats cache = cache_.stats();
-    json.key("cache").beginObject();
-    json.member("hits", cache.hits);
-    json.member("misses", cache.misses);
-    json.member("insertions", cache.insertions);
-    json.member("evictions", cache.evictions);
-    json.member("entries", cache.entries);
-    json.member("shards", cache.shards);
-    json.member("capacity", cache.capacity);
+    auto cache_section = [&json](const char *name,
+                                 const ResponseCache::Stats &cache) {
+        json.key(name).beginObject();
+        json.member("hits", cache.hits);
+        json.member("misses", cache.misses);
+        json.member("insertions", cache.insertions);
+        json.member("evictions", cache.evictions);
+        json.member("entries", cache.entries);
+        json.member("shards", cache.shards);
+        json.member("capacity", cache.capacity);
+        json.endObject();
+    };
+    cache_section("cache", cache_.stats());
+    cache_section("kernel_memo", kernel_memo_.stats());
+
+    PredictEngine::Stats engine = engine_.stats();
+    const PredictAdmission &admission = options_.admission;
+    json.key("predict").beginObject();
+    json.key("admission").beginObject();
+    json.member("max_instructions", admission.max_instructions);
+    json.member("max_listing_bytes", admission.max_listing_bytes);
+    json.member("cycle_budget",
+                options_.engine.predict.cycle_budget);
+    json.member("max_inflight", options_.engine.max_inflight);
+    json.member("rejected_oversize",
+                rejected_oversize_.load(std::memory_order_relaxed));
+    json.member("rejected_budget",
+                rejected_budget_.load(std::memory_order_relaxed));
+    json.member("rejected_busy",
+                rejected_busy_.load(std::memory_order_relaxed));
+    json.endObject();
+    json.key("engine").beginObject();
+    json.member("workers", engine.workers);
+    json.member("inflight", engine.inflight);
+    json.member("simulations", engine.simulations);
+    json.member("coalesced", engine.coalesced);
+    json.member("sim_cache_hits", engine.sim_cache_hits);
+    json.member("sim_cache_misses", engine.sim_cache_misses);
+    json.member("sim_cache_entries", engine.sim_cache_entries);
+    json.endObject();
     json.endObject();
     json.endObject();
     return jsonResponse(std::move(json).str());
 }
+
+namespace {
+
+/** Smallest bucket upper bound covering quantile @p q of the
+ *  histogram (conservative: a power-of-two ceiling, not an
+ *  interpolation — monitoring wants "no worse than", not pretty). */
+uint64_t
+histogramQuantile(const std::array<uint64_t,
+                                   QueryService::kLatencyBuckets> &hist,
+                  uint64_t total, double q)
+{
+    if (total == 0)
+        return 0;
+    uint64_t target = static_cast<uint64_t>(
+        q * static_cast<double>(total) + 0.999999);
+    if (target > total)
+        target = total;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.size(); ++i) {
+        cumulative += hist[i];
+        if (cumulative >= target)
+            return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+    }
+    return (uint64_t{1} << (hist.size() - 1)) - 1;
+}
+
+} // namespace
 
 EndpointMetrics
 QueryService::metrics(Endpoint endpoint) const
@@ -612,6 +821,14 @@ QueryService::metrics(Endpoint endpoint) const
     out.cache_hits =
         counters.cache_hits.load(std::memory_order_relaxed);
     out.total_us = counters.total_us.load(std::memory_order_relaxed);
+    std::array<uint64_t, kLatencyBuckets> hist;
+    uint64_t total = 0;
+    for (size_t i = 0; i < kLatencyBuckets; ++i) {
+        hist[i] = counters.latency[i].load(std::memory_order_relaxed);
+        total += hist[i];
+    }
+    out.p50_us = histogramQuantile(hist, total, 0.50);
+    out.p99_us = histogramQuantile(hist, total, 0.99);
     return out;
 }
 

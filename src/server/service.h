@@ -13,13 +13,30 @@
  *         uarch=SKL mnemonic=ADD extension=SSE2 uses=p05
  *         tp_min= tp_max= lat_min= lat_max= limit=
  *   GET  /diff?a=NHM&b=SKL             cross-uarch differences
- *   GET  /predict?uarch=SKL&asm=...    basic-block throughput via
- *                                      core::PerformancePredictor
- *         (';' or newlines separate instructions; POST with the
- *          listing as text/plain body is the uncached equivalent)
+ *   GET  /predict?uarch=SKL&asm=...    simulate a multi-instruction
+ *   POST /predict?uarch=SKL             kernel (';' or newlines
+ *                                       separate instructions; POST
+ *                                       body is the listing) on the
+ *                                       requested generation's
+ *                                       cycle-level model, plus the
+ *                                       catalog-derived static
+ *                                       analysis when coverage allows
  *   POST /reload                       hot-swap to the freshly
  *                                      reloaded catalog generation
- *   GET  /stats                        per-endpoint metrics + cache
+ *   GET  /stats                        per-endpoint metrics + caches
+ *
+ * /predict is the compute endpoint: kernels are parsed with
+ * isa::assemble, admission-checked (instruction count, listing size
+ * -> 413; simulated-cycle budget, engine queue -> 429, all with
+ * structured JSON bodies), simulated on a dedicated PredictEngine
+ * thread pool, and memoized in a second response cache keyed by the
+ * exact sim::MeasurementCache kernel fingerprint — so GET, POST and
+ * whitespace-variant spellings of one kernel share a single entry,
+ * and memoized responses are byte-identical to cold ones. Like the
+ * GET response cache, the memo is epoch-keyed (the static-analysis
+ * half of the body depends on the serving generation); the engine's
+ * deeper simulation memo is generation-independent and survives
+ * swaps.
  *
  * Hot swap is epoch-style: the service holds one immutable
  * ServingState (catalog handle + lazily built per-uarch predictor
@@ -54,6 +71,7 @@
 #include "core/predictor.h"
 #include "db/catalog.h"
 #include "server/http.h"
+#include "server/predict_engine.h"
 #include "server/response_cache.h"
 
 namespace uops::server {
@@ -83,6 +101,15 @@ struct EndpointMetrics
     uint64_t errors = 0;       ///< responses with status >= 400
     uint64_t cache_hits = 0;
     uint64_t total_us = 0;     ///< wall time spent in handle()
+    uint64_t p50_us = 0;       ///< median handle() latency
+    uint64_t p99_us = 0;       ///< tail handle() latency
+};
+
+/** Per-request admission bounds for /predict kernels. */
+struct PredictAdmission
+{
+    size_t max_instructions = 64;          ///< beyond: 413
+    size_t max_listing_bytes = 64 * 1024;  ///< beyond: 413
 };
 
 class QueryService
@@ -100,6 +127,15 @@ class QueryService
     {
         size_t cache_shards = 8;
         size_t cache_capacity_per_shard = 512;
+
+        /** Kernel-memo (fingerprint-keyed /predict responses). */
+        size_t memo_shards = 8;
+        size_t memo_capacity_per_shard = 1024;
+
+        PredictAdmission admission;
+
+        /** Simulation pool, cycle budget, harness config. */
+        PredictEngine::Options engine;
     };
 
     /**
@@ -120,6 +156,18 @@ class QueryService
     EndpointMetrics metrics(Endpoint endpoint) const;
 
     ResponseCache::Stats cacheStats() const { return cache_.stats(); }
+
+    /** Fingerprint-keyed /predict memo counters. */
+    ResponseCache::Stats kernelMemoStats() const
+    {
+        return kernel_memo_.stats();
+    }
+
+    /** Simulation-engine counters. */
+    PredictEngine::Stats engineStats() const
+    {
+        return engine_.stats();
+    }
 
     /** The currently served catalog generation. */
     CatalogPtr catalog() const;
@@ -142,6 +190,13 @@ class QueryService
      *  reloader fails. */
     uint64_t reload();
 
+    /** Power-of-two latency histogram: bucket i holds requests whose
+     *  handle() time in µs has bit_width i (bucket 0: 0 µs; the last
+     *  bucket is open-ended). Fixed buckets keep recording a single
+     *  relaxed increment; percentiles are reconstructed at /stats
+     *  time from bucket upper bounds. */
+    static constexpr size_t kLatencyBuckets = 26;
+
   private:
     struct Counters
     {
@@ -149,6 +204,7 @@ class QueryService
         std::atomic<uint64_t> errors{0};
         std::atomic<uint64_t> cache_hits{0};
         std::atomic<uint64_t> total_us{0};
+        std::array<std::atomic<uint64_t>, kLatencyBuckets> latency{};
     };
 
     /** Lazily-built per-uarch predictor (set must outlive it). */
@@ -200,8 +256,16 @@ class QueryService
                                          uarch::UArch arch);
 
     const isa::InstrDb &instrs_;
+    Options options_;
     ResponseCache cache_;
+    ResponseCache kernel_memo_;
+    PredictEngine engine_;
     std::array<Counters, kNumEndpoints> counters_;
+
+    /** /predict admission rejections, by reason. */
+    std::atomic<uint64_t> rejected_oversize_{0};  ///< 413
+    std::atomic<uint64_t> rejected_budget_{0};    ///< 429 (cycles)
+    std::atomic<uint64_t> rejected_busy_{0};      ///< 429 (queue)
 
     mutable std::mutex state_mutex_;
     StatePtr state_;

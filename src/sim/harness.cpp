@@ -11,8 +11,9 @@ using isa::InstrInstance;
 using isa::Kernel;
 
 MeasurementHarness::MeasurementHarness(const uarch::TimingDb &timing,
-                                       HarnessOptions options)
-    : timing_(timing), pipeline_(timing), options_(options)
+                                       HarnessOptions options,
+                                       SimOptions sim)
+    : timing_(timing), pipeline_(timing, sim), options_(options)
 {
     const isa::InstrDb &db = timing.instrDb();
     serializer_ = db.byName("CPUID_R32i_R32i_R32i_R32i");

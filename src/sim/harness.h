@@ -78,8 +78,16 @@ struct HarnessOptions
 class MeasurementHarness
 {
   public:
+    /**
+     * @param sim Options for the underlying pipeline; the defaults
+     *            match direct Pipeline construction. A cycle_budget
+     *            here bounds each Algorithm-2 run (untrusted-kernel
+     *            admission control); budgeted and unbudgeted runs
+     *            that complete produce bit-identical measurements.
+     */
     MeasurementHarness(const uarch::TimingDb &timing,
-                       HarnessOptions options = {});
+                       HarnessOptions options = {},
+                       SimOptions sim = {});
 
     const uarch::UArchInfo &info() const { return pipeline_.info(); }
     const uarch::TimingDb &timingDb() const { return timing_; }

@@ -119,6 +119,14 @@ class Core
             ++cycle_;
             panicIf(cycle_ > options_.max_cycles,
                     "simulation exceeded max_cycles (deadlock?)");
+            if (options_.cycle_budget > 0 &&
+                cycle_ > options_.cycle_budget) {
+                throw CycleBudgetExceeded(
+                    "simulation exceeded the cycle budget (" +
+                        std::to_string(options_.cycle_budget) +
+                        " cycles)",
+                    options_.cycle_budget);
+            }
             activity_ = false;
             dispatch();
             issue();

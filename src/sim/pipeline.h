@@ -54,6 +54,7 @@
 #include "isa/kernel.h"
 #include "sim/counters.h"
 #include "sim/decoded.h"
+#include "support/status.h"
 #include "uarch/timing_db.h"
 #include "uarch/uarch.h"
 
@@ -61,11 +62,39 @@ namespace uops::sim {
 
 class PipelineScratch;
 
+/**
+ * Thrown when a run exceeds SimOptions::cycle_budget. Unlike the
+ * max_cycles backstop (a panic: a kernel the library itself built
+ * should never run away), blowing the budget is a *user* condition —
+ * the submitted kernel was legal but too expensive to simulate under
+ * the caller's admission policy — so it derives from FatalError and
+ * carries the budget for a structured rejection.
+ */
+class CycleBudgetExceeded : public FatalError
+{
+  public:
+    CycleBudgetExceeded(const std::string &msg, int64_t budget)
+        : FatalError(msg), budget_(budget)
+    {
+    }
+
+    int64_t budget() const { return budget_; }
+
+  private:
+    int64_t budget_;
+};
+
 /** Tuning/feature knobs (defaults follow the uarch descriptor). */
 struct SimOptions
 {
     /** Hard cycle cap: aborts runaway simulations. */
     int64_t max_cycles = 50'000'000;
+
+    /** Admission budget for externally-supplied kernels: a run whose
+     *  simulated clock passes this many cycles throws
+     *  CycleBudgetExceeded (0 disables the budget). Purely an abort
+     *  threshold — results of runs within budget are unaffected. */
+    int64_t cycle_budget = 0;
 
     /** Success period of move elimination in dependent chains
      *  (1 elimination every N candidates; 0 disables elimination). */

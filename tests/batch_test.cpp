@@ -7,6 +7,8 @@
  */
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <set>
 
@@ -40,20 +42,23 @@ TEST(ThreadPool, RunsEveryIndexExactlyOnce)
 
 TEST(ThreadPool, StealingSpreadsUnevenWork)
 {
-    // All tasks are submitted round-robin but one queue's tasks are
-    // slow; idle workers must steal rather than finish early.
+    // One task parks its worker until a *different* worker has run
+    // something, forcing the remaining tasks to be stolen. The park
+    // (rather than mere busy work) makes the multi-worker property
+    // deterministic: on an otherwise-idle single CPU a worker can
+    // drain every queue before its peers are even scheduled.
     ThreadPool pool(4);
     std::mutex mutex;
+    std::condition_variable cv;
     std::set<size_t> seen_workers;
     pool.parallelFor(64, [&](size_t i, size_t worker) {
-        if (i % 4 == 0) {
-            // Busy work on every 4th task.
-            volatile uint64_t x = 0;
-            for (int k = 0; k < 200000; ++k)
-                x = x + static_cast<uint64_t>(k);
-        }
-        std::lock_guard<std::mutex> lock(mutex);
+        std::unique_lock<std::mutex> lock(mutex);
         seen_workers.insert(worker);
+        cv.notify_all();
+        if (i == 0)
+            cv.wait_for(lock, std::chrono::seconds(10), [&] {
+                return seen_workers.size() > 1;
+            });
     });
     EXPECT_GT(seen_workers.size(), 1u);
 }

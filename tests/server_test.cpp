@@ -25,6 +25,7 @@
 #include "db/catalog.h"
 #include "server/http_server.h"
 #include "server/json.h"
+#include "sim/block_predict.h"
 #include "support/thread_pool.h"
 #include "test_util.h"
 
@@ -313,7 +314,7 @@ TEST(Service, DiffEndpointComparesUArches)
     EXPECT_EQ(service->handle(get("/diff?a=NHM")).status, 400);
 }
 
-TEST(Service, PredictMatchesDirectPredictor)
+TEST(Service, PredictSimulatesAndAnalyzesKernels)
 {
     auto service = makeService();
     HttpResponse response = service->handle(
@@ -321,17 +322,31 @@ TEST(Service, PredictMatchesDirectPredictor)
             "RAX"));
     ASSERT_EQ(response.status, 200) << response.body;
 
-    // The served numbers must equal a direct PerformancePredictor
-    // run over the same reconstructed characterization set.
+    // The headline number is the *simulated* throughput — it must
+    // equal a direct sim::BlockPredictor run with the engine's
+    // default options.
+    sim::BlockPredictor direct(defaultDb(), uarch::UArch::Skylake);
+    sim::Measurement simulated =
+        direct.predict(asm_("ADD RAX, RBX\nIMUL RCX, RAX"));
+    EXPECT_NE(response.body.find("\"block_throughput\":" +
+                                 xmlFormatDouble(simulated.cycles) +
+                                 ",\"simulation\":{"),
+              std::string::npos)
+        << response.body;
+
+    // The static IACA-style analysis rides along under "analysis",
+    // equal to a direct PerformancePredictor run over the same
+    // reconstructed characterization set.
     auto set = sliceDb().toCharacterizationSet(uarch::UArch::Skylake,
                                                defaultDb());
     core::PerformancePredictor predictor(set);
     core::Prediction expected = predictor.analyzeLoop(
         asm_("ADD RAX, RBX\nIMUL RCX, RAX"));
-    EXPECT_NE(response.body.find(
-                  "\"block_throughput\":" +
-                  xmlFormatDouble(expected.block_throughput)),
-              std::string::npos)
+    EXPECT_NE(
+        response.body.find(
+            "\"analysis\":{\"block_throughput\":" +
+            xmlFormatDouble(expected.block_throughput)),
+        std::string::npos)
         << response.body;
     EXPECT_NE(response.body.find("\"bottleneck\":\"" +
                                  expected.bottleneck + "\""),
@@ -344,6 +359,61 @@ TEST(Service, PredictMatchesDirectPredictor)
         400);
     EXPECT_EQ(service->handle(get("/predict?uarch=SKL")).status, 400);
     EXPECT_EQ(service->handle(get("/predict?asm=NOP")).status, 400);
+}
+
+TEST(Service, PredictAdmissionRejectsOversizedKernelsWith413)
+{
+    server::QueryService::Options options;
+    options.admission.max_instructions = 2;
+    server::QueryService service(sliceCatalog(), defaultDb(),
+                                 options);
+    HttpResponse response = service.handle(
+        get("/predict?uarch=SKL&asm=NOP;NOP;NOP"));
+    EXPECT_EQ(response.status, 413) << response.body;
+    EXPECT_NE(response.body.find("\"rejected_by\":\"admission\""),
+              std::string::npos)
+        << response.body;
+    EXPECT_NE(response.body.find("\"max_instructions\":2"),
+              std::string::npos)
+        << response.body;
+    // At the limit is fine.
+    EXPECT_EQ(
+        service.handle(get("/predict?uarch=SKL&asm=NOP;NOP")).status,
+        200);
+}
+
+TEST(Service, PredictRejectsOverBudgetSimulationsWith429)
+{
+    server::QueryService::Options options;
+    options.engine.predict.cycle_budget = 1;
+    server::QueryService service(sliceCatalog(), defaultDb(),
+                                 options);
+    HttpResponse response = service.handle(
+        get("/predict?uarch=SKL&asm=ADD%20RAX,%20RBX"));
+    EXPECT_EQ(response.status, 429) << response.body;
+    EXPECT_NE(response.body.find("\"rejected_by\":\"admission\""),
+              std::string::npos)
+        << response.body;
+    EXPECT_NE(response.body.find("\"cycle_budget\":1"),
+              std::string::npos)
+        << response.body;
+}
+
+TEST(Service, PredictRejectsWhenEngineIsSaturatedWith429)
+{
+    server::QueryService::Options options;
+    options.engine.max_inflight = 0;
+    server::QueryService service(sliceCatalog(), defaultDb(),
+                                 options);
+    HttpResponse response = service.handle(
+        get("/predict?uarch=SKL&asm=ADD%20RAX,%20RBX"));
+    EXPECT_EQ(response.status, 429) << response.body;
+    EXPECT_NE(response.body.find("\"max_inflight\":0"),
+              std::string::npos)
+        << response.body;
+    auto stats = service.engineStats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.simulations, 0u);
 }
 
 TEST(Service, PostPredictUsesBody)
@@ -420,6 +490,56 @@ TEST(Service, StatsEndpointExposesMetricsAndCache)
               std::string::npos)
         << response.body;
     EXPECT_NE(response.body.find("\"cache\":{"), std::string::npos);
+
+    // Schema pinning for the prediction-service additions: latency
+    // percentiles per endpoint, the kernel memo, and the admission +
+    // engine counter blocks.
+    for (const char *key :
+         {"\"p50_us\":", "\"p99_us\":", "\"kernel_memo\":{",
+          "\"predict\":{", "\"admission\":{", "\"max_instructions\":",
+          "\"max_listing_bytes\":", "\"cycle_budget\":",
+          "\"max_inflight\":", "\"rejected_oversize\":",
+          "\"rejected_budget\":", "\"rejected_busy\":",
+          "\"engine\":{", "\"workers\":", "\"inflight\":",
+          "\"simulations\":", "\"coalesced\":",
+          "\"sim_cache_hits\":", "\"sim_cache_misses\":",
+          "\"sim_cache_entries\":"})
+        EXPECT_NE(response.body.find(key), std::string::npos)
+            << "missing " << key << " in\n"
+            << response.body;
+}
+
+TEST(Service, StatsCountsKernelMemoAndAdmissionRejections)
+{
+    server::QueryService::Options options;
+    options.admission.max_instructions = 2;
+    server::QueryService service(sliceCatalog(), defaultDb(),
+                                 options);
+    service.handle(get("/predict?uarch=SKL&asm=ADD%20RAX,%20RBX"));
+    // A different spelling of the same kernel: misses the outer
+    // response cache (different request text) but hits the memo
+    // (same kernel fingerprint).
+    HttpRequest respelled;
+    respelled.method = "POST";
+    respelled.target = "/predict?uarch=SKL";
+    respelled.path = "/predict";
+    respelled.query["uarch"] = "SKL";
+    respelled.body = "ADD RAX,RBX  # same kernel";
+    service.handle(respelled);
+    service.handle(get("/predict?uarch=SKL&asm=NOP;NOP;NOP"));
+
+    auto memo = service.kernelMemoStats();
+    EXPECT_EQ(memo.insertions, 1u);
+    EXPECT_EQ(memo.hits, 1u);
+
+    HttpResponse response = service.handle(get("/stats"));
+    ASSERT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("\"rejected_oversize\":1"),
+              std::string::npos)
+        << response.body;
+    EXPECT_NE(response.body.find("\"simulations\":1"),
+              std::string::npos)
+        << response.body;
 }
 
 // ---------------------------------------------------------------------
