@@ -49,12 +49,18 @@
  *
  *   uopsq serve PATH [--port P] [--address A] [--threads N]
  *                    [--load mmap|stream] [--watch SECONDS]
+ *                    [--drain-ms MS]
  *       Start the HTTP/1.1 JSON API (port 0 picks an ephemeral port;
  *       the chosen port is printed). Catalog shards are memory-mapped
  *       zero-copy by default. POST /reload hot-swaps to the current
  *       on-disk generation without dropping a request; --watch polls
  *       the manifest and reloads automatically when a characterize
- *       run publishes a new generation. Runs until killed.
+ *       run publishes a new generation. SIGTERM/SIGINT drain
+ *       gracefully: new connections are refused, in-flight responses
+ *       are sent whole, and only after --drain-ms (default 5000) are
+ *       stragglers forced. Catalog recovery (a corrupt newest
+ *       generation falling back to an older verified one) is logged
+ *       to stderr at startup and on every reload.
  */
 
 #include <chrono>
@@ -102,7 +108,7 @@ usage()
         "       uopsq predict PATH --uarch A [--asm LISTING |"
         " --file KERNEL.s]\n"
         "       uopsq serve PATH [--port P] [--address A] [--threads N]"
-        " [--load mmap|stream] [--watch SECONDS]\n");
+        " [--load mmap|stream] [--watch SECONDS] [--drain-ms MS]\n");
     std::exit(1);
 }
 
@@ -283,7 +289,11 @@ int
 cmdInfo(const Args &args)
 {
     fatalIf(args.positional.size() != 1, "info: expected PATH");
-    auto catalog = db::openCatalog(args.positional[0]);
+    db::RecoveryReport report;
+    auto catalog = db::openCatalog(args.positional[0],
+                                   db::LoadMode::Mmap, &report);
+    if (report.recovered || !report.events.empty())
+        std::printf("recovery: %s\n", report.summary().c_str());
     std::printf("generation %llu, %zu records\n",
                 static_cast<unsigned long long>(
                     catalog->generation()),
@@ -433,10 +443,25 @@ cmdServe(const Args &args)
     // the old generation (mmaps included) must be able to die with
     // its last in-flight request, so no local CatalogPtr may outlive
     // this scope.
-    server::QueryService service(db::openCatalog(path, mode),
-                                 *instrs);
-    service.setReloader(
-        [path, mode] { return db::openCatalog(path, mode); });
+    db::RecoveryReport open_report;
+    server::QueryService service(
+        db::openCatalog(path, mode, &open_report), *instrs);
+    if (open_report.recovered || !open_report.events.empty()) {
+        std::fprintf(stderr, "catalog recovery: %s\n",
+                     open_report.summary().c_str());
+        for (const std::string &event : open_report.events)
+            std::fprintf(stderr, "  %s\n", event.c_str());
+    }
+    service.setReloader([path, mode](db::RecoveryReport &report) {
+        auto next = db::openCatalog(path, mode, &report);
+        if (report.recovered || !report.events.empty()) {
+            std::fprintf(stderr, "catalog recovery: %s\n",
+                         report.summary().c_str());
+            for (const std::string &event : report.events)
+                std::fprintf(stderr, "  %s\n", event.c_str());
+        }
+        return next;
+    });
 
     server::HttpServer::Options options;
     options.port =
@@ -493,8 +518,14 @@ cmdServe(const Args &args)
             std::fprintf(stderr, "reload failed: %s\n", e.what());
         }
     }
-    http.stop();
-    std::printf("stopped\n");
+    // Graceful drain: stop accepting, let in-flight requests finish
+    // whole (bounded by --drain-ms), then force whatever remains.
+    long drain_ms = args.intOption("drain-ms", 5000);
+    fatalIf(drain_ms < 0, "--drain-ms must be >= 0");
+    bool clean = http.drain(std::chrono::milliseconds(drain_ms));
+    std::printf(clean ? "stopped (drained cleanly)\n"
+                      : "stopped (drain deadline hit, forced "
+                        "remaining connections)\n");
     return 0;
 }
 

@@ -1,12 +1,14 @@
 #include "catalog.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "support/hash.h"
+#include "support/io.h"
 #include "support/status.h"
 
 namespace fs = std::filesystem;
@@ -19,6 +21,29 @@ constexpr char kManifestMagic[8] = {'U', 'O', 'P', 'S', 'M',
                                     'F', '\x1a', '\n'};
 constexpr uint32_t kManifestVersion = 1;
 constexpr uint32_t kEndianTag = 0x0A0B0C0Du;
+
+/** Numbered manifests kept per directory: the current generation
+ *  plus fallbacks for recovery. Shard files are never pruned here. */
+constexpr size_t kManifestRetention = 4;
+
+/** Store-consistency failures throw CatalogError (a FatalError
+ *  subtype): recoverable per generation, reportable by callers. */
+template <typename... Parts>
+[[noreturn]] void
+catalogFail(const Parts &...parts)
+{
+    std::ostringstream os;
+    detail::formatInto(os, parts...);
+    throw CatalogError(os.str());
+}
+
+template <typename... Parts>
+void
+catalogCheck(bool condition, const Parts &...parts)
+{
+    if (condition)
+        catalogFail(parts...);
+}
 
 std::string
 shardFileName(uarch::UArch arch, uint64_t hash)
@@ -79,40 +104,34 @@ sortedNames(const InstructionDatabase &db)
     return out;
 }
 
-std::string
-readFileBytes(const std::string &path)
-{
-    std::ifstream is(path, std::ios::binary);
-    fatalIf(!is, "db catalog: cannot open ", path);
-    std::ostringstream buffer;
-    buffer << is.rdbuf();
-    fatalIf(!is && !is.eof(), "db catalog: read of ", path,
-            " failed");
-    return std::move(buffer).str();
-}
-
-void
-writeFileAtomic(const std::string &path, const std::string &bytes)
-{
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        fatalIf(!os, "db catalog: cannot open ", tmp,
-                " for writing");
-        os.write(bytes.data(),
-                 static_cast<std::streamsize>(bytes.size()));
-        os.flush();
-        fatalIf(!os, "db catalog: write to ", tmp, " failed");
-    }
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    fatalIf(static_cast<bool>(ec), "db catalog: rename ", tmp,
-            " -> ", path, ": ", ec.message());
-}
-
 } // namespace
 
 const char *const kManifestFile = "manifest";
+
+std::string
+manifestFileName(uint64_t generation)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "manifest.%010llu",
+                  static_cast<unsigned long long>(generation));
+    return buf;
+}
+
+std::string
+RecoveryReport::summary() const
+{
+    std::ostringstream os;
+    if (!recovered && events.empty()) {
+        os << "generation " << generation;
+    } else {
+        os << (recovered ? "recovered to generation "
+                         : "repaired at generation ")
+           << generation << " (" << rejected_generations.size()
+           << " generation(s) rejected, " << removed_files.size()
+           << " file(s) removed)";
+    }
+    return os.str();
+}
 
 // ---------------------------------------------------------------------
 // DatabaseCatalog
@@ -399,7 +418,7 @@ parseManifest(const std::string &bytes, const std::string &dir)
     auto raw = [&is, &dir](void *out, size_t n) {
         is.read(static_cast<char *>(out),
                 static_cast<std::streamsize>(n));
-        fatalIf(static_cast<size_t>(is.gcount()) != n,
+        catalogCheck(static_cast<size_t>(is.gcount()) != n,
                 "db catalog: truncated manifest in ", dir);
     };
     auto scalar = [&raw] {
@@ -409,37 +428,37 @@ parseManifest(const std::string &bytes, const std::string &dir)
     };
     char magic[8];
     raw(magic, sizeof magic);
-    fatalIf(std::memcmp(magic, kManifestMagic, sizeof magic) != 0,
+    catalogCheck(std::memcmp(magic, kManifestMagic, sizeof magic) != 0,
             "db catalog: bad manifest magic in ", dir);
     uint32_t head[2];
     raw(head, sizeof head);
-    fatalIf(head[0] != kManifestVersion,
+    catalogCheck(head[0] != kManifestVersion,
             "db catalog: unsupported manifest version ", head[0]);
-    fatalIf(head[1] != kEndianTag,
+    catalogCheck(head[1] != kEndianTag,
             "db catalog: manifest has foreign byte order");
 
     Manifest manifest;
     manifest.generation = scalar();
     uint64_t count = scalar();
-    fatalIf(count > 256, "db catalog: implausible shard count ",
+    catalogCheck(count > 256, "db catalog: implausible shard count ",
             count);
     for (uint64_t i = 0; i < count; ++i) {
         ManifestShard shard;
         uint64_t arch = scalar();
-        fatalIf(arch > 0xff, "db catalog: implausible uarch id ",
+        catalogCheck(arch > 0xff, "db catalog: implausible uarch id ",
                 arch);
         shard.arch = static_cast<uint8_t>(arch);
         shard.records = scalar();
         shard.hash = scalar();
         uint64_t name_len = scalar();
-        fatalIf(name_len > 4096,
+        catalogCheck(name_len > 4096,
                 "db catalog: implausible shard file name length");
         shard.file.resize(static_cast<size_t>(name_len));
         if (name_len)
             raw(shard.file.data(), shard.file.size());
         char pad[8];
         raw(pad, (8 - name_len % 8) % 8);
-        fatalIf(shard.file.find('/') != std::string::npos ||
+        catalogCheck(shard.file.find('/') != std::string::npos ||
                     shard.file.find("..") != std::string::npos,
                 "db catalog: manifest shard file escapes the "
                 "catalog directory: ",
@@ -447,6 +466,185 @@ parseManifest(const std::string &bytes, const std::string &dir)
         manifest.shards.push_back(std::move(shard));
     }
     return manifest;
+}
+
+/** Generation claimed by a manifest file's 24-byte header; nullopt
+ *  when the file is missing, too short, or has the wrong magic. */
+std::optional<uint64_t>
+manifestHeaderGeneration(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    char head[24];
+    is.read(head, sizeof head);
+    if (static_cast<size_t>(is.gcount()) != sizeof head)
+        return std::nullopt;
+    if (std::memcmp(head, kManifestMagic, 8) != 0)
+        return std::nullopt;
+    uint64_t generation = 0;
+    std::memcpy(&generation, head + 16, sizeof generation);
+    return generation;
+}
+
+struct ManifestCandidate
+{
+    uint64_t generation = 0;
+    std::string name;      ///< file name inside the catalog dir
+    bool legacy = false;   ///< plain "manifest" (pre-numbered store)
+};
+
+/** All manifest files in @p dir, newest generation first (numbered
+ *  preferred over legacy on a tie). For numbered manifests the
+ *  generation comes from the file name — a truncated file must still
+ *  be enumerated (and then rejected by verification) rather than
+ *  silently skipped. */
+std::vector<ManifestCandidate>
+listManifests(const std::string &dir)
+{
+    std::vector<ManifestCandidate> out;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        const std::string name = de.path().filename().string();
+        if (name == kManifestFile) {
+            auto gen = manifestHeaderGeneration(de.path().string());
+            // An unreadable legacy header sorts last (generation 0)
+            // but stays a candidate so its rejection is reported.
+            out.push_back({gen.value_or(0), name, true});
+            continue;
+        }
+        constexpr std::string_view prefix = "manifest.";
+        if (name.size() != prefix.size() + 10 ||
+            name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        uint64_t gen = 0;
+        bool digits = true;
+        for (size_t i = prefix.size(); i < name.size(); ++i) {
+            if (name[i] < '0' || name[i] > '9') {
+                digits = false;
+                break;
+            }
+            gen = gen * 10 + static_cast<uint64_t>(name[i] - '0');
+        }
+        if (digits)
+            out.push_back({gen, name, false});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ManifestCandidate &a,
+                 const ManifestCandidate &b) {
+                  if (a.generation != b.generation)
+                      return a.generation > b.generation;
+                  return a.legacy < b.legacy;
+              });
+    return out;
+}
+
+/** Load and fully verify the generation one manifest describes.
+ *  Throws (CatalogError / StoreError / IoError — all FatalError) on
+ *  any inconsistency; the caller decides whether that rejects one
+ *  candidate or the whole store. */
+std::shared_ptr<const DatabaseCatalog>
+loadManifestCatalog(const std::string &dir, const Manifest &manifest,
+                    LoadMode mode, bool verify_hashes)
+{
+    std::vector<ShardEntry> shards;
+    for (const ManifestShard &ms : manifest.shards) {
+        const std::string path = dir + "/" + ms.file;
+        const uarch::UArch arch = static_cast<uarch::UArch>(ms.arch);
+        ShardEntry entry;
+        entry.arch = arch;
+        entry.hash = ms.hash;
+        entry.file = ms.file;
+        if (mode == LoadMode::Mmap) {
+            auto mapping = mapFile(path);
+            catalogCheck(verify_hashes &&
+                             fnv1a64(mapping->view()) != ms.hash,
+                         "db catalog: shard ", path,
+                         " does not match its manifest hash");
+            entry.db = loadShardMapped(std::move(mapping), arch);
+        } else {
+            std::string bytes = readFileBytes(path, "catalog.shard");
+            catalogCheck(verify_hashes && fnv1a64(bytes) != ms.hash,
+                         "db catalog: shard ", path,
+                         " does not match its manifest hash");
+            std::istringstream is(bytes, std::ios::binary);
+            entry.db = loadShard(is, arch);
+        }
+        catalogCheck(entry.db->numRecords() != ms.records,
+                     "db catalog: shard ", path, " holds ",
+                     entry.db->numRecords(),
+                     " records but the manifest expects ",
+                     ms.records);
+        shards.push_back(std::move(entry));
+    }
+    return std::make_shared<DatabaseCatalog>(std::move(shards),
+                                             manifest.generation);
+}
+
+/**
+ * Remove what a verified load proved dead: the rejected candidates'
+ * manifests, stray .tmp files from interrupted commits, and shard
+ * files no surviving parseable manifest references. Only runs when
+ * the caller asked for a RecoveryReport — a report-less reader never
+ * deletes, so it cannot race a concurrent publisher mid-commit.
+ * Removal failures are recorded, never fatal: GC is advisory.
+ */
+void
+collectGarbage(const std::string &dir,
+               const std::vector<ManifestCandidate> &candidates,
+               size_t winner, RecoveryReport &report)
+{
+    auto remove = [&](const std::string &name, const char *why) {
+        try {
+            if (removeFile(dir + "/" + name)) {
+                report.removed_files.push_back(name);
+                report.events.push_back(std::string("removed ") +
+                                        why + " " + name);
+            }
+        } catch (const FatalError &e) {
+            report.events.push_back("gc failed for " + name + ": " +
+                                    e.what());
+        }
+    };
+
+    for (size_t i = 0; i < winner; ++i)
+        remove(candidates[i].name, "rejected manifest");
+
+    // Shards referenced by any surviving manifest stay; parse
+    // failures of older fallbacks keep their manifest (it was never
+    // examined, so it is not provably dead) but cannot protect
+    // shards.
+    std::vector<std::string> referenced;
+    for (size_t i = winner; i < candidates.size(); ++i) {
+        try {
+            Manifest m = parseManifest(
+                readFileBytes(dir + "/" + candidates[i].name,
+                              "catalog.manifest"),
+                dir);
+            for (const ManifestShard &ms : m.shards)
+                referenced.push_back(ms.file);
+        } catch (const FatalError &) {
+            // Unreadable fallback: leave it for a later recovery.
+        }
+    }
+    std::sort(referenced.begin(), referenced.end());
+
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto &de : fs::directory_iterator(dir, ec))
+        names.push_back(de.path().filename().string());
+    for (const std::string &name : names) {
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".tmp") == 0) {
+            remove(name, "stray tmp");
+            continue;
+        }
+        if (name.size() > 6 &&
+            name.compare(name.size() - 6, 6, ".shard") == 0 &&
+            !std::binary_search(referenced.begin(), referenced.end(),
+                                name))
+            remove(name, "unreferenced shard");
+    }
 }
 
 } // namespace
@@ -466,86 +664,108 @@ saveCatalogDir(const DatabaseCatalog &catalog, const std::string &dir)
             // must already hold these bytes. Verify instead of
             // rewriting — this is what keeps an incremental save from
             // touching shards it did not re-characterize.
-            uint64_t on_disk = fnv1a64(readFileBytes(path));
-            fatalIf(on_disk != entry.hash, "db catalog: ", path,
-                    " exists with hash ", hashHex(on_disk),
-                    " but the catalog expects ",
-                    hashHex(entry.hash),
-                    " (corrupt store?)");
+            uint64_t on_disk =
+                fnv1a64(readFileBytes(path, "catalog.shard"));
+            catalogCheck(on_disk != entry.hash, "db catalog: ", path,
+                         " exists with hash ", hashHex(on_disk),
+                         " but the catalog expects ",
+                         hashHex(entry.hash),
+                         " (corrupt store?)");
             continue;
         }
-        writeFileAtomic(path, shardBytes(*entry.db, entry.arch));
+        writeFileAtomic(path, shardBytes(*entry.db, entry.arch),
+                        "catalog.shard");
     }
 
-    // The manifest rename is the commit point: readers see the old
-    // generation or the new one, never a mix.
-    writeFileAtomic(dir + "/" + kManifestFile,
-                    manifestBytes(catalog));
+    // COMMIT POINT of the whole save: the rename inside this
+    // writeFileAtomic publishes the numbered manifest. Every shard
+    // above is already durable (written + fsynced, or verified
+    // pre-existing), so a reader that sees this manifest can verify
+    // every byte it references; a crash anywhere earlier leaves the
+    // previous generation's manifest as the newest one.
+    writeFileAtomic(dir + "/" + manifestFileName(catalog.generation()),
+                    manifestBytes(catalog), "catalog.manifest");
+
+    // Retention: keep the newest few numbered manifests as recovery
+    // fallbacks; prune older ones. Shard files are never pruned here
+    // (a serving process may still map them) — load-time GC with a
+    // RecoveryReport handles those.
+    std::vector<ManifestCandidate> manifests = listManifests(dir);
+    size_t kept = 0;
+    for (const ManifestCandidate &cand : manifests) {
+        if (cand.legacy || ++kept <= kManifestRetention)
+            continue;
+        try {
+            removeFile(dir + "/" + cand.name);
+        } catch (const FatalError &) {
+            // Best-effort; a stale fallback manifest is harmless.
+        }
+    }
 }
 
 std::shared_ptr<const DatabaseCatalog>
 loadCatalogDir(const std::string &dir, LoadMode mode,
-               bool verify_hashes)
+               bool verify_hashes, RecoveryReport *report)
 {
-    Manifest manifest = parseManifest(
-        readFileBytes(dir + "/" + kManifestFile), dir);
+    if (report)
+        *report = RecoveryReport{};
+    RecoveryReport scratch;
+    RecoveryReport &rep = report ? *report : scratch;
 
-    std::vector<ShardEntry> shards;
-    for (const ManifestShard &ms : manifest.shards) {
-        const std::string path = dir + "/" + ms.file;
-        const uarch::UArch arch = static_cast<uarch::UArch>(ms.arch);
-        ShardEntry entry;
-        entry.arch = arch;
-        entry.hash = ms.hash;
-        entry.file = ms.file;
-        if (mode == LoadMode::Mmap) {
-            auto mapping = mapFile(path);
-            fatalIf(verify_hashes &&
-                        fnv1a64(mapping->view()) != ms.hash,
-                    "db catalog: shard ", path,
-                    " does not match its manifest hash");
-            entry.db = loadShardMapped(std::move(mapping), arch);
-        } else {
-            std::string bytes = readFileBytes(path);
-            fatalIf(verify_hashes && fnv1a64(bytes) != ms.hash,
-                    "db catalog: shard ", path,
-                    " does not match its manifest hash");
-            std::istringstream is(bytes, std::ios::binary);
-            entry.db = loadShard(is, arch);
+    std::vector<ManifestCandidate> candidates = listManifests(dir);
+    catalogCheck(candidates.empty(), "db catalog: no manifest in ",
+                 dir);
+
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        const ManifestCandidate &cand = candidates[i];
+        std::shared_ptr<const DatabaseCatalog> catalog;
+        try {
+            Manifest manifest = parseManifest(
+                readFileBytes(dir + "/" + cand.name,
+                              "catalog.manifest"),
+                dir);
+            catalog = loadManifestCatalog(dir, manifest, mode,
+                                          verify_hashes);
+        } catch (const FatalError &e) {
+            // This candidate is bad; an older generation may still
+            // verify. InjectedCrash is deliberately not caught —
+            // a simulated kill must not look like recovery.
+            rep.rejected_generations.push_back(cand.generation);
+            rep.events.push_back("rejected " + cand.name + ": " +
+                                 e.what());
+            continue;
         }
-        fatalIf(entry.db->numRecords() != ms.records,
-                "db catalog: shard ", path, " holds ",
-                entry.db->numRecords(),
-                " records but the manifest expects ", ms.records);
-        shards.push_back(std::move(entry));
+        rep.generation = catalog->generation();
+        rep.recovered = !rep.rejected_generations.empty();
+        if (report)
+            collectGarbage(dir, candidates, i, rep);
+        return catalog;
     }
-    return std::make_shared<DatabaseCatalog>(std::move(shards),
-                                             manifest.generation);
+
+    std::ostringstream os;
+    os << "db catalog: no loadable generation in " << dir;
+    for (const std::string &event : rep.events)
+        os << "; " << event;
+    throw CatalogError(os.str());
 }
 
 std::optional<uint64_t>
 readCatalogGeneration(const std::string &dir)
 {
-    const std::string path = dir + "/" + kManifestFile;
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
+    std::vector<ManifestCandidate> candidates = listManifests(dir);
+    if (candidates.empty())
         return std::nullopt;
-    char head[24];
-    is.read(head, sizeof head);
-    if (static_cast<size_t>(is.gcount()) != sizeof head)
-        return std::nullopt;
-    if (std::memcmp(head, kManifestMagic, 8) != 0)
-        return std::nullopt;
-    uint64_t generation = 0;
-    std::memcpy(&generation, head + 16, sizeof generation);
-    return generation;
+    return candidates.front().generation;
 }
 
 std::shared_ptr<const DatabaseCatalog>
-openCatalog(const std::string &path, LoadMode mode)
+openCatalog(const std::string &path, LoadMode mode,
+            RecoveryReport *report)
 {
     if (fs::is_directory(path))
-        return loadCatalogDir(path, mode);
+        return loadCatalogDir(path, mode, true, report);
+    if (report)
+        *report = RecoveryReport{};
     // Legacy single-file containers: split into per-uarch shards so
     // everything downstream speaks catalog. Generation 0 marks "not
     // from a sharded store".

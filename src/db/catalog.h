@@ -47,6 +47,52 @@
 
 namespace uops::db {
 
+/**
+ * The catalog store is unusable or inconsistent: no loadable
+ * generation, a content-addressed file whose bytes disagree with its
+ * name, a malformed manifest. Derived from FatalError so generic
+ * handlers keep working; callers that can degrade (server /reload,
+ * `uopsq migrate`) catch it and keep the previous generation.
+ */
+class CatalogError : public FatalError
+{
+  public:
+    explicit CatalogError(const std::string &msg) : FatalError(msg) {}
+};
+
+/**
+ * What opening a catalog directory had to do to produce a consistent
+ * generation. Empty (recovered == false, no events) on the happy
+ * path. Filled — and garbage collection of rejected manifests,
+ * orphaned .tmp files, and unreferenced shards enabled — when the
+ * caller passes one to loadCatalogDir/openCatalog; loads without a
+ * report never delete anything, so a reader cannot race a publisher
+ * mid-commit into destroying its work.
+ */
+struct RecoveryReport
+{
+    /** A newer candidate generation existed but failed verification;
+     *  an older fully-verified one is being served instead. */
+    bool recovered = false;
+
+    /** Generation actually loaded. */
+    uint64_t generation = 0;
+
+    /** Generations whose manifest or shards failed verification,
+     *  newest first. */
+    std::vector<uint64_t> rejected_generations;
+
+    /** Human-readable log of rejections and repairs, in order. */
+    std::vector<std::string> events;
+
+    /** Files garbage-collected from the catalog directory. */
+    std::vector<std::string> removed_files;
+
+    /** One line: "generation N" or "recovered to generation N
+     *  (rejected M, removed K files)". */
+    std::string summary() const;
+};
+
 /** How shard containers are brought into memory. */
 enum class LoadMode {
     Mmap,     ///< zero-copy: columns point into the mapped file
@@ -155,16 +201,25 @@ class DatabaseCatalog
 
 // ---- directory store -------------------------------------------------
 
-/** Manifest file name inside a catalog directory. */
+/** Legacy (pre-numbered) manifest file name inside a catalog
+ *  directory. Still read as a fallback candidate; no longer
+ *  written. */
 extern const char *const kManifestFile;
+
+/** Per-generation manifest file name ("manifest.0000000007"). Each
+ *  save commits one of these; the newest fully-verified one wins on
+ *  load, so an older generation remains a durable fallback. */
+std::string manifestFileName(uint64_t generation);
 
 /**
  * Persist @p catalog under @p dir (created if missing): every shard
- * whose content-addressed file is not already present is written,
- * present files are hash-verified, and the manifest is replaced by an
- * atomic rename — a concurrent reader sees either the old or the new
- * generation, never a torn one. Shard files of older generations are
- * left in place (a serving process may still have them mapped).
+ * whose content-addressed file is not already present is written
+ * (atomically, fsynced), present files are hash-verified, and the
+ * generation's manifest is committed by one atomic rename — a
+ * concurrent reader sees either the old or the new generation, never
+ * a torn one. Shard files of older generations are left in place (a
+ * serving process may still have them mapped); only manifests older
+ * than the newest few are pruned.
  */
 void saveCatalogDir(const DatabaseCatalog &catalog,
                     const std::string &dir);
@@ -173,25 +228,36 @@ void saveCatalogDir(const DatabaseCatalog &catalog,
  * Load a catalog directory. Shard content is hash-verified against
  * the manifest (@p verify_hashes), so a spliced catalog's untouched
  * shards are provably the bytes the previous generation wrote.
+ *
+ * A bad candidate — truncated or corrupt manifest, missing or
+ * hash-mismatched shard — is *recoverable*: the loader falls back to
+ * the newest older generation that verifies fully. Pass @p report to
+ * learn what was rejected and to enable garbage collection of the
+ * rejected manifests, stray .tmp files, and unreferenced shards.
+ * Throws CatalogError only when no generation verifies at all.
  */
 std::shared_ptr<const DatabaseCatalog>
 loadCatalogDir(const std::string &dir,
                LoadMode mode = LoadMode::Mmap,
-               bool verify_hashes = true);
+               bool verify_hashes = true,
+               RecoveryReport *report = nullptr);
 
-/** Generation recorded in a directory's manifest (cheap header read;
- *  nullopt when there is no manifest). Powers `serve --watch`. */
+/** Newest generation any manifest in the directory claims (cheap
+ *  name/header scan, no verification; nullopt when there is no
+ *  manifest at all). Powers `serve --watch`. */
 std::optional<uint64_t>
 readCatalogGeneration(const std::string &dir);
 
 /**
- * Open either storage format: a directory is a v3 sharded catalog, a
- * file is a legacy v2 monolith (split per uarch via fromMonolith,
- * generation 0) or a single v3 shard file.
+ * Open either storage format: a directory is a v3 sharded catalog
+ * (with recovery semantics as loadCatalogDir), a file is a legacy v2
+ * monolith (split per uarch via fromMonolith, generation 0) or a
+ * single v3 shard file.
  */
 std::shared_ptr<const DatabaseCatalog>
 openCatalog(const std::string &path,
-            LoadMode mode = LoadMode::Mmap);
+            LoadMode mode = LoadMode::Mmap,
+            RecoveryReport *report = nullptr);
 
 /**
  * Lossless v2 -> v3 migration: load the monolith at @p snapshot_path,

@@ -15,6 +15,25 @@ namespace {
 constexpr char kMagic[8] = {'U', 'O', 'P', 'S', 'D', 'B', '\x1a', '\n'};
 constexpr uint32_t kEndianTag = 0x0A0B0C0Du;
 
+/** Load-path failures throw StoreError (a FatalError subtype) so the
+ *  catalog recovery path can reject one file without dying. */
+template <typename... Parts>
+[[noreturn]] void
+storeFail(const Parts &...parts)
+{
+    std::ostringstream os;
+    detail::formatInto(os, parts...);
+    throw StoreError(os.str());
+}
+
+template <typename... Parts>
+void
+storeCheck(bool condition, const Parts &...parts)
+{
+    if (condition)
+        storeFail(parts...);
+}
+
 size_t
 paddingFor(size_t bytes)
 {
@@ -94,7 +113,7 @@ class Reader
     {
         is_.read(static_cast<char *>(data),
                  static_cast<std::streamsize>(bytes));
-        fatalIf(static_cast<size_t>(is_.gcount()) != bytes,
+        storeCheck(static_cast<size_t>(is_.gcount()) != bytes,
                 "db snapshot: truncated file");
         if (bytes_left_)
             *bytes_left_ -= std::min<uint64_t>(*bytes_left_, bytes);
@@ -137,9 +156,9 @@ class Reader
     void
     checkSize(uint64_t n, size_t elem_bytes)
     {
-        fatalIf(n > (1ull << 32),
+        storeCheck(n > (1ull << 32),
                 "db snapshot: implausible array size ", n);
-        fatalIf(bytes_left_ && n * elem_bytes > *bytes_left_,
+        storeCheck(bytes_left_ && n * elem_bytes > *bytes_left_,
                 "db snapshot: array size ", n,
                 " exceeds remaining file bytes");
     }
@@ -176,7 +195,7 @@ class MappedReader
     void
     raw(void *out, size_t bytes)
     {
-        fatalIf(bytes > left_, "db snapshot: truncated file");
+        storeCheck(bytes > left_, "db snapshot: truncated file");
         std::memcpy(out, p_, bytes);
         advance(bytes);
     }
@@ -196,7 +215,7 @@ class MappedReader
     {
         uint64_t n = scalar<uint64_t>();
         size_t bytes = static_cast<size_t>(n) * sizeof(T);
-        fatalIf(n > (1ull << 32) || bytes > left_,
+        storeCheck(n > (1ull << 32) || bytes > left_,
                 "db snapshot: array size ", n,
                 " exceeds remaining file bytes");
         xs.bind(reinterpret_cast<const T *>(p_),
@@ -209,7 +228,7 @@ class MappedReader
     array(BytePool &s)
     {
         uint64_t n = scalar<uint64_t>();
-        fatalIf(n > (1ull << 32) || n > left_,
+        storeCheck(n > (1ull << 32) || n > left_,
                 "db snapshot: array size ", n,
                 " exceeds remaining file bytes");
         s.bind(p_, static_cast<size_t>(n));
@@ -229,7 +248,7 @@ class MappedReader
     skipPad(size_t bytes)
     {
         size_t pad = paddingFor(bytes);
-        fatalIf(pad > left_, "db snapshot: truncated file");
+        storeCheck(pad > left_, "db snapshot: truncated file");
         advance(pad);
     }
 
@@ -280,9 +299,9 @@ struct SnapshotCodec
     validate(const InstructionDatabase &db, uint64_t expected_records)
     {
         const size_t n = db.arch_.size();
-        fatalIf(n != expected_records,
+        storeCheck(n != expected_records,
                 "db snapshot: record count mismatch");
-        fatalIf(db.name_.size() != n || db.mnemonic_.size() != n ||
+        storeCheck(db.name_.size() != n || db.mnemonic_.size() != n ||
                     db.ext_.size() != n ||
                     db.port_union_.size() != n ||
                     db.uop_count_.size() != n ||
@@ -298,34 +317,34 @@ struct SnapshotCodec
                     db.lat_off_.size() != n ||
                     db.ports_n_.size() != n || db.lat_n_.size() != n,
                 "db snapshot: column length mismatch");
-        fatalIf(db.str_off_.size() != db.str_len_.size(),
+        storeCheck(db.str_off_.size() != db.str_len_.size(),
                 "db snapshot: string table mismatch");
         for (size_t i = 0; i < db.str_off_.size(); ++i)
-            fatalIf(static_cast<size_t>(db.str_off_[i]) +
+            storeCheck(static_cast<size_t>(db.str_off_[i]) +
                             db.str_len_[i] >
                         db.pool_.size(),
                     "db snapshot: string span out of bounds");
-        fatalIf(db.pu_mask_.size() != db.pu_count_.size(),
+        storeCheck(db.pu_mask_.size() != db.pu_count_.size(),
                 "db snapshot: port pool mismatch");
-        fatalIf(db.lat_src_.size() != db.lat_dst_.size() ||
+        storeCheck(db.lat_src_.size() != db.lat_dst_.size() ||
                     db.lat_src_.size() != db.lat_flags_.size() ||
                     db.lat_src_.size() != db.lat_cycles_.size() ||
                     db.lat_src_.size() != db.lat_slow_.size(),
                 "db snapshot: latency pool mismatch");
         auto check_string_ids = [&](const Column<uint32_t> &ids) {
             for (uint32_t id : ids)
-                fatalIf(id >= db.str_off_.size(),
+                storeCheck(id >= db.str_off_.size(),
                         "db snapshot: string id out of range");
         };
         check_string_ids(db.name_);
         check_string_ids(db.mnemonic_);
         check_string_ids(db.ext_);
         for (size_t row = 0; row < n; ++row) {
-            fatalIf(static_cast<size_t>(db.ports_off_[row]) +
+            storeCheck(static_cast<size_t>(db.ports_off_[row]) +
                             db.ports_n_[row] >
                         db.pu_mask_.size(),
                     "db snapshot: port span out of bounds");
-            fatalIf(static_cast<size_t>(db.lat_off_[row]) +
+            storeCheck(static_cast<size_t>(db.lat_off_[row]) +
                             db.lat_n_[row] >
                         db.lat_src_.size(),
                     "db snapshot: latency span out of bounds");
@@ -337,7 +356,7 @@ struct SnapshotCodec
     validateShardArch(const InstructionDatabase &db, uint8_t arch)
     {
         for (uint8_t a : db.arch_)
-            fatalIf(a != arch, "db shard: record uarch ",
+            storeCheck(a != arch, "db shard: record uarch ",
                     static_cast<int>(a),
                     " disagrees with shard header uarch ",
                     static_cast<int>(arch));
@@ -373,21 +392,21 @@ readHeader(Archive &ar, uint64_t &records,
 {
     char magic[8];
     ar.raw(magic, sizeof magic);
-    fatalIf(std::memcmp(magic, kMagic, sizeof magic) != 0,
+    storeCheck(std::memcmp(magic, kMagic, sizeof magic) != 0,
             "db snapshot: bad magic");
     uint32_t version = ar.template scalar<uint32_t>();
-    fatalIf(version == 1,
+    storeCheck(version == 1,
             "db snapshot: version 1 (floating-point cycle columns) is "
             "no longer supported; re-run characterize or re-ingest the "
             "results XML to produce a current snapshot");
-    fatalIf(version != kSnapshotVersion && version != kShardVersion,
+    storeCheck(version != kSnapshotVersion && version != kShardVersion,
             "db snapshot: unsupported version ", version);
     uint32_t endian = ar.template scalar<uint32_t>();
-    fatalIf(endian != kEndianTag, "db snapshot: foreign byte order");
+    storeCheck(endian != kEndianTag, "db snapshot: foreign byte order");
     records = ar.template scalar<uint64_t>();
     if (version == kShardVersion) {
         uint64_t arch = ar.template scalar<uint64_t>();
-        fatalIf(arch > 0xff, "db shard: implausible uarch id ", arch);
+        storeCheck(arch > 0xff, "db shard: implausible uarch id ", arch);
         shard_arch = static_cast<uint8_t>(arch);
     }
     return version;
@@ -401,10 +420,10 @@ loadContainer(Archive &ar, std::optional<uarch::UArch> expected)
     std::optional<uint8_t> shard_arch;
     uint32_t version = readHeader(ar, records, shard_arch);
     if (expected) {
-        fatalIf(version != kShardVersion,
+        storeCheck(version != kShardVersion,
                 "db shard: expected a version-", kShardVersion,
                 " shard, got a version-", version, " container");
-        fatalIf(*shard_arch != static_cast<uint8_t>(*expected),
+        storeCheck(*shard_arch != static_cast<uint8_t>(*expected),
                 "db shard: header uarch ",
                 uarch::uarchShortName(
                     static_cast<uarch::UArch>(*shard_arch)),
@@ -471,7 +490,7 @@ std::unique_ptr<InstructionDatabase>
 loadSnapshotFile(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
-    fatalIf(!is, "db snapshot: cannot open ", path);
+    storeCheck(!is, "db snapshot: cannot open ", path);
     return loadSnapshot(is);
 }
 

@@ -45,8 +45,23 @@
 
 #include "db/database.h"
 #include "support/mmap_file.h"
+#include "support/status.h"
 
 namespace uops::db {
+
+/**
+ * A container failed validation on load: bad magic, unsupported
+ * version, foreign endianness, truncation, or inconsistent columns.
+ * Derived from FatalError so generic handlers (and existing
+ * EXPECT_THROW(..., FatalError) tests) still work, but catchable on
+ * its own so the catalog's recovery path can treat "this file is
+ * bad" as a per-generation condition instead of a process-fatal one.
+ */
+class StoreError : public FatalError
+{
+  public:
+    explicit StoreError(const std::string &msg) : FatalError(msg) {}
+};
 
 /** Monolith (single-file, multi-uarch) container version. */
 constexpr uint32_t kSnapshotVersion = 2;

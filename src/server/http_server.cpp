@@ -80,22 +80,46 @@ HttpServer::start()
 void
 HttpServer::stop()
 {
-    if (!running_.exchange(false)) {
+    drain(std::chrono::milliseconds(options_.drain_deadline_ms));
+}
+
+bool
+HttpServer::drain(std::chrono::milliseconds max_wait)
+{
+    draining_.store(true);
+    if (running_.exchange(false)) {
+        // Unblock accept() with shutdown() only; the fd stays open
+        // until the acceptor has joined, so it can neither be reused
+        // by another thread's descriptor nor raced as a plain int
+        // (the join gives the happens-before for the close below).
+        ::shutdown(listen_fd_, SHUT_RDWR);
         if (acceptor_.joinable())
             acceptor_.join();
-        return;
-    }
-    // Unblock accept() with shutdown() only; the fd stays open until
-    // the acceptor has joined, so it can neither be reused by another
-    // thread's descriptor nor raced as a plain int (the join gives
-    // the happens-before for the close below).
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    if (acceptor_.joinable())
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    } else if (acceptor_.joinable()) {
         acceptor_.join();
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    // In-flight connection tasks drain in the pool destructor (or on
-    // the next wait()); handleConnection never throws.
+    }
+
+    std::unique_lock<std::mutex> lock(conn_mutex_);
+    bool clean = conn_cv_.wait_for(
+        lock, max_wait, [this] { return connections_.empty(); });
+    if (!clean) {
+        // Deadline passed: kill the remaining sockets. Their workers'
+        // next recv/send fails immediately, so the tasks finish; the
+        // clients see a reset, not a silently truncated success.
+        for (int fd : connections_)
+            ::shutdown(fd, SHUT_RDWR);
+        conn_cv_.wait(lock, [this] { return connections_.empty(); });
+    }
+    return clean;
+}
+
+size_t
+HttpServer::activeConnections() const
+{
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    return connections_.size();
 }
 
 void
@@ -115,13 +139,28 @@ HttpServer::acceptLoop()
             ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
             ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
         }
+        {
+            std::lock_guard<std::mutex> lock(conn_mutex_);
+            if (draining_.load()) {
+                // Raced a concurrent drain(): refuse instead of
+                // starting work the drain will never see finish.
+                ::close(fd);
+                continue;
+            }
+            connections_.insert(fd);
+        }
         pool_.submit([this, fd](size_t) { handleConnection(fd); });
     }
 }
 
 namespace {
 
-void
+/** Send the whole buffer. False when the peer went away or stalled
+ *  past the send timeout — the connection is no longer usable and
+ *  the caller must close it (a partial response was already put on
+ *  the wire; serving another request on this stream would corrupt
+ *  the framing). */
+[[nodiscard]] bool
 sendAll(int fd, const std::string &bytes)
 {
     size_t sent = 0;
@@ -129,15 +168,35 @@ sendAll(int fd, const std::string &bytes)
         ssize_t n = ::send(fd, bytes.data() + sent,
                            bytes.size() - sent, MSG_NOSIGNAL);
         if (n <= 0)
-            return;   // peer went away; nothing to do
+            return false;   // peer gone or SO_SNDTIMEO expired
         sent += static_cast<size_t>(n);
     }
+    return true;
 }
 
 } // namespace
 
 void
 HttpServer::handleConnection(int fd)
+{
+    serveConnection(fd);
+    {
+        // Notify under the lock: drain() may destroy this object the
+        // moment it observes connections_ empty, and it cannot take
+        // the mutex until this block exits — which orders the notify
+        // (and everything else this thread does to the registry)
+        // before the condition variable's destruction. The erase also
+        // stays ordered before close(), so drain's force-shutdown()
+        // can never hit a recycled descriptor.
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        connections_.erase(fd);
+        conn_cv_.notify_all();
+    }
+    ::close(fd);
+}
+
+void
+HttpServer::serveConnection(int fd)
 {
     try {
         std::string buffer;
@@ -171,7 +230,6 @@ HttpServer::handleConnection(int fd)
                 if (n <= 0) {
                     // Clean end between requests, peer loss mid-head,
                     // or an idle keep-alive hitting the recv timeout.
-                    ::close(fd);
                     return;
                 }
                 if (idle_wait) {
@@ -180,9 +238,9 @@ HttpServer::handleConnection(int fd)
                 }
                 buffer.append(chunk, static_cast<size_t>(n));
                 if (buffer.size() > options_.max_request_bytes) {
-                    sendAll(fd, serializeResponse(errorResponse(
-                                    413, "request too large")));
-                    ::close(fd);
+                    (void)sendAll(fd,
+                                  serializeResponse(errorResponse(
+                                      413, "request too large")));
                     return;
                 }
                 head_end = findHeaderEnd(buffer);
@@ -192,9 +250,8 @@ HttpServer::handleConnection(int fd)
             try {
                 request = parseRequestHead(buffer.substr(0, *head_end));
             } catch (const std::exception &e) {
-                sendAll(fd, serializeResponse(
-                                errorResponse(400, e.what())));
-                ::close(fd);
+                (void)sendAll(fd, serializeResponse(
+                                  errorResponse(400, e.what())));
                 return;
             }
 
@@ -202,15 +259,14 @@ HttpServer::handleConnection(int fd)
             try {
                 body_bytes = contentLength(request);
             } catch (const std::exception &e) {
-                sendAll(fd, serializeResponse(
-                                errorResponse(400, e.what())));
-                ::close(fd);
+                (void)sendAll(fd, serializeResponse(
+                                  errorResponse(400, e.what())));
                 return;
             }
             if (body_bytes > options_.max_request_bytes) {
-                sendAll(fd, serializeResponse(
-                                errorResponse(413, "body too large")));
-                ::close(fd);
+                (void)sendAll(fd,
+                              serializeResponse(errorResponse(
+                                  413, "body too large")));
                 return;
             }
             while (buffer.size() - *head_end < body_bytes) {
@@ -229,18 +285,19 @@ HttpServer::handleConnection(int fd)
 
             bool keep_alive =
                 body_complete && wantsKeepAlive(request) &&
+                !draining_.load() &&
                 served + 1 < options_.max_requests_per_connection;
             HttpResponse response = service_.handle(request);
-            sendAll(fd, serializeResponse(response, keep_alive));
+            if (!sendAll(fd, serializeResponse(response, keep_alive)))
+                return;   // peer gone or stalled past SO_SNDTIMEO
             if (!keep_alive)
                 break;
         }
     } catch (...) {
         // Connection handling must never propagate into the pool.
-        sendAll(fd, serializeResponse(
-                        errorResponse(500, "internal error")));
+        (void)sendAll(fd, serializeResponse(
+                          errorResponse(500, "internal error")));
     }
-    ::close(fd);
 }
 
 } // namespace uops::server

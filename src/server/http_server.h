@@ -24,7 +24,11 @@
 #define UOPS_SERVER_HTTP_SERVER_H
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -57,6 +61,10 @@ class HttpServer
          *  opportunity cost, so idle keep-alive clients are shed
          *  quickly instead of pinning pool workers. */
         int keep_alive_idle_seconds = 1;
+
+        /** How long stop()/drain() waits for in-flight connections
+         *  to finish before forcibly shutting their sockets down. */
+        int drain_deadline_ms = 5000;
     };
 
     HttpServer(QueryService &service, Options options);
@@ -77,10 +85,29 @@ class HttpServer
      */
     void start();
 
-    /** Stop accepting, close the listener, join the acceptor. */
+    /** Graceful stop: drain(options.drain_deadline_ms), idempotent. */
     void stop();
 
+    /**
+     * Graceful drain. Stops accepting (new connections are refused,
+     * keep-alive is no longer offered), waits up to @p max_wait for
+     * in-flight connections to finish — every response already being
+     * computed is sent whole — then forcibly shuts down whatever
+     * remains and waits for their workers to return.
+     *
+     * @return true when every connection finished within the
+     *         deadline (no socket had to be shut down mid-request).
+     */
+    bool drain(std::chrono::milliseconds max_wait);
+
     bool running() const { return running_.load(); }
+
+    /** True once stop()/drain() began: no new connections, no
+     *  keep-alive. */
+    bool draining() const { return draining_.load(); }
+
+    /** Connections currently registered (accepted, not yet closed). */
+    size_t activeConnections() const;
 
     /** Actual bound port (valid after start()). */
     uint16_t port() const { return port_; }
@@ -88,14 +115,24 @@ class HttpServer
   private:
     void acceptLoop();
     void handleConnection(int fd);
+    void serveConnection(int fd);
 
     QueryService &service_;
     Options options_;
     ThreadPool pool_;
     std::thread acceptor_;
     std::atomic<bool> running_{false};
+    std::atomic<bool> draining_{false};
     int listen_fd_ = -1;
     uint16_t port_ = 0;
+
+    /** Open connection fds. Discipline: an fd is inserted before its
+     *  pool task is submitted and erased *before* it is closed, so
+     *  drain()'s force-shutdown (under the same mutex) can never
+     *  touch a closed — possibly reused — descriptor. */
+    mutable std::mutex conn_mutex_;
+    std::set<int> connections_;
+    std::condition_variable conn_cv_;
 };
 
 } // namespace uops::server

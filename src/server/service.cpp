@@ -175,23 +175,49 @@ QueryService::setReloader(Reloader reloader)
     reloader_ = std::move(reloader);
 }
 
+void
+QueryService::setReloader(std::function<CatalogPtr()> reloader)
+{
+    setReloader([inner = std::move(reloader)](db::RecoveryReport &) {
+        return inner();
+    });
+}
+
 QueryService::StatePtr
-QueryService::reloadState()
+QueryService::reloadState(db::RecoveryReport &report)
 {
     // One reload at a time: concurrent /reload requests (or a --watch
     // tick racing a manual reload) serialize here, each installing a
     // complete generation.
     std::lock_guard<std::mutex> lock(reload_mutex_);
     fatalIf(!reloader_, "reload: no reload source configured");
-    CatalogPtr next = reloader_();
-    fatalIf(next == nullptr, "reload: reloader produced no catalog");
+    CatalogPtr next;
+    try {
+        next = reloader_(report);
+        fatalIf(next == nullptr,
+                "reload: reloader produced no catalog");
+    } catch (...) {
+        // The old generation keeps serving: a rejected reload is an
+        // operational event, not an outage.
+        reload_rejections_.fetch_add(1, std::memory_order_relaxed);
+        throw;
+    }
+    if (report.recovered)
+        recoveries_.fetch_add(1, std::memory_order_relaxed);
+    recovery_events_.fetch_add(report.events.size(),
+                               std::memory_order_relaxed);
+    verification_failures_.fetch_add(
+        report.rejected_generations.size(),
+        std::memory_order_relaxed);
+    reloads_.fetch_add(1, std::memory_order_relaxed);
     return installCatalog(std::move(next));
 }
 
 uint64_t
 QueryService::reload()
 {
-    return reloadState()->epoch;
+    db::RecoveryReport report;
+    return reloadState(report)->epoch;
 }
 
 Endpoint
@@ -692,12 +718,28 @@ HttpResponse
 QueryService::handleReload(const HttpRequest &)
 {
     StatePtr installed;
+    db::RecoveryReport report;
     try {
-        installed = reloadState();
+        installed = reloadState(report);
     } catch (const std::exception &e) {
         // Configuration problems (no reloader) and reload failures
         // are the server's fault, not the client's: uniformly 503.
-        return errorResponse(503, e.what());
+        // The body names the generation that *keeps* serving so an
+        // operator reading the rejection knows the blast radius is
+        // zero — fail-operational, not fail-stop.
+        StatePtr current = state();
+        JsonWriter json;
+        json.beginObject();
+        json.member("error", std::string_view(e.what()));
+        json.member("status", 503);
+        json.member("reason", "reload_rejected");
+        json.member("serving_generation",
+                    current->catalog->generation());
+        json.member("serving_epoch", current->epoch);
+        json.endObject();
+        HttpResponse response = jsonResponse(std::move(json).str());
+        response.status = 503;
+        return response;
     }
 
     // Render from the state *this* reload installed — a racing
@@ -713,6 +755,22 @@ QueryService::handleReload(const HttpRequest &)
     for (uarch::UArch arch : installed->catalog->uarches())
         json.value(std::string_view(uarch::uarchShortName(arch)));
     json.endArray();
+    if (report.recovered || !report.events.empty()) {
+        json.key("recovery").beginObject();
+        json.member("recovered", report.recovered);
+        json.member("rejected_generations",
+                    report.rejected_generations.size());
+        json.key("events").beginArray();
+        size_t shown = 0;
+        for (const std::string &event : report.events) {
+            if (++shown > 16)
+                break;
+            json.value(std::string_view(event));
+        }
+        json.endArray();
+        json.member("summary", std::string_view(report.summary()));
+        json.endObject();
+    }
     json.endObject();
     return jsonResponse(std::move(json).str());
 }
@@ -752,6 +810,20 @@ QueryService::handleStats(const ServingState &state)
     };
     cache_section("cache", cache_.stats());
     cache_section("kernel_memo", kernel_memo_.stats());
+
+    json.key("reload").beginObject();
+    json.member("reloads",
+                reloads_.load(std::memory_order_relaxed));
+    json.member("rejections",
+                reload_rejections_.load(std::memory_order_relaxed));
+    json.member("recoveries",
+                recoveries_.load(std::memory_order_relaxed));
+    json.member("recovery_events",
+                recovery_events_.load(std::memory_order_relaxed));
+    json.member(
+        "verification_failures",
+        verification_failures_.load(std::memory_order_relaxed));
+    json.endObject();
 
     PredictEngine::Stats engine = engine_.stats();
     const PredictAdmission &admission = options_.admission;

@@ -120,8 +120,12 @@ class QueryService
     /** Produces the next catalog generation for /reload (typically:
      *  re-open the catalog directory). Runs on a request thread,
      *  serialized across concurrent reloads; any exception maps to a
-     *  503 response and the current generation keeps serving. */
-    using Reloader = std::function<CatalogPtr()>;
+     *  structured 503 response and the current generation keeps
+     *  serving — a corrupt store can reject a reload, never take
+     *  down what is already being served. The reloader fills
+     *  @p report when it had to fall back past a bad generation;
+     *  the service folds it into /stats and the /reload body. */
+    using Reloader = std::function<CatalogPtr(db::RecoveryReport &)>;
 
     struct Options
     {
@@ -185,6 +189,10 @@ class QueryService
     /** Configure the /reload source. */
     void setReloader(Reloader reloader);
 
+    /** Convenience for reloaders that never recover (in-memory
+     *  swaps, tests): wraps @p reloader to ignore the report. */
+    void setReloader(std::function<CatalogPtr()> reloader);
+
     /** Run the reloader and swap (what POST /reload does). Returns
      *  the new epoch. Throws when no reloader is configured or the
      *  reloader fails. */
@@ -232,7 +240,7 @@ class QueryService
 
     StatePtr state() const;
     StatePtr installCatalog(CatalogPtr next);
-    StatePtr reloadState();
+    StatePtr reloadState(db::RecoveryReport &report);
 
     Endpoint route(const HttpRequest &request) const;
     HttpResponse dispatch(Endpoint endpoint,
@@ -266,6 +274,13 @@ class QueryService
     std::atomic<uint64_t> rejected_oversize_{0};  ///< 413
     std::atomic<uint64_t> rejected_budget_{0};    ///< 429 (cycles)
     std::atomic<uint64_t> rejected_busy_{0};      ///< 429 (queue)
+
+    /** Reload/recovery health (reported under /stats "reload"). */
+    std::atomic<uint64_t> reloads_{0};            ///< swaps installed
+    std::atomic<uint64_t> reload_rejections_{0};  ///< 503s served
+    std::atomic<uint64_t> recoveries_{0};         ///< fell back a gen
+    std::atomic<uint64_t> recovery_events_{0};    ///< report events
+    std::atomic<uint64_t> verification_failures_{0};  ///< bad gens
 
     mutable std::mutex state_mutex_;
     StatePtr state_;

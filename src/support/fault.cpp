@@ -1,0 +1,173 @@
+#include "fault.h"
+
+#include <cstdlib>
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace uops {
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+FaultInjector::FaultInjector()
+{
+    if (const char *env = std::getenv("UOPS_FAULTS"))
+        armFromList(env);
+}
+
+void
+FaultInjector::arm(const std::string &site, FaultSpec spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_[site].armed = Armed{spec, false};
+    updateActiveLocked();
+}
+
+void
+FaultInjector::disarm(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it != sites_.end())
+        it->second.armed.reset();
+    updateActiveLocked();
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_.clear();
+    trace_order_.clear();
+    tracing_ = false;
+    updateActiveLocked();
+}
+
+void
+FaultInjector::setTracing(bool on)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    tracing_ = on;
+    updateActiveLocked();
+}
+
+uint64_t
+FaultInjector::hits(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+FaultInjector::tracedSites() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(trace_order_.size());
+    for (const std::string &site : trace_order_) {
+        auto it = sites_.find(site);
+        out.emplace_back(site,
+                         it == sites_.end() ? 0 : it->second.hits);
+    }
+    return out;
+}
+
+size_t
+FaultInjector::armedCountLocked() const
+{
+    size_t n = 0;
+    for (const auto &[site, state] : sites_)
+        if (state.armed)
+            ++n;
+    return n;
+}
+
+void
+FaultInjector::updateActiveLocked()
+{
+    uint64_t active = armedCountLocked();
+    if (tracing_)
+        active |= uint64_t{1} << 32;
+    active_.store(active, std::memory_order_relaxed);
+}
+
+std::optional<FaultSpec>
+FaultInjector::poll(std::string_view site)
+{
+    // The production fast path: nothing armed, no tracing — one
+    // relaxed load and out, no lock, no allocation.
+    if (active_.load(std::memory_order_relaxed) == 0)
+        return std::nullopt;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+        if (!tracing_ && armedCountLocked() == 0)
+            return std::nullopt;   // raced a reset
+        it = sites_.emplace(std::string(site), SiteState{}).first;
+    }
+    SiteState &state = it->second;
+    if (state.hits == 0)
+        trace_order_.push_back(it->first);
+    ++state.hits;
+
+    if (!state.armed)
+        return std::nullopt;
+    Armed &armed = *state.armed;
+    bool fires = armed.spec.always
+                     ? state.hits >= armed.spec.on_hit
+                     : !armed.fired && state.hits == armed.spec.on_hit;
+    if (!fires)
+        return std::nullopt;
+    armed.fired = true;
+    return armed.spec;
+}
+
+FaultSpec
+FaultInjector::parseSpec(std::string_view text)
+{
+    FaultSpec spec;
+    std::string s(text);
+    while (!s.empty() && (s.back() == '*' || s.back() == '~')) {
+        if (s.back() == '*')
+            spec.always = true;
+        else
+            spec.partial = true;
+        s.pop_back();
+    }
+    if (size_t at = s.find('@'); at != std::string::npos) {
+        auto hit = parseInt(s.substr(at + 1));
+        fatalIf(!hit || *hit < 1, "fault spec '", text,
+                "': @HIT must be a positive integer");
+        spec.on_hit = static_cast<uint64_t>(*hit);
+        s.resize(at);
+    }
+    if (s == "error")
+        spec.action = FaultSpec::Action::Error;
+    else if (s == "crash")
+        spec.action = FaultSpec::Action::Crash;
+    else
+        fatal("fault spec '", text,
+              "': action must be 'error' or 'crash'");
+    return spec;
+}
+
+void
+FaultInjector::armFromList(std::string_view list)
+{
+    for (const std::string &item : split(list, ',')) {
+        size_t eq = item.find('=');
+        fatalIf(eq == std::string::npos || eq == 0,
+                "fault list entry '", item,
+                "': expected SITE=SPEC");
+        arm(item.substr(0, eq), parseSpec(item.substr(eq + 1)));
+    }
+}
+
+} // namespace uops

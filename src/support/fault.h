@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Scriptable fault injection for the storage and serving stack.
+ *
+ * Every step of a catalog commit (open, write, fsync, rename, dir
+ * fsync, mmap) passes through a named *failpoint site*. A test — or
+ * the UOPS_FAULTS environment variable — arms a site with a fault
+ * spec, and the next time execution reaches it the site fires:
+ * either an injected I/O error (indistinguishable to callers from a
+ * real syscall failure) or an InjectedCrash, which simulates the
+ * process dying at exactly that point — whatever bytes the preceding
+ * steps put on disk stay there, and nothing after the site runs.
+ * That is what lets the crash-matrix test drive one catalog commit
+ * through every site, "kill" it there, and assert that recovery
+ * always reopens a consistent generation.
+ *
+ * Sites are plain strings ("catalog.manifest.rename"); they need no
+ * registration. The injector counts hits per site whenever tracing
+ * is enabled or any fault is armed, so a test can first trace a
+ * clean run to enumerate the sites (and how often each is hit), then
+ * replay with a crash armed at each (site, occurrence) pair. The
+ * unarmed fast path is a single relaxed atomic load — production
+ * binaries keep the checks compiled in at negligible cost, which is
+ * also what makes UOPS_FAULTS usable against the real CLI in CI.
+ */
+
+#ifndef UOPS_SUPPORT_FAULT_H
+#define UOPS_SUPPORT_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace uops {
+
+/**
+ * Thrown to simulate the process dying at a failpoint. Deliberately
+ * NOT derived from FatalError: no recovery, retry, or "degrade
+ * gracefully" path may swallow a simulated kill — only the test
+ * harness that armed it catches it.
+ */
+class InjectedCrash : public std::runtime_error
+{
+  public:
+    explicit InjectedCrash(const std::string &site)
+        : std::runtime_error("injected crash at failpoint '" + site +
+                             "'"),
+          site_(site)
+    {
+    }
+
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+/** What an armed failpoint does when it fires. */
+struct FaultSpec
+{
+    enum class Action : uint8_t {
+        Error,   ///< the I/O step fails (an IoError for the caller)
+        Crash,   ///< the process "dies" here (InjectedCrash)
+    };
+
+    Action action = Action::Error;
+
+    /** Fire on the Nth hit of the site (1-based). */
+    uint64_t on_hit = 1;
+
+    /** Keep firing on every hit >= on_hit instead of disarming after
+     *  the first firing. */
+    bool always = false;
+
+    /** For write sites: put a prefix of the payload on disk before
+     *  firing — a torn write, not a clean no-op. */
+    bool partial = false;
+};
+
+class FaultInjector
+{
+  public:
+    /** The process-wide injector. Arms itself from UOPS_FAULTS on
+     *  first use (see parseSpec for the grammar). */
+    static FaultInjector &instance();
+
+    /** Arm @p site; replaces any previous spec for it. */
+    void arm(const std::string &site, FaultSpec spec);
+
+    void disarm(const std::string &site);
+
+    /** Disarm everything and clear all hit counters and traces. */
+    void reset();
+
+    /** Record hits at every site, armed or not (for enumerating the
+     *  sites a code path passes through). */
+    void setTracing(bool on);
+
+    uint64_t hits(const std::string &site) const;
+
+    /** Sites hit since reset, in first-hit order, with counts. */
+    std::vector<std::pair<std::string, uint64_t>> tracedSites() const;
+
+    /**
+     * The per-site check. Counts the hit and returns the spec when
+     * the site fires on this hit (the *caller* performs the action:
+     * plain sites throw, write sites may tear the write first).
+     * Returns nullopt — without taking any lock — when nothing is
+     * armed and tracing is off.
+     */
+    std::optional<FaultSpec> poll(std::string_view site);
+
+    /**
+     * Parse one spec: "ACTION[@HIT][*][~]" where ACTION is "error" or
+     * "crash", @HIT fires on the Nth hit (default 1), '*' keeps the
+     * site firing on every later hit, and '~' tears the write first
+     * (write sites only). Throws FatalError on bad input.
+     */
+    static FaultSpec parseSpec(std::string_view text);
+
+    /** Arm from an environment-style list:
+     *  "site=crash,other.site=error@3*". Empty input is a no-op. */
+    void armFromList(std::string_view list);
+
+  private:
+    FaultInjector();
+
+    struct Armed
+    {
+        FaultSpec spec;
+        bool fired = false;
+    };
+
+    struct SiteState
+    {
+        uint64_t hits = 0;
+        std::optional<Armed> armed;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, SiteState, std::less<>> sites_;
+    std::vector<std::string> trace_order_;
+
+    /** armed-site count plus the tracing flag in bit 32: one relaxed
+     *  load decides whether poll() may return early. */
+    std::atomic<uint64_t> active_{0};
+
+    void updateActiveLocked();
+    size_t armedCountLocked() const;
+    bool tracing_ = false;
+};
+
+} // namespace uops
+
+#endif // UOPS_SUPPORT_FAULT_H

@@ -1,0 +1,194 @@
+#include "io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/fault.h"
+
+namespace uops {
+namespace {
+
+/** Check the failpoint @p site; throw the armed action if it fires.
+ *  Returns the spec for write sites that want the partial flag. */
+std::optional<FaultSpec>
+checkpoint(const std::string &site)
+{
+    auto spec = FaultInjector::instance().poll(site);
+    if (!spec)
+        return std::nullopt;
+    if (spec->action == FaultSpec::Action::Crash && !spec->partial)
+        throw InjectedCrash(site);
+    if (spec->action == FaultSpec::Action::Error && !spec->partial)
+        throw IoError("injected I/O error at '" + site + "'");
+    return spec;   // partial: the caller tears the write, then acts
+}
+
+[[noreturn]] void
+fireAfterPartial(const std::string &site, const FaultSpec &spec)
+{
+    if (spec.action == FaultSpec::Action::Crash)
+        throw InjectedCrash(site);
+    throw IoError("injected I/O error at '" + site + "'");
+}
+
+void
+writeAll(int fd, const char *data, size_t len, const std::string &what)
+{
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::write(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            throw IoError("write " + what + ": " + std::strerror(err));
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+std::string
+parentDir(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/** Close @p fd on scope exit unless released — keeps the error paths
+ *  below from leaking descriptors without hiding writes in a flushing
+ *  destructor (close(2) never writes buffered data; there is none). */
+struct FdGuard
+{
+    int fd;
+    ~FdGuard()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+    int release()
+    {
+        int f = fd;
+        fd = -1;
+        return f;
+    }
+};
+
+} // namespace
+
+void
+writeFileAtomic(const std::string &path, std::string_view bytes,
+                const std::string &site_prefix)
+{
+    const std::string tmp = path + ".tmp";
+
+    checkpoint(site_prefix + ".open");
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        int err = errno;
+        throw IoError("open " + tmp + ": " + std::strerror(err));
+    }
+    FdGuard guard{fd};
+
+    // The write site supports torn writes: with the partial flag a
+    // prefix of the payload reaches the tmp file before the fault
+    // fires, modelling a crash mid-write.
+    if (auto spec = checkpoint(site_prefix + ".write")) {
+        writeAll(fd, bytes.data(), bytes.size() / 2, tmp);
+        fireAfterPartial(site_prefix + ".write", *spec);
+    }
+    writeAll(fd, bytes.data(), bytes.size(), tmp);
+
+    checkpoint(site_prefix + ".fsync");
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        throw IoError("fsync " + tmp + ": " + std::strerror(err));
+    }
+    if (::close(guard.release()) != 0) {
+        int err = errno;
+        throw IoError("close " + tmp + ": " + std::strerror(err));
+    }
+
+    // COMMIT POINT. Until this rename returns, readers of `path` see
+    // the old content (or nothing); after it, the new content — whose
+    // bytes the fsync above already made durable.
+    checkpoint(site_prefix + ".rename");
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        throw IoError("rename " + tmp + " -> " + path + ": " +
+                      std::strerror(err));
+    }
+
+    // Make the rename itself (the directory entry) durable. A crash
+    // between the rename and this fsync can lose the *rename* but
+    // never produce a half-written file under the final name.
+    fsyncDir(parentDir(path), site_prefix);
+}
+
+std::string
+readFileBytes(const std::string &path, const std::string &site_prefix)
+{
+    checkpoint(site_prefix + ".read");
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        int err = errno;
+        throw IoError("open " + path + ": " + std::strerror(err));
+    }
+    FdGuard guard{fd};
+
+    std::string out;
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0)
+        out.reserve(static_cast<size_t>(st.st_size));
+
+    char buf[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            throw IoError("read " + path + ": " + std::strerror(err));
+        }
+        if (n == 0)
+            break;
+        out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+}
+
+void
+fsyncDir(const std::string &dir, const std::string &site_prefix)
+{
+    checkpoint(site_prefix + ".dir_fsync");
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        int err = errno;
+        throw IoError("open dir " + dir + ": " + std::strerror(err));
+    }
+    FdGuard guard{fd};
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        throw IoError("fsync dir " + dir + ": " + std::strerror(err));
+    }
+}
+
+bool
+removeFile(const std::string &path)
+{
+    if (::unlink(path.c_str()) == 0)
+        return true;
+    if (errno == ENOENT)
+        return false;
+    int err = errno;
+    throw IoError("unlink " + path + ": " + std::strerror(err));
+}
+
+} // namespace uops

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Low-level file I/O seam for the storage layer.
+ *
+ * Every byte the catalog puts on disk goes through these helpers, and
+ * every step inside them (open, write, fsync, rename, directory
+ * fsync) is a named failpoint (support/fault.h). That gives tests a
+ * single choke point to kill or error any stage of a commit, and
+ * gives production exactly one place where the crash-consistency
+ * protocol is implemented — not one ofstream here and one rename
+ * there.
+ *
+ * The helpers use raw POSIX calls, not iostreams, deliberately: when
+ * an injected crash unwinds through here there must be no RAII
+ * destructor that flushes buffered bytes behind the simulated point
+ * of death.
+ */
+
+#ifndef UOPS_SUPPORT_IO_H
+#define UOPS_SUPPORT_IO_H
+
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+
+namespace uops {
+
+/** A filesystem operation failed (real errno or injected fault).
+ *  Derived from FatalError so existing catch-and-report paths and
+ *  EXPECT_THROW(..., FatalError) tests keep working. */
+class IoError : public FatalError
+{
+  public:
+    explicit IoError(const std::string &msg) : FatalError(msg) {}
+};
+
+/**
+ * Write @p bytes to @p path atomically and durably.
+ *
+ * Protocol (each step a failpoint named "<site_prefix>.<step>"):
+ *
+ *   1. open    — create "<path>.tmp" (O_TRUNC);
+ *   2. write   — write all bytes to the tmp file;
+ *   3. fsync   — fsync the tmp file, then close it;
+ *   4. rename  — rename tmp over @p path. *** COMMIT POINT: before
+ *                this rename a crash leaves @p path untouched (at
+ *                most a stray .tmp for GC); after it, the new
+ *                content is the file's content, and step 3 already
+ *                made those bytes durable;
+ *   5. dir_fsync — fsync the parent directory so the rename itself
+ *                (the directory entry) survives power loss.
+ *
+ * On failure (real or injected) throws IoError; any .tmp left behind
+ * is the garbage collector's problem, never the reader's, because
+ * readers only ever open the final name.
+ */
+void writeFileAtomic(const std::string &path, std::string_view bytes,
+                     const std::string &site_prefix = "io");
+
+/** Read an entire file. Failpoint "<site_prefix>.read". Throws
+ *  IoError if the file cannot be opened or read. */
+std::string readFileBytes(const std::string &path,
+                          const std::string &site_prefix = "io");
+
+/** fsync a directory so entry creations/renames inside it are
+ *  durable. Failpoint "<site_prefix>.dir_fsync". */
+void fsyncDir(const std::string &dir,
+              const std::string &site_prefix = "io");
+
+/** Remove a file, ignoring ENOENT. Returns true if it existed and
+ *  was removed. Throws IoError on any other failure. */
+bool removeFile(const std::string &path);
+
+} // namespace uops
+
+#endif // UOPS_SUPPORT_IO_H

@@ -8,12 +8,33 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "support/fault.h"
 #include "support/status.h"
 
 namespace uops {
+namespace {
+
+[[noreturn]] void
+fireFault(const std::string &site, const FaultSpec &spec,
+          const std::string &path)
+{
+    if (spec.action == FaultSpec::Action::Crash)
+        throw InjectedCrash(site);
+    fatal("injected I/O error at '", site, "' (", path, ")");
+}
+
+void
+checkpoint(const std::string &site, const std::string &path)
+{
+    if (auto spec = FaultInjector::instance().poll(site))
+        fireFault(site, *spec, path);
+}
+
+} // namespace
 
 MappedFile::MappedFile(const std::string &path) : path_(path)
 {
+    checkpoint("mmap.open", path);
     int fd = ::open(path.c_str(), O_RDONLY);
     fatalIf(fd < 0, "mmap: cannot open ", path, ": ",
             std::strerror(errno));
@@ -30,6 +51,10 @@ MappedFile::MappedFile(const std::string &path) : path_(path)
         return;
     }
 
+    if (auto spec = FaultInjector::instance().poll("mmap.map")) {
+        ::close(fd);
+        fireFault("mmap.map", *spec, path);
+    }
     // MAP_PRIVATE: the mapping is a stable snapshot of the pages we
     // touch; the store never rewrites a shard file in place (shard
     // names are content-addressed), so the bytes cannot shift under a

@@ -10,7 +10,10 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -1015,6 +1018,266 @@ TEST(HttpServerSocket, MalformedRequestGets400)
     EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
 
     http.stop();
+}
+
+// ---------------------------------------------------------------------
+// Fail-operational reload: a corrupt on-disk catalog rejects the
+// reload with a structured 503 while the pinned generation keeps
+// serving byte-identical answers.
+// ---------------------------------------------------------------------
+
+/** Fresh, empty temp directory for one test. */
+std::string
+freshDir(const std::string &name)
+{
+    auto path = std::filesystem::temp_directory_path() /
+                ("uops_server_test_" + name);
+    std::filesystem::remove_all(path);
+    return path.string();
+}
+
+void
+overwriteFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(static_cast<bool>(os)) << path;
+}
+
+HttpRequest
+postReload()
+{
+    HttpRequest post;
+    post.method = "POST";
+    post.target = "/reload";
+    post.path = "/reload";
+    return post;
+}
+
+TEST(ServiceReload, CorruptCatalogKeepsOldGenerationWith503)
+{
+    const std::string dir = freshDir("corrupt_reload");
+    db::saveCatalogDir(*sliceCatalog(), dir);
+
+    auto service = makeService();
+    service->setReloader([dir](db::RecoveryReport &report) {
+        return db::openCatalog(dir, db::LoadMode::Mmap, &report);
+    });
+
+    // Capture answers from the pinned generation, then break every
+    // on-disk generation (a single manifest with a bad magic).
+    const std::string instr_before =
+        service->handle(get("/instr/ADD_R64_R64")).body;
+    uint64_t epoch_before = service->epoch();
+    overwriteFile(dir + "/" + db::manifestFileName(1),
+                  "not a manifest");
+
+    HttpResponse response = service->handle(postReload());
+    EXPECT_EQ(response.status, 503) << response.body;
+    EXPECT_NE(response.body.find("\"reason\":\"reload_rejected\""),
+              std::string::npos)
+        << response.body;
+    EXPECT_NE(response.body.find("\"serving_generation\":1"),
+              std::string::npos)
+        << response.body;
+
+    // Fail-operational: nothing swapped, answers byte-identical.
+    EXPECT_EQ(service->epoch(), epoch_before);
+    EXPECT_EQ(service->handle(get("/instr/ADD_R64_R64")).body,
+              instr_before);
+
+    // The rejection is visible in /stats.
+    std::string stats = service->handle(get("/stats")).body;
+    EXPECT_NE(stats.find("\"reload\":{"), std::string::npos);
+    EXPECT_NE(stats.find("\"rejections\":1"), std::string::npos)
+        << stats;
+
+    // Repairing the store makes the next reload succeed.
+    db::saveCatalogDir(*sliceCatalog(), dir);
+    EXPECT_EQ(service->handle(postReload()).status, 200);
+    EXPECT_EQ(service->epoch(), epoch_before + 1);
+}
+
+TEST(ServiceReload, RecoveredReloadReportsTheFallback)
+{
+    const std::string dir = freshDir("recovered_reload");
+    db::saveCatalogDir(*sliceCatalog(), dir);
+    // Publish generation 2 (same shards), then corrupt its
+    // manifest's stored shard hash so verification rejects it.
+    auto gen2 = db::DatabaseCatalog::splice(*sliceCatalog(), {});
+    db::saveCatalogDir(*gen2, dir);
+    const std::string newest = dir + "/" + db::manifestFileName(2);
+    std::string bytes;
+    {
+        std::ifstream is(newest, std::ios::binary);
+        std::ostringstream os;
+        os << is.rdbuf();
+        bytes = std::move(os).str();
+    }
+    ASSERT_GT(bytes.size(), 48u);
+    bytes[40] = static_cast<char>(bytes[40] ^ 0xff);
+    overwriteFile(newest, bytes);
+
+    auto service = makeService();
+    service->setReloader([dir](db::RecoveryReport &report) {
+        return db::openCatalog(dir, db::LoadMode::Mmap, &report);
+    });
+
+    HttpResponse response = service->handle(postReload());
+    EXPECT_EQ(response.status, 200) << response.body;
+    EXPECT_NE(response.body.find("\"recovery\":{"),
+              std::string::npos)
+        << response.body;
+    EXPECT_NE(response.body.find("\"recovered\":true"),
+              std::string::npos)
+        << response.body;
+    EXPECT_EQ(service->catalog()->generation(), 1u);
+
+    std::string stats = service->handle(get("/stats")).body;
+    EXPECT_NE(stats.find("\"recoveries\":1"), std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find("\"verification_failures\":1"),
+              std::string::npos)
+        << stats;
+}
+
+// ---------------------------------------------------------------------
+// Graceful drain and slow clients.
+// ---------------------------------------------------------------------
+
+/** True when @p wire holds a complete Content-Length-framed
+ *  response (header terminator present, full body received). */
+bool
+completeResponse(const std::string &wire)
+{
+    size_t head_end = wire.find("\r\n\r\n");
+    if (head_end == std::string::npos)
+        return false;
+    size_t cl = wire.find("Content-Length: ");
+    if (cl == std::string::npos || cl > head_end)
+        return false;
+    size_t body_bytes = static_cast<size_t>(
+        std::strtoul(wire.c_str() + cl + 16, nullptr, 10));
+    return wire.size() == head_end + 4 + body_bytes;
+}
+
+TEST(HttpServerDrain, DrainUnderLoadSendsEveryResponseWhole)
+{
+    auto service = makeService();
+    server::HttpServer::Options options;
+    options.num_threads = 4;
+    server::HttpServer http(*service, options);
+    http.start();
+
+    // Clients hammer until the listener goes away. Every response
+    // that starts must arrive whole — a refused or never-accepted
+    // connection (empty wire) is fine, a truncated body is not.
+    std::atomic<size_t> complete{0};
+    std::atomic<size_t> truncated{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+        clients.emplace_back([&, t] {
+            const std::string target =
+                t % 2 == 0 ? "/search?uses=p0&limit=5" : "/healthz";
+            while (true) {
+                int fd = connectTo(http.port());
+                if (fd < 0)
+                    return;   // drain closed the listener
+                sendRaw(fd, "GET " + target +
+                                " HTTP/1.1\r\nHost: x\r\n"
+                                "Connection: close\r\n\r\n");
+                std::string wire;
+                char chunk[4096];
+                ssize_t n;
+                while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0)
+                    wire.append(chunk, static_cast<size_t>(n));
+                ::close(fd);
+                if (wire.empty())
+                    continue;   // refused mid-drain: acceptable
+                if (completeResponse(wire))
+                    ++complete;
+                else
+                    ++truncated;
+            }
+        });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    bool clean = http.drain(std::chrono::seconds(10));
+    for (std::thread &client : clients)
+        client.join();
+
+    EXPECT_TRUE(clean);
+    EXPECT_GT(complete.load(), 0u);
+    EXPECT_EQ(truncated.load(), 0u);
+    EXPECT_EQ(http.activeConnections(), 0u);
+    EXPECT_FALSE(http.running());
+    EXPECT_TRUE(http.draining());
+}
+
+TEST(HttpServerDrain, StalledClientIsForcedAtTheDeadline)
+{
+    auto service = makeService();
+    server::HttpServer::Options options;
+    options.num_threads = 2;
+    options.recv_timeout_seconds = 30;   // not the mechanism here
+    server::HttpServer http(*service, options);
+    http.start();
+
+    // A client that sends half a request head and stalls would pin
+    // its worker past any deadline; drain must force it instead of
+    // waiting for it.
+    int fd = connectTo(http.port());
+    ASSERT_GE(fd, 0);
+    sendRaw(fd, "GET /healthz HT");
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    ASSERT_EQ(http.activeConnections(), 1u);
+
+    auto t0 = std::chrono::steady_clock::now();
+    bool clean = http.drain(std::chrono::milliseconds(300));
+    auto elapsed = std::chrono::steady_clock::now() - t0;
+
+    EXPECT_FALSE(clean);   // the deadline had to fire
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+    EXPECT_EQ(http.activeConnections(), 0u);
+
+    // The forced socket is dead: the client sees EOF or a reset.
+    char chunk[64];
+    EXPECT_LE(::recv(fd, chunk, sizeof chunk, 0), 0);
+    ::close(fd);
+}
+
+TEST(HttpServerDrain, SlowClientRecvTimeoutFreesTheWorker)
+{
+    auto service = makeService();
+    server::HttpServer::Options options;
+    options.num_threads = 2;
+    options.recv_timeout_seconds = 1;
+    server::HttpServer http(*service, options);
+    http.start();
+
+    // Stall mid-request-head: the per-connection receive timeout
+    // must cut the connection loose, not leak the worker.
+    int fd = connectTo(http.port());
+    ASSERT_GE(fd, 0);
+    sendRaw(fd, "GET /healthz HT");
+
+    // The other worker keeps serving fresh connections meanwhile.
+    std::string health = httpGet(http.port(), "/healthz");
+    EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+
+    auto t0 = std::chrono::steady_clock::now();
+    char chunk[64];
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_LE(n, 0);   // server closed on us
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+    ::close(fd);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_EQ(http.activeConnections(), 0u);
+    EXPECT_TRUE(http.drain(std::chrono::seconds(1)));
 }
 
 } // namespace
