@@ -319,6 +319,29 @@ jsonMode(const std::string &path)
                 benchmark::DoNotOptimize(response.body.size());
             }));
     }
+    {
+        // The same cached hot path with full observability switched
+        // on — info-level access log (to a discarding sink, so the
+        // datapoint measures instrumentation, not stderr I/O) plus
+        // the per-request ID mint. Guards the overhead budget: this
+        // run must stay within tolerance of its own baseline, and
+        // predict_cached above proves the log-off path didn't pay.
+        server::QueryService::Options options;
+        options.log_level = obs::LogLevel::Info;
+        server::QueryService service(sliceCatalog(), db(), options);
+        size_t log_bytes = 0;
+        service.logger().setSink([&](std::string_view line) {
+            log_bytes += line.size();
+        });
+        server::HttpRequest request = predictRequest(0);
+        service.handle(request);
+        runs.push_back(
+            timedLoop("predict_cached_logged", 200000, [&](size_t) {
+                auto response = service.handle(request);
+                benchmark::DoNotOptimize(response.body.size());
+            }));
+        benchmark::DoNotOptimize(log_bytes);
+    }
 
     runs.push_back(timedLoop("ingest_direct", 500, [&](size_t) {
         benchmark::DoNotOptimize(ingestDirect());

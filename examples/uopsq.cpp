@@ -8,12 +8,16 @@
  *
  *   uopsq characterize --out DIR [--arches NHM,SKL | --uarch SKL]
  *                      [--threads N] [--mod N] [--xml RESULTS.xml]
+ *                      [--progress]
  *       Run the batch sweep and write a sharded catalog (one shard
  *       file per uarch + generation manifest) under DIR. When DIR
  *       already holds a catalog this is an *incremental* sweep: only
  *       the listed uarches are re-characterized (default: all present)
  *       and their fresh shards are spliced into a new generation —
  *       untouched shards are not rewritten, just hash-verified.
+ *       --progress registers per-uarch sweep counters in the global
+ *       metrics registry and prints a throttled done/failed/rate line
+ *       to stderr while the sweep runs.
  *
  *   uopsq ingest RESULTS.xml --out DIR
  *       Re-ingest a previously exported results XML (uopsInfo or
@@ -49,7 +53,7 @@
  *
  *   uopsq serve PATH [--port P] [--address A] [--threads N]
  *                    [--load mmap|stream] [--watch SECONDS]
- *                    [--drain-ms MS]
+ *                    [--drain-ms MS] [--log-level LEVEL]
  *       Start the HTTP/1.1 JSON API (port 0 picks an ephemeral port;
  *       the chosen port is printed). Catalog shards are memory-mapped
  *       zero-copy by default. POST /reload hot-swaps to the current
@@ -60,15 +64,26 @@
  *       are sent whole, and only after --drain-ms (default 5000) are
  *       stragglers forced. Catalog recovery (a corrupt newest
  *       generation falling back to an older verified one) is logged
- *       to stderr at startup and on every reload.
+ *       to stderr at startup and on every reload. serve runs at log
+ *       level info by default (one structured JSON startup record,
+ *       one access-log line per request on stderr); --log-level
+ *       debug|info|warn|error adjusts it. GET /metrics serves the
+ *       Prometheus-text exposition of the whole process.
+ *
+ *   Any command run with UOPS_TRACE=<file> in the environment writes
+ *   a Chrome trace-event JSON file on exit (open in about:tracing or
+ *   Perfetto): per-variant spans from characterize, per-request spans
+ *   from serve.
  */
 
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -78,6 +93,8 @@
 #include "isa/results_xml.h"
 #include "server/http_server.h"
 #include "support/hash.h"
+#include "support/obs/log.h"
+#include "support/obs/metrics.h"
 #include "support/status.h"
 #include "support/strings.h"
 
@@ -99,7 +116,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: uopsq characterize --out DIR [--arches A,B | --uarch A]"
-        " [--threads N] [--mod N] [--xml OUT]\n"
+        " [--threads N] [--mod N] [--xml OUT] [--progress]\n"
         "       uopsq ingest RESULTS.xml --out DIR\n"
         "       uopsq migrate V2.snap DIR\n"
         "       uopsq info PATH\n"
@@ -108,7 +125,8 @@ usage()
         "       uopsq predict PATH --uarch A [--asm LISTING |"
         " --file KERNEL.s]\n"
         "       uopsq serve PATH [--port P] [--address A] [--threads N]"
-        " [--load mmap|stream] [--watch SECONDS] [--drain-ms MS]\n");
+        " [--load mmap|stream] [--watch SECONDS] [--drain-ms MS]"
+        " [--log-level LEVEL]\n");
     std::exit(1);
 }
 
@@ -138,6 +156,13 @@ struct Args
     }
 };
 
+/** Options that are bare flags (present/absent, no value). */
+bool
+isBoolFlag(const std::string &key)
+{
+    return key == "progress";
+}
+
 Args
 parseArgs(int argc, char **argv, int from)
 {
@@ -145,8 +170,13 @@ parseArgs(int argc, char **argv, int from)
     for (int i = from; i < argc; ++i) {
         std::string arg = argv[i];
         if (startsWith(arg, "--")) {
+            std::string key = arg.substr(2);
+            if (isBoolFlag(key)) {
+                args.options[key] = "1";
+                continue;
+            }
             fatalIf(i + 1 >= argc, "option ", arg, " requires a value");
-            args.options[arg.substr(2)] = argv[++i];
+            args.options[key] = argv[++i];
         } else {
             args.positional.push_back(arg);
         }
@@ -217,6 +247,42 @@ cmdCharacterize(const Args &args)
     std::printf("%s %zu uarches (mod %ld)...\n",
                 base ? "re-characterizing" : "characterizing",
                 arches.size(), mod);
+
+    // --progress: publish sweep counters to the global registry and
+    // echo a throttled rate line. The counters are what a scraper of
+    // a co-resident /metrics endpoint would see; the stderr line is
+    // for a human watching the terminal.
+    std::atomic<size_t> done{0};
+    std::atomic<size_t> failed{0};
+    std::mutex progress_mutex;
+    auto sweep_start = std::chrono::steady_clock::now();
+    auto last_print = sweep_start;
+    if (args.option("progress") != nullptr) {
+        options.metrics = &obs::Registry::global();
+        options.on_variant_done = [&](uarch::UArch,
+                                      const isa::InstrVariant &,
+                                      bool ok) {
+            size_t d = done.fetch_add(1) + 1;
+            if (!ok)
+                failed.fetch_add(1);
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            auto now = std::chrono::steady_clock::now();
+            if (now - last_print <
+                std::chrono::milliseconds(500))
+                return;
+            last_print = now;
+            double seconds =
+                std::chrono::duration<double>(now - sweep_start)
+                    .count();
+            std::fprintf(stderr,
+                         "progress: %zu done, %zu failed, "
+                         "%.1f instr/s\n",
+                         d, failed.load(),
+                         seconds > 0 ? static_cast<double>(d) /
+                                           seconds
+                                     : 0.0);
+        };
+    }
 
     // Results stream straight into per-uarch shard databases while
     // the sweep runs; the full per-variant report is only retained
@@ -439,13 +505,26 @@ cmdServe(const Args &args)
     const db::LoadMode mode = parseLoadMode(args);
     auto instrs = isa::buildDefaultDb();
 
+    // Serving is the one mode where the structured access log earns
+    // its cost: default to info (startup record + one line per
+    // request on stderr) instead of the library-wide warn.
+    server::QueryService::Options service_options;
+    service_options.log_level = obs::LogLevel::Info;
+    if (const std::string *level = args.option("log-level")) {
+        auto parsed = obs::parseLogLevel(*level);
+        fatalIf(!parsed, "option --log-level expects "
+                         "debug|info|warn|error, got '", *level, "'");
+        service_options.log_level = *parsed;
+    }
+
     // The service owns the only long-lived handle: after a hot swap
     // the old generation (mmaps included) must be able to die with
     // its last in-flight request, so no local CatalogPtr may outlive
     // this scope.
     db::RecoveryReport open_report;
     server::QueryService service(
-        db::openCatalog(path, mode, &open_report), *instrs);
+        db::openCatalog(path, mode, &open_report), *instrs,
+        service_options);
     if (open_report.recovered || !open_report.events.empty()) {
         std::fprintf(stderr, "catalog recovery: %s\n",
                      open_report.summary().c_str());
@@ -473,6 +552,8 @@ cmdServe(const Args &args)
 
     long watch_seconds = args.intOption("watch", 0);
     fatalIf(watch_seconds < 0, "--watch must be >= 0");
+    long drain_ms = args.intOption("drain-ms", 5000);
+    fatalIf(drain_ms < 0, "--drain-ms must be >= 0");
 
     server::HttpServer http(service, options);
     http.start();
@@ -483,7 +564,25 @@ cmdServe(const Args &args)
                     service.catalog()->generation()),
                 options.bind_address.c_str(), http.port());
     std::printf("endpoints: /healthz /uarchs /instr/{name} /search "
-                "/diff /predict /reload /stats\n");
+                "/diff /predict /reload /stats /metrics\n");
+    // The machine-readable twin of the banner above: one structured
+    // record with everything an operator needs to identify this
+    // process in aggregated logs.
+    service.logger()
+        .event(obs::LogLevel::Info, "serve", "startup")
+        .str("address", options.bind_address)
+        .num("port", static_cast<uint64_t>(http.port()))
+        .str("load_mode",
+             mode == db::LoadMode::Mmap ? "mmap" : "stream")
+        .num("generation", service.catalog()->generation())
+        .num("records", static_cast<uint64_t>(
+                            service.catalog()->numRecords()))
+        .num("shards", static_cast<uint64_t>(
+                           service.catalog()->shards().size()))
+        .num("http_workers",
+             static_cast<uint64_t>(http.numWorkers()))
+        .num("drain_ms", static_cast<uint64_t>(drain_ms))
+        .num("watch_seconds", static_cast<uint64_t>(watch_seconds));
     if (watch_seconds > 0)
         std::printf("watching %s every %lds for new generations\n",
                     path.c_str(), watch_seconds);
@@ -520,8 +619,6 @@ cmdServe(const Args &args)
     }
     // Graceful drain: stop accepting, let in-flight requests finish
     // whole (bounded by --drain-ms), then force whatever remains.
-    long drain_ms = args.intOption("drain-ms", 5000);
-    fatalIf(drain_ms < 0, "--drain-ms must be >= 0");
     bool clean = http.drain(std::chrono::milliseconds(drain_ms));
     std::printf(clean ? "stopped (drained cleanly)\n"
                       : "stopped (drain deadline hit, forced "

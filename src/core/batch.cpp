@@ -1,9 +1,12 @@
 #include "core/batch.h"
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 
 #include "sim/measurement_cache.h"
+#include "support/obs/trace.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
 
@@ -103,6 +106,47 @@ struct TaskRef
     const isa::InstrVariant *variant;
 };
 
+/** Registry handles for one sweep's progress series (per uarch),
+ *  resolved up front so workers record with relaxed increments. */
+struct SweepInstruments
+{
+    std::vector<obs::Counter *> done;     ///< by arch index
+    std::vector<obs::Counter *> failed;   ///< by arch index
+    obs::Gauge *instructions_per_second = nullptr;
+};
+
+SweepInstruments
+registerSweepInstruments(obs::Registry &registry,
+                         const std::vector<uarch::UArch> &arches,
+                         const CharacterizationReport &report)
+{
+    SweepInstruments out;
+    for (size_t a = 0; a < arches.size(); ++a) {
+        obs::LabelSet labels{
+            {"uarch", uarch::uarchShortName(arches[a])}};
+        registry
+            .gauge("uops_sweep_variants_planned",
+                   "Variants enqueued for the current sweep, by "
+                   "uarch",
+                   labels)
+            .set(static_cast<double>(
+                report.uarches[a].outcomes.size()));
+        out.done.push_back(&registry.counter(
+            "uops_sweep_variants_done_total",
+            "Variants characterized (success or failure), by uarch",
+            labels));
+        out.failed.push_back(&registry.counter(
+            "uops_sweep_variants_failed_total",
+            "Variants that failed characterization, by uarch",
+            labels));
+    }
+    out.instructions_per_second = &registry.gauge(
+        "uops_sweep_instructions_per_second",
+        "Instruction variants characterized per second, current "
+        "sweep");
+    return out;
+}
+
 } // namespace
 
 CharacterizationReport
@@ -185,6 +229,18 @@ runBatchSweep(const isa::InstrDb &db,
         }
     }
 
+    // Progress instrumentation: resolved once, recorded from worker
+    // threads with relaxed increments. The instructions/sec gauge is
+    // total completions over sweep wall time so far — robust to
+    // bursty task durations and cheap to refresh per completion.
+    SweepInstruments instruments;
+    if (options.metrics != nullptr)
+        instruments =
+            registerSweepInstruments(*options.metrics, arches, report);
+    std::atomic<uint64_t> completed{0};
+    const auto sweep_start = std::chrono::steady_clock::now();
+    obs::ChromeTracer *tracer = obs::ChromeTracer::fromEnv();
+
     // Streaming delivery: tasks complete in any order, but the sink
     // must observe the deterministic work-list order (the same order
     // the report and the XML export iterate). A completed task is
@@ -234,6 +290,8 @@ runBatchSweep(const isa::InstrDb &db,
             slot.ok = false;
             slot.error = setup_errors[task.arch_index];
         } else {
+            uint64_t span_start =
+                tracer != nullptr ? obs::traceNowUs() : 0;
             try {
                 Characterizer &tool = *workers[worker][task.arch_index];
                 slot.result = tool.characterize(*task.variant);
@@ -243,6 +301,11 @@ runBatchSweep(const isa::InstrDb &db,
                 slot.result = InstrCharacterization{};
                 slot.error = describe(std::current_exception());
             }
+            if (tracer != nullptr)
+                tracer->complete(task.variant->name(),
+                                 uarch::uarchShortName(arch),
+                                 span_start,
+                                 obs::traceNowUs() - span_start);
         }
         // Notify exactly once per task. A hook exception downgrades a
         // success to a recorded failure but is never re-notified.
@@ -256,6 +319,20 @@ runBatchSweep(const isa::InstrDb &db,
                     slot.error = describe(std::current_exception());
                 }
             }
+        }
+        if (options.metrics != nullptr) {
+            instruments.done[task.arch_index]->inc();
+            if (!slot.ok)
+                instruments.failed[task.arch_index]->inc();
+            uint64_t total =
+                completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - sweep_start)
+                    .count();
+            if (seconds > 0)
+                instruments.instructions_per_second->set(
+                    static_cast<double>(total) / seconds);
         }
         if (options.sink) {
             std::lock_guard<std::mutex> lock(sink_mutex);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/characterize.h"
+#include "support/obs/metrics.h"
 
 namespace uops::core {
 
@@ -115,6 +116,21 @@ struct BatchOptions
      * results. Requires a sink.
      */
     bool keep_results = true;
+
+    /**
+     * Optional progress instrumentation. When set, the sweep
+     * registers per-uarch series — `uops_sweep_variants_planned`,
+     * `uops_sweep_variants_done_total`,
+     * `uops_sweep_variants_failed_total` (all labeled uarch=...) —
+     * plus a sweep-wide `uops_sweep_instructions_per_second` gauge,
+     * and updates them from worker threads as tasks finish (one
+     * relaxed increment each; the rate gauge is refreshed on every
+     * completion). Registration is idempotent, so repeated sweeps
+     * against one registry accumulate. Independently of this,
+     * UOPS_TRACE=<file> records one Chrome trace-event span per
+     * characterized variant.
+     */
+    obs::Registry *metrics = nullptr;
 };
 
 /** All outcomes for one microarchitecture, in variant-id order. */

@@ -9,6 +9,8 @@
 
 #include "support/hash.h"
 #include "support/io.h"
+#include "support/obs/log.h"
+#include "support/obs/metrics.h"
 #include "support/status.h"
 
 namespace fs = std::filesystem;
@@ -733,12 +735,55 @@ loadCatalogDir(const std::string &dir, LoadMode mode,
             rep.rejected_generations.push_back(cand.generation);
             rep.events.push_back("rejected " + cand.name + ": " +
                                  e.what());
+            obs::Registry::global()
+                .counter("uops_catalog_manifests_rejected_total",
+                         "Manifest candidates rejected during catalog "
+                         "load (parse or verification failure)")
+                .inc();
+            obs::defaultLogger()
+                .event(obs::LogLevel::Warn, "catalog",
+                       "manifest_rejected")
+                .str("dir", dir)
+                .str("manifest", cand.name)
+                .num("generation", cand.generation)
+                .str("error", e.what());
             continue;
         }
         rep.generation = catalog->generation();
         rep.recovered = !rep.rejected_generations.empty();
         if (report)
             collectGarbage(dir, candidates, i, rep);
+        // Named distinctly from the service-registry
+        // uops_catalog_recoveries_total (reload reports observed by
+        // one server): /metrics renders both registries, and a
+        // shared family name would duplicate series in the scrape.
+        if (rep.recovered)
+            obs::Registry::global()
+                .counter("uops_catalog_loads_recovered_total",
+                         "Catalog loads that fell back past at least "
+                         "one rejected generation")
+                .inc();
+        if (!rep.removed_files.empty())
+            obs::Registry::global()
+                .counter("uops_catalog_gc_removed_files_total",
+                         "Dead store files removed by load-time "
+                         "garbage collection")
+                .inc(rep.removed_files.size());
+        obs::Logger &logger = obs::defaultLogger();
+        obs::LogLevel level =
+            rep.recovered ? obs::LogLevel::Warn : obs::LogLevel::Info;
+        if (logger.enabled(level))
+            logger.event(level, "catalog", "loaded")
+                .str("dir", dir)
+                .num("generation", rep.generation)
+                .boolean("recovered", rep.recovered)
+                .num("rejected_generations",
+                     static_cast<uint64_t>(
+                         rep.rejected_generations.size()))
+                .num("gc_removed_files",
+                     static_cast<uint64_t>(rep.removed_files.size()))
+                .num("shards",
+                     static_cast<uint64_t>(catalog->shards().size()));
         return catalog;
     }
 

@@ -63,7 +63,9 @@ statusText(int status)
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
       case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
       case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
     }
     return "Unknown";
 }
@@ -214,6 +216,8 @@ serializeResponse(const HttpResponse &response, bool keep_alive)
            "\r\n";
     if (response.cache_hit)
         out += "X-Cache: hit\r\n";
+    if (!response.request_id.empty())
+        out += "X-Request-Id: " + response.request_id + "\r\n";
     out += keep_alive ? "Connection: keep-alive\r\n\r\n"
                       : "Connection: close\r\n\r\n";
     out += response.body;

@@ -50,6 +50,12 @@ struct HttpResponse
 
     /** Set when served from the response cache (adds X-Cache: hit). */
     bool cache_hit = false;
+
+    /** Correlation ID echoed as X-Request-Id when non-empty. Always
+     *  per-request: the service assigns it after the response cache
+     *  copy is taken, so a cached body never replays another
+     *  request's ID. */
+    std::string request_id;
 };
 
 /** Reason phrase for the status codes the server emits. */

@@ -108,6 +108,15 @@ HttpServer::drain(std::chrono::milliseconds max_wait)
         // Deadline passed: kill the remaining sockets. Their workers'
         // next recv/send fails immediately, so the tasks finish; the
         // clients see a reset, not a silently truncated success.
+        // Force-shutdown connections get no response to carry an
+        // X-Request-Id, so the log line is their only correlation
+        // record.
+        service_.logger()
+            .event(obs::LogLevel::Warn, "http", "drain_forced")
+            .num("connections",
+                 static_cast<uint64_t>(connections_.size()))
+            .num("deadline_ms",
+                 static_cast<uint64_t>(max_wait.count()));
         for (int fd : connections_)
             ::shutdown(fd, SHUT_RDWR);
         conn_cv_.wait(lock, [this] { return connections_.empty(); });
@@ -198,6 +207,31 @@ HttpServer::handleConnection(int fd)
 void
 HttpServer::serveConnection(int fd)
 {
+    // Transport-level refusals (oversize buffers, parse failures)
+    // never reach QueryService::handle(), so correlation and the
+    // access-log line are this layer's job: mint or echo an ID, put
+    // it on the response, log the refusal. @p request is the parsed
+    // head when one exists (its X-Request-Id is then honored).
+    auto refuse = [&](int status, const std::string &message,
+                      const HttpRequest *request) {
+        HttpResponse response = errorResponse(status, message);
+        const std::string *client_id =
+            request != nullptr ? request->header("X-Request-Id")
+                               : nullptr;
+        if (client_id != nullptr && acceptableRequestId(*client_id))
+            response.request_id = *client_id;
+        else
+            response.request_id = obs::newTraceId();
+        obs::Logger &logger = service_.logger();
+        if (logger.enabled(obs::LogLevel::Info))
+            logger.event(obs::LogLevel::Info, "http", "access")
+                .str("id", response.request_id)
+                .str("endpoint", "transport")
+                .num("status", static_cast<int64_t>(status))
+                .str("error", message);
+        (void)sendAll(fd, serializeResponse(response));
+    };
+
     try {
         std::string buffer;
         char chunk[4096];
@@ -238,9 +272,7 @@ HttpServer::serveConnection(int fd)
                 }
                 buffer.append(chunk, static_cast<size_t>(n));
                 if (buffer.size() > options_.max_request_bytes) {
-                    (void)sendAll(fd,
-                                  serializeResponse(errorResponse(
-                                      413, "request too large")));
+                    refuse(413, "request too large", nullptr);
                     return;
                 }
                 head_end = findHeaderEnd(buffer);
@@ -250,8 +282,7 @@ HttpServer::serveConnection(int fd)
             try {
                 request = parseRequestHead(buffer.substr(0, *head_end));
             } catch (const std::exception &e) {
-                (void)sendAll(fd, serializeResponse(
-                                  errorResponse(400, e.what())));
+                refuse(400, e.what(), nullptr);
                 return;
             }
 
@@ -259,14 +290,11 @@ HttpServer::serveConnection(int fd)
             try {
                 body_bytes = contentLength(request);
             } catch (const std::exception &e) {
-                (void)sendAll(fd, serializeResponse(
-                                  errorResponse(400, e.what())));
+                refuse(400, e.what(), &request);
                 return;
             }
             if (body_bytes > options_.max_request_bytes) {
-                (void)sendAll(fd,
-                              serializeResponse(errorResponse(
-                                  413, "body too large")));
+                refuse(413, "body too large", &request);
                 return;
             }
             while (buffer.size() - *head_end < body_bytes) {
@@ -295,8 +323,7 @@ HttpServer::serveConnection(int fd)
         }
     } catch (...) {
         // Connection handling must never propagate into the pool.
-        (void)sendAll(fd, serializeResponse(
-                          errorResponse(500, "internal error")));
+        refuse(500, "internal error", nullptr);
     }
 }
 

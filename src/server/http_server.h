@@ -112,6 +112,10 @@ class HttpServer
     /** Actual bound port (valid after start()). */
     uint16_t port() const { return port_; }
 
+    /** Resolved worker-pool size (Options::num_threads = 0 becomes
+     *  the hardware thread count). */
+    size_t numWorkers() const { return pool_.numWorkers(); }
+
   private:
     void acceptLoop();
     void handleConnection(int fd);

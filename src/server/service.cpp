@@ -90,9 +90,21 @@ endpointName(Endpoint endpoint)
       case Endpoint::Predict: return "/predict";
       case Endpoint::Reload: return "/reload";
       case Endpoint::Stats: return "/stats";
+      case Endpoint::Metrics: return "/metrics";
       case Endpoint::Other: return "other";
     }
     return "?";
+}
+
+bool
+acceptableRequestId(std::string_view id)
+{
+    if (id.empty() || id.size() > 128)
+        return false;
+    for (char c : id)
+        if (c <= ' ' || c > '~')
+            return false;
+    return true;
 }
 
 HttpResponse
@@ -118,7 +130,134 @@ QueryService::QueryService(CatalogPtr catalog,
       engine_(instrs, options.engine)
 {
     fatalIf(catalog == nullptr, "QueryService: null catalog");
+    logger_.setMinLevel(options.log_level);
+    registerInstruments();
     swapCatalog(std::move(catalog));
+}
+
+void
+QueryService::registerInstruments()
+{
+    auto endpoint_labels = [](Endpoint endpoint) {
+        return obs::LabelSet{{"endpoint", endpointName(endpoint)}};
+    };
+    for (size_t i = 0; i < kNumEndpoints; ++i) {
+        Endpoint endpoint = static_cast<Endpoint>(i);
+        EndpointInstruments &ins = instruments_[i];
+        ins.requests = &registry_.counter(
+            "uops_http_requests_total", "Requests routed, by endpoint",
+            endpoint_labels(endpoint));
+        ins.errors = &registry_.counter(
+            "uops_http_errors_total",
+            "Responses with status >= 400, by endpoint",
+            endpoint_labels(endpoint));
+        ins.cache_hits = &registry_.counter(
+            "uops_http_cache_hits_total",
+            "Responses served from the response cache or the kernel "
+            "memo, by endpoint",
+            endpoint_labels(endpoint));
+        ins.latency = &registry_.histogram(
+            "uops_http_request_duration_us",
+            "handle() wall time in microseconds, by endpoint",
+            endpoint_labels(endpoint));
+    }
+
+    auto rejected = [this](const char *reason) {
+        return &registry_.counter(
+            "uops_predict_rejected_total",
+            "/predict kernels rejected by admission, by reason",
+            {{"reason", reason}});
+    };
+    rejected_oversize_ = rejected("oversize");
+    rejected_budget_ = rejected("budget");
+    rejected_busy_ = rejected("busy");
+
+    reloads_ = &registry_.counter("uops_reloads_total",
+                                  "Catalog generations installed");
+    reload_rejections_ =
+        &registry_.counter("uops_reload_rejections_total",
+                           "Reloads rejected (503; old generation "
+                           "kept serving)");
+    recoveries_ = &registry_.counter(
+        "uops_catalog_recoveries_total",
+        "Reloads that fell back past a bad generation");
+    recovery_events_ =
+        &registry_.counter("uops_catalog_recovery_events_total",
+                           "Recovery report events folded in");
+    verification_failures_ = &registry_.counter(
+        "uops_catalog_verification_failures_total",
+        "Candidate generations rejected by verification");
+
+    serving_generation_ = &registry_.gauge(
+        "uops_serving_generation", "Catalog generation being served");
+    serving_epoch_ = &registry_.gauge(
+        "uops_serving_epoch", "Monotonic swap counter (cache key "
+                             "space id)");
+
+    // The caches and the engine keep their own internally-consistent
+    // stats structs; mirror them into the exposition via render-time
+    // callbacks instead of double bookkeeping on their hot paths.
+    auto cache_series = [this](const char *which,
+                               ResponseCache &cache) {
+        auto counter = [&](const char *name, const char *help,
+                           auto member) {
+            registry_.counterCallback(
+                name, help, {{"cache", which}},
+                [&cache, member] {
+                    return static_cast<double>(cache.stats().*member);
+                });
+        };
+        counter("uops_response_cache_hits_total", "Cache hits",
+                &ResponseCache::Stats::hits);
+        counter("uops_response_cache_misses_total", "Cache misses",
+                &ResponseCache::Stats::misses);
+        counter("uops_response_cache_insertions_total",
+                "Cache insertions", &ResponseCache::Stats::insertions);
+        counter("uops_response_cache_evictions_total",
+                "Cache evictions", &ResponseCache::Stats::evictions);
+        registry_.gaugeCallback(
+            "uops_response_cache_entries", "Entries resident",
+            {{"cache", which}}, [&cache] {
+                return static_cast<double>(cache.stats().entries);
+            });
+    };
+    cache_series("response", cache_);
+    cache_series("kernel_memo", kernel_memo_);
+
+    auto engine_counter = [this](const char *name, const char *help,
+                                 auto member) {
+        registry_.counterCallback(name, help, {}, [this, member] {
+            return static_cast<double>(engine_.stats().*member);
+        });
+    };
+    auto engine_gauge = [this](const char *name, const char *help,
+                               auto member) {
+        registry_.gaugeCallback(name, help, {}, [this, member] {
+            return static_cast<double>(engine_.stats().*member);
+        });
+    };
+    engine_counter("uops_engine_simulations_total",
+                   "Kernel simulations executed",
+                   &PredictEngine::Stats::simulations);
+    engine_counter("uops_engine_coalesced_total",
+                   "Requests coalesced onto an in-flight simulation",
+                   &PredictEngine::Stats::coalesced);
+    engine_counter("uops_engine_rejected_total",
+                   "Simulations rejected at the engine queue",
+                   &PredictEngine::Stats::rejected);
+    engine_counter("uops_engine_sim_cache_hits_total",
+                   "Simulation memo hits",
+                   &PredictEngine::Stats::sim_cache_hits);
+    engine_counter("uops_engine_sim_cache_misses_total",
+                   "Simulation memo misses",
+                   &PredictEngine::Stats::sim_cache_misses);
+    engine_gauge("uops_engine_sim_cache_entries",
+                 "Simulation memo entries resident",
+                 &PredictEngine::Stats::sim_cache_entries);
+    engine_gauge("uops_engine_inflight", "Simulations in flight",
+                 &PredictEngine::Stats::inflight);
+    engine_gauge("uops_engine_workers", "Engine worker threads",
+                 &PredictEngine::Stats::workers);
 }
 
 QueryService::QueryService(CatalogPtr catalog,
@@ -156,9 +295,14 @@ QueryService::installCatalog(CatalogPtr next)
     // concurrent swaps can neither interleave (installing an older
     // epoch over a newer one) nor observe a regressing epoch(); the
     // installed state is the single source of truth for the epoch.
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    fresh->epoch = state_ ? state_->epoch + 1 : 1;
-    state_ = fresh;
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        fresh->epoch = state_ ? state_->epoch + 1 : 1;
+        state_ = fresh;
+    }
+    serving_generation_->set(
+        static_cast<double>(fresh->catalog->generation()));
+    serving_epoch_->set(static_cast<double>(fresh->epoch));
     return fresh;
 }
 
@@ -196,21 +340,41 @@ QueryService::reloadState(db::RecoveryReport &report)
         next = reloader_(report);
         fatalIf(next == nullptr,
                 "reload: reloader produced no catalog");
-    } catch (...) {
+    } catch (const std::exception &e) {
         // The old generation keeps serving: a rejected reload is an
         // operational event, not an outage.
-        reload_rejections_.fetch_add(1, std::memory_order_relaxed);
+        reload_rejections_->inc();
+        logger_.event(obs::LogLevel::Warn, "service",
+                      "reload_rejected")
+            .str("error", e.what());
+        throw;
+    } catch (...) {
+        reload_rejections_->inc();
+        logger_.event(obs::LogLevel::Warn, "service",
+                      "reload_rejected");
         throw;
     }
     if (report.recovered)
-        recoveries_.fetch_add(1, std::memory_order_relaxed);
-    recovery_events_.fetch_add(report.events.size(),
-                               std::memory_order_relaxed);
-    verification_failures_.fetch_add(
-        report.rejected_generations.size(),
-        std::memory_order_relaxed);
-    reloads_.fetch_add(1, std::memory_order_relaxed);
-    return installCatalog(std::move(next));
+        recoveries_->inc();
+    recovery_events_->inc(report.events.size());
+    verification_failures_->inc(report.rejected_generations.size());
+    reloads_->inc();
+    StatePtr installed = installCatalog(std::move(next));
+    logger_
+        .event(report.recovered ? obs::LogLevel::Warn
+                                : obs::LogLevel::Info,
+               "service", "reloaded")
+        .num("generation", installed->catalog->generation())
+        .num("epoch", installed->epoch)
+        .num("records",
+             static_cast<uint64_t>(installed->catalog->numRecords()))
+        .boolean("recovered", report.recovered)
+        .num("recovery_events",
+             static_cast<uint64_t>(report.events.size()))
+        .num("rejected_generations",
+             static_cast<uint64_t>(
+                 report.rejected_generations.size()));
+    return installed;
 }
 
 uint64_t
@@ -240,25 +404,44 @@ QueryService::route(const HttpRequest &request) const
         return Endpoint::Reload;
     if (path == "/stats")
         return Endpoint::Stats;
+    if (path == "/metrics")
+        return Endpoint::Metrics;
     return Endpoint::Other;
 }
 
 HttpResponse
 QueryService::handle(const HttpRequest &request)
 {
-    auto t0 = std::chrono::steady_clock::now();
+    uint64_t t0_us = obs::traceNowUs();
     Endpoint endpoint = route(request);
-    Counters &counters = counters_[static_cast<size_t>(endpoint)];
-    counters.requests.fetch_add(1, std::memory_order_relaxed);
+    EndpointInstruments &ins =
+        instruments_[static_cast<size_t>(endpoint)];
+    ins.requests->inc();
 
     // Pin the serving generation once: everything below — cache key,
     // dispatch, predictor contexts — runs against this state even if
     // a swap lands mid-request.
     StatePtr st = state();
 
+    // Spans are collected only when someone will read them: a
+    // ?debug=timings /predict response or an active UOPS_TRACE
+    // profile. The cached hot path never allocates a SpanSet.
+    obs::ChromeTracer *tracer = obs::ChromeTracer::fromEnv();
+    bool debug_timings = false;
+    if (endpoint == Endpoint::Predict) {
+        auto debug = request.param("debug");
+        debug_timings = debug && *debug == "timings";
+    }
+    std::optional<obs::SpanSet> spans;
+    if (endpoint == Endpoint::Predict && (debug_timings || tracer))
+        spans.emplace("predict", tracer);
+
     HttpResponse response;
+    // Timed debug responses must stay per-request: they bypass the
+    // response cache (and, below, the kernel memo), so a memoized
+    // response is still byte-identical to a cold render.
     bool cacheable =
-        request.method == "GET" &&
+        request.method == "GET" && !debug_timings &&
         (endpoint == Endpoint::Instr || endpoint == Endpoint::Search ||
          endpoint == Endpoint::Diff || endpoint == Endpoint::Predict);
 
@@ -268,13 +451,14 @@ QueryService::handle(const HttpRequest &request)
             response = *cached;
             response.cache_hit = true;
             from_cache = true;
-            counters.cache_hits.fetch_add(1,
-                                          std::memory_order_relaxed);
+            ins.cache_hits->inc();
         }
     }
     if (!from_cache) {
         try {
-            response = dispatch(endpoint, request, *st);
+            response = dispatch(endpoint, request, *st,
+                                spans ? &*spans : nullptr,
+                                debug_timings);
         } catch (const FatalError &e) {
             response = errorResponse(400, e.what());
         } catch (const std::exception &e) {
@@ -285,21 +469,53 @@ QueryService::handle(const HttpRequest &request)
     }
 
     if (response.status >= 400)
-        counters.errors.fetch_add(1, std::memory_order_relaxed);
-    auto t1 = std::chrono::steady_clock::now();
-    uint64_t us = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
-            .count());
-    counters.total_us.fetch_add(us, std::memory_order_relaxed);
-    size_t bucket = std::min<size_t>(std::bit_width(us),
-                                     kLatencyBuckets - 1);
-    counters.latency[bucket].fetch_add(1, std::memory_order_relaxed);
+        ins.errors->inc();
+    uint64_t us = obs::traceNowUs() - t0_us;
+    ins.latency->observe(us);
+
+    // Correlation: echo a sane client ID, mint one otherwise. Set
+    // *after* the cache/memo put so a cached entry never replays the
+    // first requester's ID to later hits.
+    const std::string *client_id = request.header("X-Request-Id");
+    if (client_id != nullptr && acceptableRequestId(*client_id))
+        response.request_id = *client_id;
+    else
+        response.request_id = obs::newTraceId();
+
+    if (logger_.enabled(obs::LogLevel::Info)) {
+        const char *disposition = cacheable
+                                      ? (from_cache ? "hit" : "miss")
+                                      : "none";
+        logger_.event(obs::LogLevel::Info, "http", "access")
+            .str("id", response.request_id)
+            .str("method", request.method)
+            .str("endpoint", endpointName(endpoint))
+            .num("status", static_cast<int64_t>(response.status))
+            .num("us", us)
+            .str("cache", disposition)
+            .num("generation", st->catalog->generation())
+            .num("epoch", st->epoch);
+    }
+    if (options_.slow_request_us > 0 &&
+        us >= options_.slow_request_us &&
+        logger_.enabled(obs::LogLevel::Warn)) {
+        logger_.event(obs::LogLevel::Warn, "http", "slow_request")
+            .str("id", response.request_id)
+            .str("target", std::string_view(request.target)
+                               .substr(0, 256))
+            .num("status", static_cast<int64_t>(response.status))
+            .num("us", us)
+            .num("threshold_us", options_.slow_request_us);
+    }
+    if (tracer != nullptr)
+        tracer->complete(endpointName(endpoint), "http", t0_us, us);
     return response;
 }
 
 HttpResponse
 QueryService::dispatch(Endpoint endpoint, const HttpRequest &request,
-                       ServingState &state)
+                       ServingState &state, obs::SpanSet *spans,
+                       bool debug_timings)
 {
     if (endpoint == Endpoint::Reload && request.method != "POST")
         return errorResponse(405,
@@ -316,9 +532,11 @@ QueryService::dispatch(Endpoint endpoint, const HttpRequest &request,
       case Endpoint::Instr: return handleInstr(request, state);
       case Endpoint::Search: return handleSearch(request, state);
       case Endpoint::Diff: return handleDiff(request, state);
-      case Endpoint::Predict: return handlePredict(request, state);
+      case Endpoint::Predict:
+        return handlePredict(request, state, spans, debug_timings);
       case Endpoint::Reload: return handleReload(request);
       case Endpoint::Stats: return handleStats(state);
+      case Endpoint::Metrics: return handleMetrics();
       case Endpoint::Other: break;
     }
     return errorResponse(404, "no such endpoint: " + request.path);
@@ -537,67 +755,87 @@ countInstructionLines(const std::string &listing)
 
 HttpResponse
 QueryService::handlePredict(const HttpRequest &request,
-                            ServingState &state)
+                            ServingState &state, obs::SpanSet *spans,
+                            bool debug_timings)
 {
-    auto arch = parseArchParam(request, "uarch");
-    if (!arch)
-        return errorResponse(
-            400, "usage: /predict?uarch=SKL&asm=ADD RAX, RBX; ... "
-                 "(or POST the listing as the request body)");
+    auto span = [spans](const char *name) {
+        return spans != nullptr ? spans->span(name)
+                                : obs::SpanSet::Scope();
+    };
+    obs::SpanSet::Scope root = span("predict");
 
+    std::optional<uarch::UArch> arch;
     std::string listing;
-    if (request.method == "POST") {
-        listing = request.body;
-    } else if (auto text = request.param("asm")) {
-        listing = *text;
+    {
+        auto parse_span = span("parse");
+        arch = parseArchParam(request, "uarch");
+        if (!arch)
+            return errorResponse(
+                400,
+                "usage: /predict?uarch=SKL&asm=ADD RAX, RBX; ... "
+                "(or POST the listing as the request body)");
+
+        if (request.method == "POST") {
+            listing = request.body;
+        } else if (auto text = request.param("asm")) {
+            listing = *text;
+        }
+        if (listing.empty())
+            return errorResponse(400,
+                                 "missing kernel: pass ?asm= or a "
+                                 "POST body with one instruction per "
+                                 "line");
+
+        const PredictAdmission &admission = options_.admission;
+        if (listing.size() > admission.max_listing_bytes) {
+            rejected_oversize_->inc();
+            JsonWriter json;
+            json.beginObject();
+            json.member("error", "kernel listing too large");
+            json.member("status", 413);
+            json.member("rejected_by", "admission");
+            json.member("listing_bytes", listing.size());
+            json.member("max_listing_bytes",
+                        admission.max_listing_bytes);
+            json.endObject();
+            HttpResponse response;
+            response.status = 413;
+            response.body = std::move(json).str();
+            return response;
+        }
+
+        // Accept ';' as a line separator so kernels fit in a query
+        // string.
+        for (char &c : listing)
+            if (c == ';')
+                c = '\n';
+
+        size_t instructions = countInstructionLines(listing);
+        if (instructions == 0)
+            return errorResponse(400, "empty kernel");
+        if (instructions > admission.max_instructions) {
+            rejected_oversize_->inc();
+            JsonWriter json;
+            json.beginObject();
+            json.member("error", "kernel has too many instructions");
+            json.member("status", 413);
+            json.member("rejected_by", "admission");
+            json.member("instructions", instructions);
+            json.member("max_instructions",
+                        admission.max_instructions);
+            json.endObject();
+            HttpResponse response;
+            response.status = 413;
+            response.body = std::move(json).str();
+            return response;
+        }
     }
-    if (listing.empty())
-        return errorResponse(400,
-                             "missing kernel: pass ?asm= or a POST "
-                             "body with one instruction per line");
 
-    const PredictAdmission &admission = options_.admission;
-    if (listing.size() > admission.max_listing_bytes) {
-        rejected_oversize_.fetch_add(1, std::memory_order_relaxed);
-        JsonWriter json;
-        json.beginObject();
-        json.member("error", "kernel listing too large");
-        json.member("status", 413);
-        json.member("rejected_by", "admission");
-        json.member("listing_bytes", listing.size());
-        json.member("max_listing_bytes", admission.max_listing_bytes);
-        json.endObject();
-        HttpResponse response;
-        response.status = 413;
-        response.body = std::move(json).str();
-        return response;
+    isa::Kernel kernel;
+    {
+        auto assemble_span = span("assemble");
+        kernel = isa::assemble(instrs_, listing);
     }
-
-    // Accept ';' as a line separator so kernels fit in a query string.
-    for (char &c : listing)
-        if (c == ';')
-            c = '\n';
-
-    size_t instructions = countInstructionLines(listing);
-    if (instructions == 0)
-        return errorResponse(400, "empty kernel");
-    if (instructions > admission.max_instructions) {
-        rejected_oversize_.fetch_add(1, std::memory_order_relaxed);
-        JsonWriter json;
-        json.beginObject();
-        json.member("error", "kernel has too many instructions");
-        json.member("status", 413);
-        json.member("rejected_by", "admission");
-        json.member("instructions", instructions);
-        json.member("max_instructions", admission.max_instructions);
-        json.endObject();
-        HttpResponse response;
-        response.status = 413;
-        response.body = std::move(json).str();
-        return response;
-    }
-
-    isa::Kernel kernel = isa::assemble(instrs_, listing);
     if (kernel.empty())
         return errorResponse(400, "empty kernel");
 
@@ -606,20 +844,25 @@ QueryService::handlePredict(const HttpRequest &request,
     // whitespace) shares a single entry — and a hit is byte-identical
     // to a cold render by construction. Epoch-keyed because the
     // static-analysis half of the body is generation-dependent.
+    // Debug-timings responses carry per-request span data, so they
+    // neither read nor populate the memo.
     std::string memo_key = engine_.fingerprint(*arch, kernel);
-    if (auto memoized = kernel_memo_.get(memo_key, state.epoch)) {
-        HttpResponse response = *memoized;
-        response.cache_hit = true;
-        counters_[static_cast<size_t>(Endpoint::Predict)]
-            .cache_hits.fetch_add(1, std::memory_order_relaxed);
-        return response;
+    if (!debug_timings) {
+        if (auto memoized = kernel_memo_.get(memo_key, state.epoch)) {
+            HttpResponse response = *memoized;
+            response.cache_hit = true;
+            instruments_[static_cast<size_t>(Endpoint::Predict)]
+                .cache_hits->inc();
+            return response;
+        }
     }
 
     sim::Measurement measured;
     try {
+        auto simulate_span = span("simulate");
         measured = engine_.simulate(*arch, kernel);
     } catch (const sim::CycleBudgetExceeded &e) {
-        rejected_budget_.fetch_add(1, std::memory_order_relaxed);
+        rejected_budget_->inc();
         JsonWriter json;
         json.beginObject();
         json.member("error", std::string_view(e.what()));
@@ -632,7 +875,7 @@ QueryService::handlePredict(const HttpRequest &request,
         response.body = std::move(json).str();
         return response;
     } catch (const PredictOverloaded &e) {
-        rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+        rejected_busy_->inc();
         JsonWriter json;
         json.beginObject();
         json.member("error", std::string_view(e.what()));
@@ -656,14 +899,19 @@ QueryService::handlePredict(const HttpRequest &request,
     const core::Prediction *analysis = nullptr;
     core::Prediction analysis_storage;
     std::string analysis_error;
-    try {
-        const PredictContext &context = predictContext(state, *arch);
-        analysis_storage = context.predictor->analyzeLoop(kernel);
-        analysis = &analysis_storage;
-    } catch (const FatalError &e) {
-        analysis_error = e.what();
+    {
+        auto analysis_span = span("analysis");
+        try {
+            const PredictContext &context =
+                predictContext(state, *arch);
+            analysis_storage = context.predictor->analyzeLoop(kernel);
+            analysis = &analysis_storage;
+        } catch (const FatalError &e) {
+            analysis_error = e.what();
+        }
     }
 
+    obs::SpanSet::Scope render_span = span("render");
     int num_ports = uarch::uarchInfo(*arch).num_ports;
     JsonWriter json;
     json.beginObject();
@@ -707,10 +955,29 @@ QueryService::handlePredict(const HttpRequest &request,
         json.member("analysis_error",
                     std::string_view(analysis_error));
     }
+
+    // Close the phase spans before rendering them: the "timings"
+    // member is written last so the render span covers the rest of
+    // the body's assembly.
+    render_span.end();
+    root.end();
+    if (debug_timings && spans != nullptr) {
+        json.key("timings").beginArray();
+        for (const obs::SpanSet::Entry &entry : spans->entries()) {
+            json.beginObject();
+            json.member("name", std::string_view(entry.name));
+            json.member("depth", static_cast<long>(entry.depth));
+            json.member("start_us", entry.start_us);
+            json.member("dur_us", entry.dur_us);
+            json.endObject();
+        }
+        json.endArray();
+    }
     json.endObject();
 
     HttpResponse response = jsonResponse(std::move(json).str());
-    kernel_memo_.put(memo_key, state.epoch, response);
+    if (!debug_timings)
+        kernel_memo_.put(memo_key, state.epoch, response);
     return response;
 }
 
@@ -791,8 +1058,17 @@ QueryService::handleStats(const ServingState &state)
         json.member("errors", m.errors);
         json.member("cache_hits", m.cache_hits);
         json.member("total_us", m.total_us);
-        json.member("p50_us", m.p50_us);
-        json.member("p99_us", m.p99_us);
+        json.member("samples", m.samples);
+        // Percentiles of an unhit endpoint are unknowable, not zero:
+        // null until the first sample lands.
+        if (m.p50_us)
+            json.member("p50_us", *m.p50_us);
+        else
+            json.key("p50_us").valueNull();
+        if (m.p99_us)
+            json.member("p99_us", *m.p99_us);
+        else
+            json.key("p99_us").valueNull();
         json.endObject();
     }
     json.endObject();
@@ -813,16 +1089,16 @@ QueryService::handleStats(const ServingState &state)
 
     json.key("reload").beginObject();
     json.member("reloads",
-                reloads_.load(std::memory_order_relaxed));
+                reloads_->value());
     json.member("rejections",
-                reload_rejections_.load(std::memory_order_relaxed));
+                reload_rejections_->value());
     json.member("recoveries",
-                recoveries_.load(std::memory_order_relaxed));
+                recoveries_->value());
     json.member("recovery_events",
-                recovery_events_.load(std::memory_order_relaxed));
+                recovery_events_->value());
     json.member(
         "verification_failures",
-        verification_failures_.load(std::memory_order_relaxed));
+        verification_failures_->value());
     json.endObject();
 
     PredictEngine::Stats engine = engine_.stats();
@@ -835,11 +1111,11 @@ QueryService::handleStats(const ServingState &state)
                 options_.engine.predict.cycle_budget);
     json.member("max_inflight", options_.engine.max_inflight);
     json.member("rejected_oversize",
-                rejected_oversize_.load(std::memory_order_relaxed));
+                rejected_oversize_->value());
     json.member("rejected_budget",
-                rejected_budget_.load(std::memory_order_relaxed));
+                rejected_budget_->value());
     json.member("rejected_busy",
-                rejected_busy_.load(std::memory_order_relaxed));
+                rejected_busy_->value());
     json.endObject();
     json.key("engine").beginObject();
     json.member("workers", engine.workers);
@@ -855,52 +1131,33 @@ QueryService::handleStats(const ServingState &state)
     return jsonResponse(std::move(json).str());
 }
 
-namespace {
-
-/** Smallest bucket upper bound covering quantile @p q of the
- *  histogram (conservative: a power-of-two ceiling, not an
- *  interpolation — monitoring wants "no worse than", not pretty). */
-uint64_t
-histogramQuantile(const std::array<uint64_t,
-                                   QueryService::kLatencyBuckets> &hist,
-                  uint64_t total, double q)
+HttpResponse
+QueryService::handleMetrics()
 {
-    if (total == 0)
-        return 0;
-    uint64_t target = static_cast<uint64_t>(
-        q * static_cast<double>(total) + 0.999999);
-    if (target > total)
-        target = total;
-    uint64_t cumulative = 0;
-    for (size_t i = 0; i < hist.size(); ++i) {
-        cumulative += hist[i];
-        if (cumulative >= target)
-            return i == 0 ? 0 : (uint64_t{1} << i) - 1;
-    }
-    return (uint64_t{1} << (hist.size() - 1)) - 1;
+    // The service registry plus the process-wide one (catalog
+    // recovery, sweep progress) in one scrape. Never cached: a
+    // scrape is a point-in-time read by definition.
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = registry_.renderPrometheus();
+    response.body += obs::Registry::global().renderPrometheus();
+    return response;
 }
-
-} // namespace
 
 EndpointMetrics
 QueryService::metrics(Endpoint endpoint) const
 {
-    const Counters &counters =
-        counters_[static_cast<size_t>(endpoint)];
+    const EndpointInstruments &ins =
+        instruments_[static_cast<size_t>(endpoint)];
     EndpointMetrics out;
-    out.requests = counters.requests.load(std::memory_order_relaxed);
-    out.errors = counters.errors.load(std::memory_order_relaxed);
-    out.cache_hits =
-        counters.cache_hits.load(std::memory_order_relaxed);
-    out.total_us = counters.total_us.load(std::memory_order_relaxed);
-    std::array<uint64_t, kLatencyBuckets> hist;
-    uint64_t total = 0;
-    for (size_t i = 0; i < kLatencyBuckets; ++i) {
-        hist[i] = counters.latency[i].load(std::memory_order_relaxed);
-        total += hist[i];
-    }
-    out.p50_us = histogramQuantile(hist, total, 0.50);
-    out.p99_us = histogramQuantile(hist, total, 0.99);
+    out.requests = ins.requests->value();
+    out.errors = ins.errors->value();
+    out.cache_hits = ins.cache_hits->value();
+    obs::Histogram::Snapshot latency = ins.latency->snapshot();
+    out.total_us = latency.sum;
+    out.samples = latency.count;
+    out.p50_us = latency.quantile(0.50);
+    out.p99_us = latency.quantile(0.99);
     return out;
 }
 

@@ -24,6 +24,19 @@
  *   POST /reload                       hot-swap to the freshly
  *                                      reloaded catalog generation
  *   GET  /stats                        per-endpoint metrics + caches
+ *   GET  /metrics                      Prometheus text exposition
+ *                                      (text/plain, never cached)
+ *
+ * Observability: every handle() call resolves a request ID (a valid
+ * client X-Request-Id is echoed, otherwise one is minted) and
+ * returns it on the response; at Info the logger emits one access
+ * line per request (id, method, endpoint, status, latency, cache
+ * disposition, serving generation/epoch) and at Warn a slow_request
+ * line past Options::slow_request_us. /predict records spans across
+ * parse -> assemble -> simulate -> analysis -> render; they are
+ * returned in the body under "timings" when ?debug=timings is set
+ * (such responses bypass both caches) and forwarded to the
+ * UOPS_TRACE Chrome-trace profile when enabled.
  *
  * /predict is the compute endpoint: kernels are parsed with
  * isa::assemble, admission-checked (instruction count, listing size
@@ -67,12 +80,16 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "core/predictor.h"
 #include "db/catalog.h"
 #include "server/http.h"
 #include "server/predict_engine.h"
 #include "server/response_cache.h"
+#include "support/obs/log.h"
+#include "support/obs/metrics.h"
+#include "support/obs/trace.h"
 
 namespace uops::server {
 
@@ -86,10 +103,11 @@ enum class Endpoint : uint8_t {
     Predict,
     Reload,
     Stats,
+    Metrics,
     Other,
 };
 
-constexpr size_t kNumEndpoints = 9;
+constexpr size_t kNumEndpoints = 10;
 
 /** Metrics name of a route ("/instr", ...). */
 const char *endpointName(Endpoint endpoint);
@@ -101,9 +119,19 @@ struct EndpointMetrics
     uint64_t errors = 0;       ///< responses with status >= 400
     uint64_t cache_hits = 0;
     uint64_t total_us = 0;     ///< wall time spent in handle()
-    uint64_t p50_us = 0;       ///< median handle() latency
-    uint64_t p99_us = 0;       ///< tail handle() latency
+    uint64_t samples = 0;      ///< latency observations recorded
+
+    /** Median / tail handle() latency; empty until the endpoint has
+     *  been hit at least once — "no data" is not "0 µs". */
+    std::optional<uint64_t> p50_us;
+    std::optional<uint64_t> p99_us;
 };
+
+/** Whether a client-supplied X-Request-Id is safe to echo: 1..128
+ *  printable non-space ASCII chars (anything else gets a fresh
+ *  server-minted ID instead — correlation must not become a header
+ *  injection or log forgery vector). */
+bool acceptableRequestId(std::string_view id);
 
 /** Per-request admission bounds for /predict kernels. */
 struct PredictAdmission
@@ -140,6 +168,16 @@ class QueryService
 
         /** Simulation pool, cycle budget, harness config. */
         PredictEngine::Options engine;
+
+        /** Requests at or above this handle() latency get a Warn
+         *  `slow_request` log line (0 disables). */
+        uint64_t slow_request_us = 250000;
+
+        /** Initial logger threshold. Warn by default so embedding
+         *  the service (tests, benches, the CLI's direct handle()
+         *  path) stays silent; `uopsq serve` raises it to Info to
+         *  turn on the access log. */
+        obs::LogLevel log_level = obs::LogLevel::Warn;
     };
 
     /**
@@ -156,8 +194,19 @@ class QueryService
     /** Route one request to a response (thread-safe). */
     HttpResponse handle(const HttpRequest &request);
 
-    /** Counters for one endpoint. */
+    /** Counters for one endpoint (read from the registry — the same
+     *  series /metrics renders, so the two can never disagree). */
     EndpointMetrics metrics(Endpoint endpoint) const;
+
+    /** The service's metrics registry (what GET /metrics renders,
+     *  together with obs::Registry::global()). */
+    obs::Registry &registry() { return registry_; }
+    const obs::Registry &registry() const { return registry_; }
+
+    /** Structured logger: access log at Info, slow requests and
+     *  reload/recovery events at Warn. The HTTP transport layer
+     *  shares it for pre-routing error paths. */
+    obs::Logger &logger() { return logger_; }
 
     ResponseCache::Stats cacheStats() const { return cache_.stats(); }
 
@@ -198,21 +247,20 @@ class QueryService
      *  reloader fails. */
     uint64_t reload();
 
-    /** Power-of-two latency histogram: bucket i holds requests whose
-     *  handle() time in µs has bit_width i (bucket 0: 0 µs; the last
-     *  bucket is open-ended). Fixed buckets keep recording a single
-     *  relaxed increment; percentiles are reconstructed at /stats
-     *  time from bucket upper bounds. */
-    static constexpr size_t kLatencyBuckets = 26;
+    /** Latency histogram bucket count (obs::Histogram's power-of-two
+     *  buckets: bucket i holds requests whose handle() time in µs has
+     *  bit_width i; the last bucket is open-ended). */
+    static constexpr size_t kLatencyBuckets = obs::Histogram::kBuckets;
 
   private:
-    struct Counters
+    /** Registry-backed handles for one endpoint's hot-path series
+     *  (resolved once at construction; recording is lock-free). */
+    struct EndpointInstruments
     {
-        std::atomic<uint64_t> requests{0};
-        std::atomic<uint64_t> errors{0};
-        std::atomic<uint64_t> cache_hits{0};
-        std::atomic<uint64_t> total_us{0};
-        std::array<std::atomic<uint64_t>, kLatencyBuckets> latency{};
+        obs::Counter *requests = nullptr;
+        obs::Counter *errors = nullptr;
+        obs::Counter *cache_hits = nullptr;
+        obs::Histogram *latency = nullptr;
     };
 
     /** Lazily-built per-uarch predictor (set must outlive it). */
@@ -245,7 +293,9 @@ class QueryService
     Endpoint route(const HttpRequest &request) const;
     HttpResponse dispatch(Endpoint endpoint,
                           const HttpRequest &request,
-                          ServingState &state);
+                          ServingState &state, obs::SpanSet *spans,
+                          bool debug_timings);
+    void registerInstruments();
 
     HttpResponse handleHealthz(const ServingState &state);
     HttpResponse handleUArchs(const ServingState &state);
@@ -256,9 +306,12 @@ class QueryService
     HttpResponse handleDiff(const HttpRequest &request,
                             const ServingState &state);
     HttpResponse handlePredict(const HttpRequest &request,
-                               ServingState &state);
+                               ServingState &state,
+                               obs::SpanSet *spans,
+                               bool debug_timings);
     HttpResponse handleReload(const HttpRequest &request);
     HttpResponse handleStats(const ServingState &state);
+    HttpResponse handleMetrics();
 
     const PredictContext &predictContext(ServingState &state,
                                          uarch::UArch arch);
@@ -268,19 +321,31 @@ class QueryService
     ResponseCache cache_;
     ResponseCache kernel_memo_;
     PredictEngine engine_;
-    std::array<Counters, kNumEndpoints> counters_;
+
+    /** Every counter below lives in this registry; the named
+     *  pointers are pre-resolved hot-path handles into it. /stats
+     *  and /metrics both read the registry, so they agree by
+     *  construction. */
+    obs::Registry registry_;
+    obs::Logger logger_;
+
+    std::array<EndpointInstruments, kNumEndpoints> instruments_;
 
     /** /predict admission rejections, by reason. */
-    std::atomic<uint64_t> rejected_oversize_{0};  ///< 413
-    std::atomic<uint64_t> rejected_budget_{0};    ///< 429 (cycles)
-    std::atomic<uint64_t> rejected_busy_{0};      ///< 429 (queue)
+    obs::Counter *rejected_oversize_ = nullptr;  ///< 413
+    obs::Counter *rejected_budget_ = nullptr;    ///< 429 (cycles)
+    obs::Counter *rejected_busy_ = nullptr;      ///< 429 (queue)
 
     /** Reload/recovery health (reported under /stats "reload"). */
-    std::atomic<uint64_t> reloads_{0};            ///< swaps installed
-    std::atomic<uint64_t> reload_rejections_{0};  ///< 503s served
-    std::atomic<uint64_t> recoveries_{0};         ///< fell back a gen
-    std::atomic<uint64_t> recovery_events_{0};    ///< report events
-    std::atomic<uint64_t> verification_failures_{0};  ///< bad gens
+    obs::Counter *reloads_ = nullptr;            ///< swaps installed
+    obs::Counter *reload_rejections_ = nullptr;  ///< 503s served
+    obs::Counter *recoveries_ = nullptr;         ///< fell back a gen
+    obs::Counter *recovery_events_ = nullptr;    ///< report events
+    obs::Counter *verification_failures_ = nullptr;  ///< bad gens
+
+    /** Serving identity (updated on every swap). */
+    obs::Gauge *serving_generation_ = nullptr;
+    obs::Gauge *serving_epoch_ = nullptr;
 
     mutable std::mutex state_mutex_;
     StatePtr state_;

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Unit tests for the observability layer (support/obs): metrics
+ * instruments and registry exposition, the JSON-lines structured
+ * logger, and the tracing primitives (trace IDs, span sets, Chrome
+ * trace sink).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs_util.h"
+#include "support/obs/log.h"
+#include "support/obs/metrics.h"
+#include "support/obs/trace.h"
+#include "support/thread_pool.h"
+
+namespace uops::test {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Instruments.
+// ---------------------------------------------------------------------
+
+TEST(ObsMetrics, CounterAndGaugeBasics)
+{
+    obs::Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.inc();
+    counter.inc(41);
+    EXPECT_EQ(counter.value(), 42u);
+
+    obs::Gauge gauge;
+    EXPECT_EQ(gauge.value(), 0.0);
+    gauge.set(7.5);
+    EXPECT_EQ(gauge.value(), 7.5);
+    gauge.add(-2.5);
+    EXPECT_EQ(gauge.value(), 5.0);
+}
+
+TEST(ObsMetrics, HistogramBucketMath)
+{
+    // Bucket 0 is exactly zero; bucket i covers (2^(i-1), 2^i - 1].
+    EXPECT_EQ(obs::Histogram::bucketIndex(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(2), 2u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(3), 2u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(4), 3u);
+    EXPECT_EQ(obs::Histogram::bucketUpperBound(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketUpperBound(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucketUpperBound(2), 3u);
+    EXPECT_EQ(obs::Histogram::bucketUpperBound(3), 7u);
+
+    // Values past the last finite bound land in the open last bucket.
+    obs::Histogram histogram;
+    histogram.observe(~0ull);
+    auto snapshot = histogram.snapshot();
+    EXPECT_EQ(snapshot.buckets[obs::Histogram::kBuckets - 1], 1u);
+}
+
+TEST(ObsMetrics, HistogramQuantilesAreConservative)
+{
+    obs::Histogram histogram;
+    auto empty = histogram.snapshot();
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_FALSE(empty.quantile(0.5).has_value());
+
+    for (uint64_t v : {1ull, 2ull, 3ull, 100ull})
+        histogram.observe(v);
+    auto snapshot = histogram.snapshot();
+    EXPECT_EQ(snapshot.count, 4u);
+    EXPECT_EQ(snapshot.sum, 106u);
+    // p50 falls in the bucket holding 2 and 3 (upper bound 3); p99
+    // must cover the outlier's bucket ceiling, never undershoot it.
+    EXPECT_EQ(snapshot.quantile(0.5), std::optional<uint64_t>(3));
+    ASSERT_TRUE(snapshot.quantile(0.99).has_value());
+    EXPECT_GE(*snapshot.quantile(0.99), 100u);
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------
+
+TEST(ObsRegistry, RegisterOrFetchIsIdempotent)
+{
+    obs::Registry registry;
+    obs::Counter &a =
+        registry.counter("uops_test_total", "help", {{"k", "v"}});
+    obs::Counter &b =
+        registry.counter("uops_test_total", "ignored", {{"k", "v"}});
+    EXPECT_EQ(&a, &b);
+
+    // Label order must not matter: one series, not two.
+    obs::Counter &c = registry.counter(
+        "uops_pair_total", "help", {{"a", "1"}, {"b", "2"}});
+    obs::Counter &d = registry.counter(
+        "uops_pair_total", "help", {{"b", "2"}, {"a", "1"}});
+    EXPECT_EQ(&c, &d);
+}
+
+TEST(ObsRegistry, ExpositionRoundTrip)
+{
+    obs::Registry registry;
+    registry.counter("uops_requests_total", "Requests",
+                     {{"endpoint", "/predict"}})
+        .inc(3);
+    registry.counter("uops_requests_total", "Requests",
+                     {{"endpoint", "/stats"}})
+        .inc(1);
+    registry.gauge("uops_generation", "Serving generation").set(17);
+    obs::Histogram &histogram =
+        registry.histogram("uops_latency_us", "Latency");
+    histogram.observe(0);
+    histogram.observe(5);
+    histogram.observe(1000);
+    registry.gaugeCallback("uops_inflight", "Inflight", {},
+                           [] { return 2.0; });
+    registry.counterCallback("uops_evictions_total", "Evictions",
+                             {{"cache", "response"}},
+                             [] { return 9.0; });
+
+    Exposition parsed = parseExposition(registry.renderPrometheus());
+
+    EXPECT_EQ(parsed
+                  .series["uops_requests_total"
+                          "{endpoint=\"/predict\"}"],
+              3.0);
+    EXPECT_EQ(
+        parsed.series["uops_requests_total{endpoint=\"/stats\"}"],
+        1.0);
+    EXPECT_EQ(parsed.series["uops_generation"], 17.0);
+    EXPECT_EQ(parsed.series["uops_inflight"], 2.0);
+    EXPECT_EQ(
+        parsed.series["uops_evictions_total{cache=\"response\"}"],
+        9.0);
+
+    // Histogram: cumulative buckets, +Inf closes at count, sum/count
+    // series present, TYPE declared.
+    EXPECT_EQ(parsed.series["uops_latency_us_count"], 3.0);
+    EXPECT_EQ(parsed.series["uops_latency_us_sum"], 1005.0);
+    EXPECT_EQ(parsed.series["uops_latency_us_bucket{le=\"0\"}"], 1.0);
+    EXPECT_EQ(parsed.series["uops_latency_us_bucket{le=\"7\"}"], 2.0);
+    EXPECT_EQ(parsed.series["uops_latency_us_bucket{le=\"+Inf\"}"],
+              3.0);
+    EXPECT_EQ(parsed.type["uops_latency_us"], "histogram");
+    EXPECT_EQ(parsed.type["uops_requests_total"], "counter");
+    EXPECT_EQ(parsed.type["uops_generation"], "gauge");
+    EXPECT_EQ(parsed.help["uops_requests_total"], "Requests");
+
+    // Cumulativity across every bucket in numeric le order (the map
+    // iterates keys lexicographically, which scrambles the bounds).
+    double prev = 0;
+    for (size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+        std::string le =
+            i + 1 == obs::Histogram::kBuckets
+                ? "+Inf"
+                : std::to_string(obs::Histogram::bucketUpperBound(i));
+        std::string key =
+            "uops_latency_us_bucket{le=\"" + le + "\"}";
+        ASSERT_TRUE(parsed.series.count(key)) << key;
+        double value = parsed.series[key];
+        EXPECT_GE(value, prev) << key;
+        prev = value;
+    }
+    EXPECT_EQ(prev, 3.0);   // +Inf bucket equals _count
+}
+
+TEST(ObsRegistry, EscapesLabelValues)
+{
+    obs::Registry registry;
+    registry.counter("uops_weird_total", "Weird",
+                     {{"path", "a\\b\"c\nd"}})
+        .inc();
+    std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("path=\"a\\\\b\\\"c\\nd\""),
+              std::string::npos)
+        << text;
+    // The raw control byte must not survive into the exposition.
+    EXPECT_EQ(text.find("c\nd"), std::string::npos);
+}
+
+TEST(ObsRegistry, ConcurrentRegistrationAndRecording)
+{
+    obs::Registry registry;
+    ThreadPool pool(8);
+    pool.parallelFor(64, [&](size_t i, size_t) {
+        obs::LabelSet labels{
+            {"worker", std::to_string(i % 4)}};
+        registry
+            .counter("uops_conc_total", "Concurrent", labels)
+            .inc();
+        registry.histogram("uops_conc_us", "Concurrent").observe(i);
+    });
+    Exposition parsed = parseExposition(registry.renderPrometheus());
+    double total = 0;
+    for (int w = 0; w < 4; ++w)
+        total += parsed.series["uops_conc_total{worker=\"" +
+                               std::to_string(w) + "\"}"];
+    EXPECT_EQ(total, 64.0);
+    EXPECT_EQ(parsed.series["uops_conc_us_count"], 64.0);
+}
+
+// ---------------------------------------------------------------------
+// Structured logger.
+// ---------------------------------------------------------------------
+
+TEST(ObsLog, EmitsValidJsonWithAllFieldTypes)
+{
+    obs::Logger::Options options;
+    options.min_level = obs::LogLevel::Debug;
+    obs::Logger logger(options);
+    std::vector<std::string> lines;
+    logger.setSink([&](std::string_view line) {
+        lines.emplace_back(line);
+    });
+
+    logger.event(obs::LogLevel::Info, "test", "kitchen_sink")
+        .str("quoted", "a\"b\\c\nd\te\x01f")
+        .num("u", static_cast<uint64_t>(42))
+        .num("i", static_cast<int64_t>(-7))
+        .num("d", 1.5)
+        .num("nan", std::nan(""))
+        .boolean("yes", true)
+        .nullField("nothing");
+
+    ASSERT_EQ(lines.size(), 1u);
+    const std::string &line = lines[0];
+    EXPECT_TRUE(isValidJsonObject(line)) << line;
+    EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+    EXPECT_NE(line.find("\"component\":\"test\""), std::string::npos);
+    EXPECT_NE(line.find("\"event\":\"kitchen_sink\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"i\":-7"), std::string::npos);
+    // Non-finite doubles must degrade to null, not invalid JSON.
+    EXPECT_NE(line.find("\"nan\":null"), std::string::npos);
+    EXPECT_NE(line.find("\"nothing\":null"), std::string::npos);
+}
+
+TEST(ObsLog, LevelFilteringIsComplete)
+{
+    obs::Logger::Options options;
+    options.min_level = obs::LogLevel::Warn;
+    obs::Logger logger(options);
+    std::vector<std::string> lines;
+    logger.setSink([&](std::string_view line) {
+        lines.emplace_back(line);
+    });
+
+    EXPECT_FALSE(logger.enabled(obs::LogLevel::Info));
+    EXPECT_TRUE(logger.enabled(obs::LogLevel::Error));
+    logger.event(obs::LogLevel::Info, "test", "dropped")
+        .str("k", "v");
+    logger.event(obs::LogLevel::Error, "test", "kept");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"kept\""), std::string::npos);
+
+    logger.setMinLevel(obs::LogLevel::Debug);
+    logger.event(obs::LogLevel::Debug, "test", "now_visible");
+    EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(ObsLog, RateLimiterSuppresses)
+{
+    obs::Logger::Options options;
+    options.min_level = obs::LogLevel::Debug;
+    options.max_lines_per_second = 5;
+    obs::Logger logger(options);
+    std::vector<std::string> lines;
+    logger.setSink([&](std::string_view line) {
+        lines.emplace_back(line);
+    });
+    for (int i = 0; i < 50; ++i)
+        logger.event(obs::LogLevel::Info, "test", "burst")
+            .num("i", static_cast<int64_t>(i));
+    // The burst almost always lands in one 1s window (5 emitted, 45
+    // suppressed); a scheduler hiccup may straddle two windows, which
+    // adds at most one more window's worth plus a summary line.
+    EXPECT_LE(lines.size(), 11u);
+    EXPECT_GE(logger.suppressed(), 39u);
+    for (const std::string &line : lines)
+        EXPECT_TRUE(isValidJsonObject(line)) << line;
+}
+
+TEST(ObsLog, ConcurrentLinesStayWellFormed)
+{
+    obs::Logger::Options options;
+    options.min_level = obs::LogLevel::Debug;
+    obs::Logger logger(options);
+    std::mutex sink_mutex;
+    std::vector<std::string> lines;
+    logger.setSink([&](std::string_view line) {
+        std::lock_guard<std::mutex> lock(sink_mutex);
+        lines.emplace_back(line);
+    });
+
+    ThreadPool pool(8);
+    pool.parallelFor(256, [&](size_t i, size_t worker) {
+        logger
+            .event(obs::LogLevel::Info, "hammer", "line")
+            .num("i", static_cast<uint64_t>(i))
+            .num("worker", static_cast<uint64_t>(worker))
+            .str("payload", "x\"y\\z");
+    });
+
+    ASSERT_EQ(lines.size(), 256u);
+    std::set<std::string> distinct;
+    for (const std::string &line : lines) {
+        EXPECT_TRUE(isValidJsonObject(line)) << line;
+        distinct.insert(line);
+    }
+    // Every line is one whole event: no interleaving, no loss.
+    EXPECT_EQ(distinct.size(), 256u);
+}
+
+// ---------------------------------------------------------------------
+// Tracing.
+// ---------------------------------------------------------------------
+
+TEST(ObsTrace, TraceIdsAreWellFormedAndDistinct)
+{
+    std::set<std::string> seen;
+    for (int i = 0; i < 1000; ++i) {
+        std::string id = obs::newTraceId();
+        ASSERT_EQ(id.size(), 16u);
+        for (char c : id)
+            ASSERT_TRUE(std::isxdigit(static_cast<unsigned char>(c)) &&
+                        !std::isupper(static_cast<unsigned char>(c)))
+                << id;
+        seen.insert(id);
+    }
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(ObsTrace, SpanNestingDepthsAndOrder)
+{
+    obs::SpanSet spans("test", nullptr);
+    {
+        auto root = spans.span("root");
+        {
+            auto child = spans.span("child");
+            auto grandchild = spans.span("grandchild");
+        }
+        auto sibling = spans.span("sibling");
+    }
+    const auto &entries = spans.entries();
+    ASSERT_EQ(entries.size(), 4u);
+    EXPECT_EQ(entries[0].name, "root");
+    EXPECT_EQ(entries[0].depth, 0u);
+    EXPECT_EQ(entries[1].name, "child");
+    EXPECT_EQ(entries[1].depth, 1u);
+    EXPECT_EQ(entries[2].name, "grandchild");
+    EXPECT_EQ(entries[2].depth, 2u);
+    EXPECT_EQ(entries[3].name, "sibling");
+    EXPECT_EQ(entries[3].depth, 1u);
+    // Children start no earlier than their parent and end within it.
+    EXPECT_GE(entries[1].start_us, entries[0].start_us);
+    EXPECT_LE(entries[1].start_us + entries[1].dur_us,
+              entries[0].start_us + entries[0].dur_us);
+}
+
+TEST(ObsTrace, ScopeEndIsIdempotentAndMovable)
+{
+    obs::SpanSet spans("test", nullptr);
+    obs::SpanSet::Scope inert;   // default: no set, all no-ops
+    inert.end();
+
+    auto outer = spans.span("moved");
+    obs::SpanSet::Scope stolen = std::move(outer);
+    outer.end();   // moved-from: must not close the span
+    EXPECT_EQ(spans.entries()[0].dur_us, 0u);
+    stolen.end();
+    stolen.end();  // second end: no double close
+    ASSERT_EQ(spans.entries().size(), 1u);
+}
+
+TEST(ObsTrace, ChromeTracerWritesLoadableJson)
+{
+    auto path = fs::temp_directory_path() /
+                ("obs_trace_" +
+                 std::to_string(::getpid()) + ".json");
+    fs::remove(path);
+    {
+        obs::ChromeTracer tracer(path.string());
+        tracer.complete("alpha", "test", 10, 5);
+        tracer.counter("queue", 3.0);
+        EXPECT_EQ(tracer.bufferedEvents(), 2u);
+        tracer.flush();
+        EXPECT_EQ(tracer.bufferedEvents(), 0u);
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string doc = text.str();
+    // One-document JSON: the validator accepts it whole.
+    std::string flat;
+    for (char c : doc)
+        if (c != '\n')
+            flat += c;
+    EXPECT_TRUE(isValidJsonObject(flat)) << doc;
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"alpha\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+    fs::remove(path);
+}
+
+TEST(ObsTrace, SpanSetForwardsClosedSpansToTracer)
+{
+    auto path = fs::temp_directory_path() /
+                ("obs_spans_" +
+                 std::to_string(::getpid()) + ".json");
+    obs::ChromeTracer tracer(path.string());
+    {
+        obs::SpanSet spans("unit", &tracer);
+        auto scope = spans.span("forwarded");
+    }
+    EXPECT_EQ(tracer.bufferedEvents(), 1u);
+    fs::remove(path);
+}
+
+} // namespace
+} // namespace uops::test

@@ -10,10 +10,13 @@
  */
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <set>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -26,9 +29,11 @@
 #include "core/batch.h"
 #include "core/predictor.h"
 #include "db/catalog.h"
+#include "obs_util.h"
 #include "server/http_server.h"
 #include "server/json.h"
 #include "sim/block_predict.h"
+#include "support/obs/log.h"
 #include "support/thread_pool.h"
 #include "test_util.h"
 
@@ -820,6 +825,13 @@ TEST(HttpServerSocket, ConcurrentClientsGetConsistentAnswers)
     server::HttpServer http(*service);
     http.start();
 
+    // Headers carry a per-request X-Request-Id, so identity is a
+    // body property: compare everything after the blank line.
+    auto body_of = [](const std::string &response) {
+        size_t split = response.find("\r\n\r\n");
+        return split == std::string::npos ? response
+                                          : response.substr(split + 4);
+    };
     std::string baseline = httpGet(http.port(), "/healthz");
     ASSERT_NE(baseline.find("200 OK"), std::string::npos);
 
@@ -828,7 +840,8 @@ TEST(HttpServerSocket, ConcurrentClientsGetConsistentAnswers)
     for (int t = 0; t < 8; ++t) {
         clients.emplace_back([&] {
             for (int i = 0; i < 10; ++i)
-                if (httpGet(http.port(), "/healthz") != baseline)
+                if (body_of(httpGet(http.port(), "/healthz")) !=
+                    body_of(baseline))
                     ++mismatches;
         });
     }
@@ -1278,6 +1291,354 @@ TEST(HttpServerDrain, SlowClientRecvTimeoutFreesTheWorker)
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     EXPECT_EQ(http.activeConnections(), 0u);
     EXPECT_TRUE(http.drain(std::chrono::seconds(1)));
+}
+
+// ---------------------------------------------------------------------
+// Observability: /metrics exposition, request IDs, debug timings,
+// and the structured access log.
+// ---------------------------------------------------------------------
+
+TEST(Observability, MetricsExpositionMatchesRegistry)
+{
+    auto service = makeService();
+    service->handle(get("/healthz"));
+    service->handle(get("/healthz"));
+    service->handle(get("/instr/ADD_R64_R64?uarch=SKL"));
+    service->handle(get("/instr/ADD_R64_R64?uarch=SKL"));   // hit
+    service->handle(get("/nope"));                          // 404
+    service->handle(get("/predict?uarch=SKL&asm=ADD%20RAX,%20RBX"));
+
+    HttpResponse response = service->handle(get("/metrics"));
+    ASSERT_EQ(response.status, 200);
+    EXPECT_NE(response.content_type.find("text/plain"),
+              std::string::npos);
+    EXPECT_NE(response.content_type.find("version=0.0.4"),
+              std::string::npos);
+    Exposition parsed = parseExposition(response.body);
+
+    // Every per-endpoint series must agree with the /stats-backing
+    // accessor — one registry, two renderings. The /metrics request
+    // itself is mid-flight when the body renders: its own request
+    // counter is already incremented, its latency not yet observed.
+    for (size_t i = 0; i < server::kNumEndpoints; ++i) {
+        auto endpoint = static_cast<Endpoint>(i);
+        auto metrics = service->metrics(endpoint);
+        std::string labels = std::string("{endpoint=\"") +
+                             server::endpointName(endpoint) + "\"}";
+        EXPECT_EQ(parsed.series["uops_http_requests_total" + labels],
+                  static_cast<double>(metrics.requests))
+            << server::endpointName(endpoint);
+        EXPECT_EQ(parsed.series["uops_http_errors_total" + labels],
+                  static_cast<double>(metrics.errors));
+        EXPECT_EQ(
+            parsed.series["uops_http_cache_hits_total" + labels],
+            static_cast<double>(metrics.cache_hits));
+        if (endpoint != Endpoint::Metrics)
+            EXPECT_EQ(
+                parsed.series["uops_http_request_duration_us_count" +
+                              labels],
+                static_cast<double>(metrics.samples));
+    }
+
+    // Spot-check the derived expectations the scrape is for.
+    EXPECT_EQ(
+        parsed.series["uops_http_requests_total{endpoint=\"/healthz\"}"],
+        2.0);
+    EXPECT_EQ(
+        parsed.series["uops_http_errors_total{endpoint=\"other\"}"],
+        1.0);
+    EXPECT_EQ(parsed.series["uops_http_cache_hits_total"
+                            "{endpoint=\"/instr\"}"],
+              1.0);
+
+    // Cache, engine, and serving-state series mirror their stats
+    // structs through render-time callbacks.
+    auto cache = service->cacheStats();
+    EXPECT_EQ(parsed.series["uops_response_cache_hits_total"
+                            "{cache=\"response\"}"],
+              static_cast<double>(cache.hits));
+    EXPECT_EQ(parsed.series["uops_response_cache_insertions_total"
+                            "{cache=\"response\"}"],
+              static_cast<double>(cache.insertions));
+    EXPECT_EQ(parsed.series["uops_engine_simulations_total"], 1.0);
+    EXPECT_EQ(parsed.series["uops_serving_generation"],
+              static_cast<double>(service->catalog()->generation()));
+    EXPECT_EQ(parsed.series.count("uops_reloads_total"), 1u);
+    EXPECT_EQ(
+        parsed.series.count("uops_catalog_recoveries_total"), 1u);
+
+    // Families carry HELP and TYPE exactly once each.
+    EXPECT_EQ(parsed.type["uops_http_requests_total"], "counter");
+    EXPECT_EQ(parsed.type["uops_http_request_duration_us"],
+              "histogram");
+    EXPECT_FALSE(parsed.help["uops_http_requests_total"].empty());
+}
+
+TEST(Observability, StatsReportsSamplesAndNullPercentiles)
+{
+    auto service = makeService();
+    service->handle(get("/healthz"));
+    HttpResponse response = service->handle(get("/stats"));
+    ASSERT_EQ(response.status, 200);
+    // /diff was never hit: explicit zero samples, null percentiles —
+    // distinguishable from "fast" (which /healthz's numbers are not).
+    EXPECT_NE(response.body.find(
+                  "\"/diff\":{\"requests\":0,\"errors\":0,"
+                  "\"cache_hits\":0,\"total_us\":0,\"samples\":0,"
+                  "\"p50_us\":null,\"p99_us\":null"),
+              std::string::npos)
+        << response.body;
+    size_t healthz = response.body.find("\"/healthz\":{");
+    ASSERT_NE(healthz, std::string::npos);
+    size_t healthz_end = response.body.find('}', healthz);
+    ASSERT_NE(healthz_end, std::string::npos);
+    std::string block =
+        response.body.substr(healthz, healthz_end - healthz + 1);
+    EXPECT_NE(block.find("\"samples\":1"), std::string::npos)
+        << block;
+    EXPECT_EQ(block.find("\"p50_us\":null"), std::string::npos)
+        << block;
+}
+
+TEST(Observability, RequestIdsAreEchoedOrMinted)
+{
+    auto service = makeService();
+
+    // No client ID: minted, 16 lowercase hex.
+    HttpResponse minted = service->handle(get("/healthz"));
+    ASSERT_EQ(minted.request_id.size(), 16u);
+    for (char c : minted.request_id)
+        EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)));
+
+    // Sane client ID: echoed verbatim, on errors too.
+    HttpRequest tagged = get("/nope");
+    tagged.headers.emplace_back("X-Request-Id", "client-id-42");
+    HttpResponse echoed = service->handle(tagged);
+    EXPECT_EQ(echoed.status, 404);
+    EXPECT_EQ(echoed.request_id, "client-id-42");
+
+    // Garbage client ID (embedded control char): replaced, not
+    // reflected back into the header section.
+    HttpRequest hostile = get("/healthz");
+    hostile.headers.emplace_back("X-Request-Id", "bad\rid");
+    HttpResponse replaced = service->handle(hostile);
+    EXPECT_EQ(replaced.request_id.size(), 16u);
+    EXPECT_EQ(replaced.request_id.find('\r'), std::string::npos);
+
+    // The serialized response carries the header.
+    std::string wire = server::serializeResponse(echoed);
+    EXPECT_NE(wire.find("X-Request-Id: client-id-42\r\n"),
+              std::string::npos);
+}
+
+TEST(Observability, CachedResponsesGetFreshRequestIds)
+{
+    auto service = makeService();
+    const std::string target = "/instr/ADD_R64_R64?uarch=SKL";
+    HttpResponse first = service->handle(get(target));
+    HttpResponse second = service->handle(get(target));
+    ASSERT_TRUE(second.cache_hit);
+    EXPECT_EQ(first.body, second.body);
+    // Correlation must stay per-request even when the body is shared.
+    EXPECT_NE(first.request_id, second.request_id);
+}
+
+TEST(Observability, DebugTimingsExposesSpansAndBypassesCaches)
+{
+    auto service = makeService();
+    const std::string target =
+        "/predict?uarch=SKL&asm=ADD%20RAX,%20RBX&debug=timings";
+    HttpResponse first = service->handle(get(target));
+    ASSERT_EQ(first.status, 200) << first.body;
+    size_t timings_at = first.body.find("\"timings\":[");
+    ASSERT_NE(timings_at, std::string::npos) << first.body;
+    // Search within the timings array only: "analysis" also names the
+    // static-analysis block earlier in the response body.
+    std::string timings = first.body.substr(timings_at);
+
+    // The span tree: one root covering the phase children.
+    EXPECT_NE(timings.find("\"name\":\"predict\",\"depth\":0"),
+              std::string::npos)
+        << timings;
+    for (const char *phase :
+         {"\"parse\"", "\"assemble\"", "\"simulate\"",
+          "\"analysis\"", "\"render\""}) {
+        size_t at = timings.find(std::string("\"name\":") + phase);
+        ASSERT_NE(at, std::string::npos) << phase << timings;
+        EXPECT_NE(timings.find("\"depth\":1", at),
+                  std::string::npos);
+    }
+    // Phases appear in pipeline order.
+    EXPECT_LT(timings.find("\"parse\""),
+              timings.find("\"assemble\""));
+    EXPECT_LT(timings.find("\"assemble\""),
+              timings.find("\"simulate\""));
+    EXPECT_LT(timings.find("\"simulate\""),
+              timings.find("\"analysis\""));
+    EXPECT_LT(timings.find("\"analysis\""),
+              timings.find("\"render\""));
+
+    // Debug responses are never cached (response cache or kernel
+    // memo), so timings stay per-request...
+    HttpResponse second = service->handle(get(target));
+    EXPECT_FALSE(second.cache_hit);
+    EXPECT_EQ(service->cacheStats().insertions, 0u);
+    EXPECT_EQ(service->kernelMemoStats().insertions, 0u);
+
+    // ...and the memoized fast path stays byte-identical to a cold
+    // render: the plain spelling of the same request has no timings.
+    HttpResponse plain = service->handle(
+        get("/predict?uarch=SKL&asm=ADD%20RAX,%20RBX"));
+    ASSERT_EQ(plain.status, 200);
+    EXPECT_EQ(plain.body.find("\"timings\""), std::string::npos);
+}
+
+TEST(Observability, AccessLogLinesAreValidJson)
+{
+    server::QueryService::Options options;
+    options.log_level = obs::LogLevel::Info;
+    options.slow_request_us = 1;   // everything interesting is slow
+    server::QueryService service(sliceCatalog(), defaultDb(),
+                                 options);
+    std::mutex sink_mutex;
+    std::vector<std::string> lines;
+    service.logger().setSink([&](std::string_view line) {
+        std::lock_guard<std::mutex> lock(sink_mutex);
+        lines.emplace_back(line);
+    });
+
+    service.handle(get("/healthz"));
+    service.handle(get("/nope"));
+    HttpRequest tagged =
+        get("/predict?uarch=SKL&asm=ADD%20RAX,%20RBX");
+    tagged.headers.emplace_back("X-Request-Id", "trace-me");
+    service.handle(tagged);
+
+    ASSERT_GE(lines.size(), 3u);
+    bool saw_404 = false, saw_slow = false, saw_tagged = false;
+    for (const std::string &line : lines) {
+        EXPECT_TRUE(isValidJsonObject(line)) << line;
+        if (line.find("\"event\":\"access\"") != std::string::npos &&
+            line.find("\"status\":404") != std::string::npos)
+            saw_404 = true;
+        if (line.find("\"event\":\"slow_request\"") !=
+            std::string::npos)
+            saw_slow = true;
+        if (line.find("\"id\":\"trace-me\"") != std::string::npos)
+            saw_tagged = true;
+    }
+    EXPECT_TRUE(saw_404);
+    EXPECT_TRUE(saw_slow);   // the /predict render dwarfs 1us
+    EXPECT_TRUE(saw_tagged);
+}
+
+TEST(Observability, ConcurrentAccessLogStaysWellFormed)
+{
+    server::QueryService::Options options;
+    options.log_level = obs::LogLevel::Info;
+    server::QueryService service(sliceCatalog(), defaultDb(),
+                                 options);
+    std::mutex sink_mutex;
+    std::vector<std::string> lines;
+    service.logger().setSink([&](std::string_view line) {
+        std::lock_guard<std::mutex> lock(sink_mutex);
+        lines.emplace_back(line);
+    });
+
+    ThreadPool pool(8);
+    pool.parallelFor(128, [&](size_t i, size_t) {
+        HttpRequest request = get(
+            i % 2 == 0 ? "/healthz"
+                       : "/instr/ADD_R64_R64?uarch=SKL");
+        request.headers.emplace_back("X-Request-Id",
+                                     "req-" + std::to_string(i));
+        service.handle(request);
+    });
+
+    ASSERT_EQ(lines.size(), 128u);
+    std::set<std::string> ids;
+    for (const std::string &line : lines) {
+        ASSERT_TRUE(isValidJsonObject(line)) << line;
+        size_t at = line.find("\"id\":\"req-");
+        ASSERT_NE(at, std::string::npos) << line;
+        ids.insert(line.substr(at, line.find('"', at + 7) - at));
+    }
+    EXPECT_EQ(ids.size(), 128u);   // no line lost, none interleaved
+}
+
+TEST(HttpServerSocket, RequestIdsPropagateThroughPipelining)
+{
+    auto service = makeService();
+    server::HttpServer http(*service);
+    http.start();
+
+    int fd = connectTo(http.port());
+    ASSERT_GE(fd, 0);
+    // Two pipelined requests in one write, distinct client IDs: each
+    // response must echo its own request's ID, in order.
+    sendRaw(fd,
+            "GET /healthz HTTP/1.1\r\nHost: x\r\n"
+            "X-Request-Id: pipeline-a\r\n\r\n"
+            "GET /uarchs HTTP/1.1\r\nHost: x\r\n"
+            "X-Request-Id: pipeline-b\r\n\r\n");
+    std::string carry;
+    std::string first = readOneResponse(fd, carry);
+    std::string second = readOneResponse(fd, carry);
+    EXPECT_NE(first.find("X-Request-Id: pipeline-a\r\n"),
+              std::string::npos)
+        << first;
+    EXPECT_EQ(first.find("pipeline-b"), std::string::npos);
+    EXPECT_NE(second.find("X-Request-Id: pipeline-b\r\n"),
+              std::string::npos)
+        << second;
+    EXPECT_EQ(second.find("pipeline-a"), std::string::npos);
+
+    // A third request on the same connection without an ID gets a
+    // fresh minted one.
+    sendRaw(fd, "GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                "Connection: close\r\n\r\n");
+    std::string third = readOneResponse(fd, carry);
+    size_t at = third.find("X-Request-Id: ");
+    ASSERT_NE(at, std::string::npos) << third;
+    EXPECT_EQ(third.find("pipeline", at), std::string::npos);
+    ::close(fd);
+    http.stop();
+}
+
+TEST(HttpServerSocket, TransportErrorsCarryRequestIds)
+{
+    auto service = makeService();
+    server::HttpServer http(*service);
+    http.start();
+
+    // Unparseable request head: refused at the transport layer with
+    // a minted correlation ID.
+    int fd = connectTo(http.port());
+    ASSERT_GE(fd, 0);
+    sendRaw(fd, "NOT A REQUEST\r\n\r\n");
+    std::string carry;
+    std::string refused = readOneResponse(fd, carry);
+    EXPECT_NE(refused.find("HTTP/1.1 400"), std::string::npos)
+        << refused;
+    EXPECT_NE(refused.find("X-Request-Id: "), std::string::npos)
+        << refused;
+    ::close(fd);
+
+    // Parsed head with a bad body declaration: the client's ID is
+    // honored even on the refusal path.
+    fd = connectTo(http.port());
+    ASSERT_GE(fd, 0);
+    sendRaw(fd, "POST /predict HTTP/1.1\r\nHost: x\r\n"
+                "X-Request-Id: still-mine\r\n"
+                "Content-Length: nonsense\r\n\r\n");
+    std::string bad_length = readOneResponse(fd, carry);
+    EXPECT_NE(bad_length.find("HTTP/1.1 400"), std::string::npos)
+        << bad_length;
+    EXPECT_NE(bad_length.find("X-Request-Id: still-mine\r\n"),
+              std::string::npos)
+        << bad_length;
+    ::close(fd);
+    http.stop();
 }
 
 } // namespace

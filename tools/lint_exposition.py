@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition linter for the /metrics endpoint.
+
+Validates a scrape (file or stdin) against the text exposition format
+a real Prometheus server would accept, plus the conventions this repo
+enforces on its own series:
+
+  * metric and label names match the Prometheus grammar
+  * every sample's family carries # HELP and # TYPE, declared before
+    the first sample and at most once each
+  * no duplicate series (same name + same label set)
+  * histogram families expose _bucket/_sum/_count, bucket counts are
+    cumulative in le order, and the +Inf bucket equals _count
+  * counter family names end in _total (convention check, repo series
+    only: families prefixed uops_)
+  * label values are properly quoted and escaped
+
+    lint_exposition.py [METRICS.txt] [--require SERIES ...]
+
+--require asserts that a series is present, matching either a bare
+family name ("uops_reloads_total") or a fully labeled series
+("uops_http_requests_total{endpoint=\"/predict\"}"); CI uses this to
+pin the serving surface. Exits non-zero on any violation. Uses only
+the Python standard library.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label pair: name="value" with \\, \", \n escapes allowed.
+LABEL_PAIR = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+class Linter:
+    def __init__(self):
+        self.errors = []
+        self.help = {}          # family -> help text
+        self.type = {}          # family -> type
+        self.samples = {}       # (name, labels tuple) -> value
+        self.sample_order = []  # insertion order for histogram checks
+        self.first_sample_line = {}  # family -> line number
+
+    def error(self, lineno, message):
+        self.errors.append("line %d: %s" % (lineno, message))
+
+    def base_family(self, name):
+        """Family a sample belongs to (histogram suffixes folded)."""
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                if self.type.get(base) == "histogram":
+                    return base
+        return name
+
+    def parse_labels(self, lineno, text):
+        """'k="v",k2="v2"' -> tuple of pairs, or None on error."""
+        out = []
+        pos = 0
+        while pos < len(text):
+            m = LABEL_PAIR.match(text, pos)
+            if not m:
+                self.error(lineno, "malformed label at %r" % text[pos:])
+                return None
+            if not LABEL_NAME.match(m.group(1)):
+                self.error(lineno, "bad label name %r" % m.group(1))
+                return None
+            out.append((m.group(1), m.group(2)))
+            pos = m.end()
+            if pos < len(text):
+                if text[pos] != ",":
+                    self.error(lineno,
+                               "expected ',' in labels at %r"
+                               % text[pos:])
+                    return None
+                pos += 1
+        return tuple(out)
+
+    def feed(self, lineno, line):
+        if line == "":
+            return
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            kind = line[2:6]
+            rest = line[7:]
+            parts = rest.split(" ", 1)
+            if len(parts) != 2 or not parts[1]:
+                self.error(lineno, "truncated %s line" % kind)
+                return
+            family, payload = parts
+            if not METRIC_NAME.match(family):
+                self.error(lineno, "bad family name %r" % family)
+                return
+            table = self.help if kind == "HELP" else self.type
+            if family in table:
+                self.error(lineno, "duplicate # %s for %s"
+                           % (kind, family))
+            if family in self.first_sample_line:
+                self.error(lineno,
+                           "# %s for %s after its first sample"
+                           % (kind, family))
+            if kind == "TYPE" and payload not in (
+                    "counter", "gauge", "histogram", "summary",
+                    "untyped"):
+                self.error(lineno, "unknown type %r" % payload)
+            table[family] = payload
+            return
+        if line.startswith("#"):
+            return  # free-form comment
+
+        m = re.match(r"^([^{\s]+)(\{[^ ]*\})? (.+)$", line)
+        if not m:
+            self.error(lineno, "unparseable sample %r" % line)
+            return
+        name, label_block, value_text = m.groups()
+        if not METRIC_NAME.match(name):
+            self.error(lineno, "bad metric name %r" % name)
+            return
+        labels = ()
+        if label_block:
+            labels = self.parse_labels(lineno, label_block[1:-1])
+            if labels is None:
+                return
+        if value_text == "+Inf":
+            value = math.inf
+        else:
+            try:
+                value = float(value_text)
+            except ValueError:
+                self.error(lineno, "bad value %r" % value_text)
+                return
+
+        family = self.base_family(name)
+        self.first_sample_line.setdefault(family, lineno)
+        key = (name, labels)
+        if key in self.samples:
+            self.error(lineno, "duplicate series %s%s"
+                       % (name, label_block or ""))
+        self.samples[key] = value
+        self.sample_order.append(key)
+
+    def finish(self):
+        # Every sampled family needs HELP and TYPE.
+        for family, lineno in sorted(self.first_sample_line.items()):
+            if family not in self.help:
+                self.error(lineno, "family %s has no # HELP" % family)
+            if family not in self.type:
+                self.error(lineno, "family %s has no # TYPE" % family)
+
+        # Repo convention: counters end in _total.
+        for family, kind in sorted(self.type.items()):
+            if (kind == "counter" and family.startswith("uops_")
+                    and not family.endswith("_total")):
+                self.error(self.first_sample_line.get(family, 0),
+                           "counter %s does not end in _total"
+                           % family)
+
+        # Histogram structure.
+        for family, kind in sorted(self.type.items()):
+            if kind != "histogram":
+                continue
+            buckets = {}   # non-le labels -> [(le, value)]
+            sums = set()
+            counts = {}
+            for (name, labels), value in self.samples.items():
+                if name == family + "_sum":
+                    sums.add(labels)
+                elif name == family + "_count":
+                    counts[labels] = value
+                elif name == family + "_bucket":
+                    le = [v for k, v in labels if k == "le"]
+                    rest = tuple(p for p in labels if p[0] != "le")
+                    if len(le) != 1:
+                        self.error(
+                            self.first_sample_line.get(family, 0),
+                            "%s_bucket without exactly one le"
+                            % family)
+                        continue
+                    bound = (math.inf if le[0] == "+Inf"
+                             else float(le[0]))
+                    buckets.setdefault(rest, []).append(
+                        (bound, value))
+            lineno = self.first_sample_line.get(family, 0)
+            for rest, series in sorted(buckets.items()):
+                series.sort()
+                prev = 0.0
+                for bound, value in series:
+                    if value < prev:
+                        self.error(
+                            lineno,
+                            "%s buckets not cumulative at le=%s"
+                            % (family, bound))
+                    prev = value
+                if not series or series[-1][0] != math.inf:
+                    self.error(lineno,
+                               "%s has no +Inf bucket" % family)
+                elif rest in counts and series[-1][1] != counts[rest]:
+                    self.error(
+                        lineno,
+                        "%s +Inf bucket %g != _count %g"
+                        % (family, series[-1][1], counts[rest]))
+                if rest not in sums:
+                    self.error(lineno, "%s has no _sum" % family)
+                if rest not in counts:
+                    self.error(lineno, "%s has no _count" % family)
+
+    def require(self, wanted):
+        """Series or family that must be present in the scrape."""
+        if "{" in wanted:
+            name, block = wanted.split("{", 1)
+            labels = self.parse_labels(0, block.rstrip("}"))
+            if labels is not None and (name, labels) in self.samples:
+                return True
+        else:
+            if any(name == wanted or
+                   self.base_family(name) == wanted
+                   for name, _ in self.samples):
+                return True
+        self.errors.append("required series missing: %s" % wanted)
+        return False
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Lint a Prometheus text exposition")
+    parser.add_argument("path", nargs="?", default="-",
+                        help="metrics file ('-' for stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="SERIES",
+                        help="fail unless this series is present "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, "r", encoding="utf-8") as f:
+            text = f.read()
+
+    linter = Linter()
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        linter.feed(lineno, line)
+    linter.finish()
+    for wanted in args.require:
+        linter.require(wanted)
+
+    for error in linter.errors:
+        print("lint_exposition: %s" % error, file=sys.stderr)
+    if linter.errors:
+        return 1
+    print("lint_exposition: OK (%d series, %d families)"
+          % (len(linter.samples), len(linter.first_sample_line)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
