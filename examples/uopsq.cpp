@@ -52,11 +52,15 @@
  *       prediction succeeded.
  *
  *   uopsq serve PATH [--port P] [--address A] [--threads N]
+ *                    [--reactor-threads N] [--legacy-threaded]
  *                    [--load mmap|stream] [--watch SECONDS]
  *                    [--drain-ms MS] [--log-level LEVEL]
  *       Start the HTTP/1.1 JSON API (port 0 picks an ephemeral port;
- *       the chosen port is printed). Catalog shards are memory-mapped
- *       zero-copy by default. POST /reload hot-swaps to the current
+ *       the chosen port is printed). Requests are served through the
+ *       epoll reactor (--reactor-threads, default min(4, hardware))
+ *       with precomputed response blobs; --legacy-threaded falls back
+ *       to the thread-per-connection transport. Catalog shards are
+ *       memory-mapped zero-copy by default. POST /reload hot-swaps to the current
  *       on-disk generation without dropping a request; --watch polls
  *       the manifest and reloads automatically when a characterize
  *       run publishes a new generation. SIGTERM/SIGINT drain
@@ -125,6 +129,7 @@ usage()
         "       uopsq predict PATH --uarch A [--asm LISTING |"
         " --file KERNEL.s]\n"
         "       uopsq serve PATH [--port P] [--address A] [--threads N]"
+        " [--reactor-threads N] [--legacy-threaded]"
         " [--load mmap|stream] [--watch SECONDS] [--drain-ms MS]"
         " [--log-level LEVEL]\n");
     std::exit(1);
@@ -160,7 +165,7 @@ struct Args
 bool
 isBoolFlag(const std::string &key)
 {
-    return key == "progress";
+    return key == "progress" || key == "legacy-threaded";
 }
 
 Args
@@ -549,6 +554,10 @@ cmdServe(const Args &args)
         options.bind_address = *address;
     options.num_threads =
         static_cast<size_t>(args.intOption("threads", 0));
+    options.reactor = args.option("legacy-threaded") == nullptr;
+    long reactor_threads = args.intOption("reactor-threads", 0);
+    fatalIf(reactor_threads < 0, "--reactor-threads must be >= 0");
+    options.reactor_threads = static_cast<size_t>(reactor_threads);
 
     long watch_seconds = args.intOption("watch", 0);
     fatalIf(watch_seconds < 0, "--watch must be >= 0");
@@ -581,6 +590,7 @@ cmdServe(const Args &args)
                            service.catalog()->shards().size()))
         .num("http_workers",
              static_cast<uint64_t>(http.numWorkers()))
+        .str("transport", options.reactor ? "reactor" : "threaded")
         .num("drain_ms", static_cast<uint64_t>(drain_ms))
         .num("watch_seconds", static_cast<uint64_t>(watch_seconds));
     if (watch_seconds > 0)

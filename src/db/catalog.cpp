@@ -169,6 +169,20 @@ DatabaseCatalog::DatabaseCatalog(std::vector<ShardEntry> shards,
                 uarch::uarchShortName(shards_[i].arch));
 }
 
+uint64_t
+DatabaseCatalog::contentHash() const
+{
+    // Shards are uarch-sorted by construction, so the fold order —
+    // and thus the digest — is canonical for a given content set.
+    uint64_t digest = kFnvOffsetBasis;
+    for (const ShardEntry &entry : shards_) {
+        uint8_t arch = static_cast<uint8_t>(entry.arch);
+        digest = fnv1a64(&arch, sizeof arch, digest);
+        digest = fnv1a64(&entry.hash, sizeof entry.hash, digest);
+    }
+    return digest;
+}
+
 const InstructionDatabase *
 DatabaseCatalog::shard(uarch::UArch arch) const
 {

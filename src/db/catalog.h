@@ -143,6 +143,16 @@ class DatabaseCatalog
     uint64_t generation() const { return generation_; }
     const std::vector<ShardEntry> &shards() const { return shards_; }
 
+    /** One digest over the generation's content: FNV-1a folded over
+     *  every (uarch, shard content hash) pair in uarch order. Two
+     *  catalogs serving identical shard bytes share it regardless of
+     *  generation number; any re-characterized shard changes it. The
+     *  serving layer derives per-generation ETags from this at
+     *  swapCatalog time (the blob-store build hook), so HTTP
+     *  revalidation is keyed by the same content addresses the
+     *  storage engine verifies on load. */
+    uint64_t contentHash() const;
+
     /** The shard for one uarch; nullptr when absent. */
     const InstructionDatabase *shard(uarch::UArch arch) const;
 

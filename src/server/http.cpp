@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 
 #include "support/status.h"
 #include "support/strings.h"
@@ -59,6 +60,7 @@ statusText(int status)
 {
     switch (status) {
       case 200: return "OK";
+      case 304: return "Not Modified";
       case 400: return "Bad Request";
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
@@ -206,21 +208,173 @@ wantsKeepAlive(const HttpRequest &request)
     return request.minor_version >= 1;
 }
 
+bool
+ifNoneMatch(const HttpRequest &request, std::string_view etag)
+{
+    const std::string *header = request.header("If-None-Match");
+    if (header == nullptr)
+        return false;
+    return ifNoneMatchValue(*header, etag);
+}
+
+bool
+ifNoneMatchValue(std::string_view header_value, std::string_view etag)
+{
+    if (header_value.empty() || etag.empty())
+        return false;
+    size_t pos = 0;
+    while (pos <= header_value.size()) {
+        size_t comma = header_value.find(',', pos);
+        std::string_view candidate =
+            comma == std::string_view::npos
+                ? header_value.substr(pos)
+                : header_value.substr(pos, comma - pos);
+        while (!candidate.empty() &&
+               std::isspace(static_cast<unsigned char>(
+                   candidate.front())))
+            candidate.remove_prefix(1);
+        while (!candidate.empty() &&
+               std::isspace(static_cast<unsigned char>(
+                   candidate.back())))
+            candidate.remove_suffix(1);
+        if (!candidate.empty()) {
+            if (candidate == "*")
+                return true;
+            // Weak comparison: a W/ prefix marks the tag weak but
+            // the opaque value still identifies the generation.
+            if (candidate.substr(0, 2) == "W/")
+                candidate.remove_prefix(2);
+            if (candidate.size() >= 2 && candidate.front() == '"' &&
+                candidate.back() == '"')
+                candidate = candidate.substr(1, candidate.size() - 2);
+            if (candidate == etag)
+                return true;
+        }
+        if (comma == std::string_view::npos)
+            break;
+        pos = comma + 1;
+    }
+    return false;
+}
+
+bool
+scanFastGet(std::string_view head, FastGetView &out)
+{
+    if (head.substr(0, 4) != "GET ")
+        return false;
+    size_t sp = head.find(' ', 4);
+    if (sp == std::string_view::npos)
+        return false;
+    out.target = head.substr(4, sp - 4);
+    if (out.target.empty() || out.target.front() != '/')
+        return false;
+    size_t eol = head.find("\r\n", sp + 1);
+    if (eol == std::string_view::npos ||
+        head.substr(sp + 1, eol - sp - 1) != "HTTP/1.1")
+        return false;
+
+    auto trimmed = [](std::string_view s) {
+        while (!s.empty() && std::isspace(static_cast<unsigned char>(
+                                 s.front())))
+            s.remove_prefix(1);
+        while (!s.empty() && std::isspace(static_cast<unsigned char>(
+                                 s.back())))
+            s.remove_suffix(1);
+        return s;
+    };
+    size_t pos = eol + 2;
+    while (pos < head.size()) {
+        size_t end = head.find("\r\n", pos);
+        if (end == std::string_view::npos)
+            end = head.size();
+        std::string_view line = head.substr(pos, end - pos);
+        pos = end + 2;
+        if (line.empty())
+            break;
+        size_t colon = line.find(':');
+        if (colon == std::string_view::npos)
+            return false;
+        std::string_view name = line.substr(0, colon);
+        std::string_view value = trimmed(line.substr(colon + 1));
+        if (iequals(name, "content-length") ||
+            iequals(name, "transfer-encoding") ||
+            iequals(name, "expect")) {
+            // A GET carrying a body (or expecting a 100-continue)
+            // needs the full framing machinery.
+            return false;
+        }
+        if (iequals(name, "connection")) {
+            if (iequals(value, "close"))
+                out.connection_close = true;
+            else if (!iequals(value, "keep-alive"))
+                return false;  // token lists: full parser decides
+        } else if (iequals(name, "if-none-match")) {
+            if (!out.if_none_match.empty())
+                return false;  // duplicates: full parser decides
+            out.if_none_match = value;
+        } else if (iequals(name, "x-request-id")) {
+            if (!out.request_id.empty())
+                return false;
+            out.request_id = value;
+        }
+    }
+    return true;
+}
+
+std::string
+serializeResponseHead(const HttpResponse &response, bool keep_alive)
+{
+    std::string out;
+    appendResponseHead(out, response, keep_alive);
+    return out;
+}
+
+void
+appendResponseHead(std::string &out, const HttpResponse &response,
+                   bool keep_alive)
+{
+    char scratch[32];
+    out += "HTTP/1.1 ";
+    out += std::string_view(
+        scratch, std::snprintf(scratch, sizeof scratch, "%d ",
+                               response.status));
+    out += statusText(response.status);
+    out += "\r\n";
+    if (response.status == 304) {
+        // A 304 carries no body by definition; Content-Length and
+        // Content-Type describe the entity the client already has,
+        // so neither is sent (RFC 7232 §4.1).
+    } else {
+        out += "Content-Type: ";
+        out += response.content_type;
+        out += "\r\nContent-Length: ";
+        out += std::string_view(
+            scratch, std::snprintf(scratch, sizeof scratch, "%zu",
+                                   response.bodySize()));
+        out += "\r\n";
+    }
+    if (!response.etag.empty()) {
+        out += "ETag: \"";
+        out += response.etag;
+        out += "\"\r\n";
+    }
+    if (response.cache_hit)
+        out += "X-Cache: hit\r\n";
+    if (!response.request_id.empty()) {
+        out += "X-Request-Id: ";
+        out += response.request_id;
+        out += "\r\n";
+    }
+    out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                      : "Connection: close\r\n\r\n";
+}
+
 std::string
 serializeResponse(const HttpResponse &response, bool keep_alive)
 {
-    std::string out = "HTTP/1.1 " + std::to_string(response.status) +
-                      " " + statusText(response.status) + "\r\n";
-    out += "Content-Type: " + response.content_type + "\r\n";
-    out += "Content-Length: " + std::to_string(response.body.size()) +
-           "\r\n";
-    if (response.cache_hit)
-        out += "X-Cache: hit\r\n";
-    if (!response.request_id.empty())
-        out += "X-Request-Id: " + response.request_id + "\r\n";
-    out += keep_alive ? "Connection: keep-alive\r\n\r\n"
-                      : "Connection: close\r\n\r\n";
-    out += response.body;
+    std::string out = serializeResponseHead(response, keep_alive);
+    if (response.status != 304)
+        out += response.bodyView();
     return out;
 }
 

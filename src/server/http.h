@@ -16,6 +16,7 @@
 #define UOPS_SERVER_HTTP_H
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -45,8 +46,25 @@ struct HttpRequest
 struct HttpResponse
 {
     int status = 200;
-    std::string content_type = "application/json";
+    /** Always a string literal (static storage), so a view avoids a
+     *  heap allocation per constructed response — "application/json"
+     *  is one byte past the small-string capacity. */
+    std::string_view content_type = "application/json";
     std::string body;
+
+    /** Shared body bytes: when set, this — not @p body — is the
+     *  payload. Blob-backed responses (precomputed per-generation
+     *  bodies, see server/blob_store.h) point here so a response, its
+     *  response-cache entry, and every concurrent sender share one
+     *  buffer instead of copying it; the control block keeps the
+     *  owning generation's arena alive. Invariant: body is empty
+     *  whenever blob is set. */
+    std::shared_ptr<const std::string> blob;
+
+    /** Entity tag (unquoted) emitted as `ETag: "<value>"`. Set on
+     *  blob-backed bodies: the value derives from the generation's
+     *  shard content hashes, so If-None-Match revalidation is exact. */
+    std::string etag;
 
     /** Set when served from the response cache (adds X-Cache: hit). */
     bool cache_hit = false;
@@ -56,6 +74,20 @@ struct HttpResponse
      *  copy is taken, so a cached body never replays another
      *  request's ID. */
     std::string request_id;
+
+    /** The payload bytes, wherever they live. */
+    std::string_view
+    bodyView() const
+    {
+        return blob ? std::string_view(*blob)
+                    : std::string_view(body);
+    }
+
+    size_t
+    bodySize() const
+    {
+        return blob ? blob->size() : body.size();
+    }
 };
 
 /** Reason phrase for the status codes the server emits. */
@@ -99,6 +131,62 @@ bool wantsKeepAlive(const HttpRequest &request);
  */
 std::string serializeResponse(const HttpResponse &response,
                               bool keep_alive = false);
+
+/**
+ * The head alone: status line + headers + terminating blank line, no
+ * body bytes. The reactor write path pairs this with the response's
+ * (possibly shared) body in one writev, so a blob-backed body is
+ * never copied per request. serializeResponse == head + bodyView.
+ */
+std::string serializeResponseHead(const HttpResponse &response,
+                                  bool keep_alive);
+
+/**
+ * The head alone, appended to @p out instead of returned — the
+ * reactor's output buffers reuse one growing string across a
+ * pipelined batch, so head serialization allocates only when the
+ * buffer actually grows.
+ */
+void appendResponseHead(std::string &out, const HttpResponse &response,
+                        bool keep_alive);
+
+/** Whether @p request's If-None-Match header matches @p etag
+ *  (unquoted value): handles `*`, comma-separated candidate lists,
+ *  quoted tags, and weak `W/` prefixes (weak comparison — fine for
+ *  revalidation). False when the header is absent. */
+bool ifNoneMatch(const HttpRequest &request, std::string_view etag);
+
+/** Same matching over a raw header value (empty = absent). */
+bool ifNoneMatchValue(std::string_view header_value,
+                      std::string_view etag);
+
+/**
+ * Zero-allocation view of a simple GET head, produced by
+ * scanFastGet(). Every view points into the scanned buffer; it is
+ * valid only until the buffer is consumed.
+ */
+struct FastGetView
+{
+    std::string_view target;         ///< raw request target
+    std::string_view if_none_match;  ///< raw value; empty = absent
+    std::string_view request_id;     ///< X-Request-Id; empty = absent
+    bool connection_close = false;
+};
+
+/**
+ * Try to read @p head (a complete request head, blank line included)
+ * as a plain HTTP/1.1 GET without materializing an HttpRequest: no
+ * percent decoding, no query map, no header vector — just views.
+ *
+ * Deliberately narrow. Anything this scanner is not certain about —
+ * a non-GET method, HTTP/1.0, a body (Content-Length or
+ * Transfer-Encoding present), Expect, Connection token lists,
+ * duplicate tracked headers, malformed lines — returns false, and
+ * the caller takes the full parseRequestHead() path, which remains
+ * the semantic reference. A true result never changes what the full
+ * parser would have concluded; it only skips its allocations.
+ */
+bool scanFastGet(std::string_view head, FastGetView &out);
 
 } // namespace uops::server
 

@@ -5,11 +5,13 @@
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "server/reactor.h"
 #include "support/status.h"
 
 namespace uops::server {
@@ -73,6 +75,29 @@ HttpServer::start()
                   &len);
     port_ = ntohs(bound.sin_port);
 
+    if (options_.reactor) {
+        // The reactor accepts through epoll: the listener must be
+        // non-blocking (EPOLLEXCLUSIVE wakes one thread, but a
+        // level-triggered racing accept can still come up empty).
+        int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+        ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+        Reactor::Options reactor_options;
+        reactor_options.threads = options_.reactor_threads;
+        reactor_options.max_request_bytes = options_.max_request_bytes;
+        reactor_options.max_requests_per_connection =
+            options_.max_requests_per_connection;
+        reactor_options.recv_timeout_seconds =
+            options_.recv_timeout_seconds;
+        reactor_options.keep_alive_idle_seconds =
+            options_.keep_alive_idle_seconds;
+        reactor_ = std::make_unique<Reactor>(service_, pool_,
+                                             listen_fd_,
+                                             reactor_options);
+        reactor_->start();
+        running_.store(true);
+        return;
+    }
+
     running_.store(true);
     acceptor_ = std::thread([this] { acceptLoop(); });
 }
@@ -88,6 +113,16 @@ HttpServer::drain(std::chrono::milliseconds max_wait)
 {
     draining_.store(true);
     if (running_.exchange(false)) {
+        if (reactor_ != nullptr) {
+            bool clean = reactor_->drain(max_wait);
+            // Join the reactor threads before closing the listener:
+            // nothing may hold the fd in an epoll set (or race it as
+            // a plain int) once it can be reused.
+            reactor_->stop();
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            return clean;
+        }
         // Unblock accept() with shutdown() only; the fd stays open
         // until the acceptor has joined, so it can neither be reused
         // by another thread's descriptor nor raced as a plain int
@@ -100,6 +135,8 @@ HttpServer::drain(std::chrono::milliseconds max_wait)
     } else if (acceptor_.joinable()) {
         acceptor_.join();
     }
+    if (reactor_ != nullptr)
+        return true;  // a previous call already drained it
 
     std::unique_lock<std::mutex> lock(conn_mutex_);
     bool clean = conn_cv_.wait_for(
@@ -127,6 +164,8 @@ HttpServer::drain(std::chrono::milliseconds max_wait)
 size_t
 HttpServer::activeConnections() const
 {
+    if (reactor_ != nullptr)
+        return reactor_->activeConnections();
     std::lock_guard<std::mutex> lock(conn_mutex_);
     return connections_.size();
 }
@@ -148,6 +187,8 @@ HttpServer::acceptLoop()
             ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
             ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
         }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
         {
             std::lock_guard<std::mutex> lock(conn_mutex_);
             if (draining_.load()) {

@@ -2,22 +2,35 @@
  * @file
  * Dependency-free HTTP/1.1 socket server for the query service.
  *
- * One acceptor thread plus the shared work-stealing ThreadPool
- * (support/thread_pool.h) for connection handling: accept() hands
- * each connection to a pool task that serves requests through
- * QueryService::handle() until the client is done. HTTP/1.1
- * keep-alive is honored (Connection headers, HTTP/1.0 semantics
- * included), so query clients issuing many small requests stop
- * paying per-request TCP setup; a connection is bounded by
+ * Two transports behind one API:
+ *
+ * The default is the event-driven epoll reactor (server/reactor.h):
+ * a few reactor threads own every socket, do all framing and
+ * keep-alive work, serve cache/blob/304 hits inline, and hand only
+ * requests that need real work to the shared ThreadPool — so
+ * hundreds of keep-alive connections cost readiness events, not
+ * blocked threads.
+ *
+ * Options::reactor = false selects the legacy thread-per-connection
+ * transport: one acceptor thread, and a pool task per connection
+ * that serves requests through QueryService::handle() until the
+ * client is done. Both transports share the same parsing, framing
+ * and service code, so their responses are byte-identical; the
+ * legacy path remains as an escape hatch and as the conformance
+ * reference the reactor is tested against.
+ *
+ * HTTP/1.1 keep-alive is honored (Connection headers, HTTP/1.0
+ * semantics included), so query clients issuing many small requests
+ * stop paying per-request TCP setup; a connection is bounded by
  * max_requests_per_connection and by the receive timeout, so a
- * slow-loris client cannot pin a pool worker forever. Malformed
- * requests are answered and the connection closed — after an error
- * the byte stream can no longer be trusted to be framed.
+ * slow-loris client cannot pin a worker forever. Malformed requests
+ * are answered and the connection closed — after an error the byte
+ * stream can no longer be trusted to be framed.
  *
  * Listens on a configurable address/port; port 0 binds an ephemeral
  * port (query it with port() — the tests and the CI smoke step use
- * this to avoid collisions). stop() is idempotent and joins the
- * acceptor; in-flight connections finish on the pool.
+ * this to avoid collisions). stop() is idempotent; in-flight
+ * connections finish before it returns.
  */
 
 #ifndef UOPS_SERVER_HTTP_SERVER_H
@@ -27,6 +40,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -36,6 +50,8 @@
 #include "support/thread_pool.h"
 
 namespace uops::server {
+
+class Reactor;
 
 class HttpServer
 {
@@ -65,6 +81,14 @@ class HttpServer
         /** How long stop()/drain() waits for in-flight connections
          *  to finish before forcibly shutting their sockets down. */
         int drain_deadline_ms = 5000;
+
+        /** Serve through the epoll reactor (default). false selects
+         *  the legacy thread-per-connection transport. */
+        bool reactor = true;
+
+        /** Reactor threads; 0 picks min(4, hardware threads). Only
+         *  meaningful with reactor = true. */
+        size_t reactor_threads = 0;
     };
 
     HttpServer(QueryService &service, Options options);
@@ -124,6 +148,7 @@ class HttpServer
     QueryService &service_;
     Options options_;
     ThreadPool pool_;
+    std::unique_ptr<Reactor> reactor_;
     std::thread acceptor_;
     std::atomic<bool> running_{false};
     std::atomic<bool> draining_{false};

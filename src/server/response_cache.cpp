@@ -18,18 +18,18 @@ ResponseCache::ResponseCache(size_t num_shards,
 }
 
 ResponseCache::Shard &
-ResponseCache::shardFor(const std::string &key)
+ResponseCache::shardFor(std::string_view key)
 {
-    size_t h = std::hash<std::string>{}(key);
+    size_t h = std::hash<std::string_view>{}(key);
     return *shards_[h % shards_.size()];
 }
 
 std::optional<HttpResponse>
-ResponseCache::get(const std::string &key, uint64_t epoch)
+ResponseCache::get(std::string_view key, uint64_t epoch)
 {
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.index.find(std::string_view(key));
+    auto it = shard.index.find(key);
     if (it == shard.index.end() || it->second->epoch != epoch) {
         // Absent, or rendered under another generation: a miss for
         // this epoch. The foreign-epoch entry stays put — requests
@@ -46,23 +46,27 @@ ResponseCache::get(const std::string &key, uint64_t epoch)
 }
 
 void
-ResponseCache::put(const std::string &key, uint64_t epoch,
+ResponseCache::put(std::string_view key, uint64_t epoch,
                    const HttpResponse &response)
 {
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.index.find(std::string_view(key));
+    auto it = shard.index.find(key);
     if (it != shard.index.end()) {
+        shard.owned_bytes -= it->second->response.body.size();
+        shard.owned_bytes += response.body.size();
         it->second->epoch = epoch;
         it->second->response = response;
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         return;
     }
-    shard.lru.push_front(Entry{key, epoch, response});
+    shard.lru.push_front(Entry{std::string(key), epoch, response});
     shard.index.emplace(std::string_view(shard.lru.front().key),
                         shard.lru.begin());
+    shard.owned_bytes += response.body.size();
     shard.insertions.fetch_add(1, std::memory_order_relaxed);
     while (shard.lru.size() > capacity_per_shard_) {
+        shard.owned_bytes -= shard.lru.back().response.body.size();
         shard.index.erase(std::string_view(shard.lru.back().key));
         shard.lru.pop_back();
         shard.evictions.fetch_add(1, std::memory_order_relaxed);
@@ -84,6 +88,7 @@ ResponseCache::stats() const
             shard->evictions.load(std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(shard->mutex);
         out.entries += shard->lru.size();
+        out.owned_bytes += shard->owned_bytes;
     }
     return out;
 }

@@ -51,6 +51,13 @@ class ResponseCache
         size_t entries = 0;
         size_t shards = 0;
         size_t capacity = 0;   ///< total across shards
+
+        /** Body bytes the cache *owns* (copied into entries).
+         *  Blob-backed responses contribute zero here: their entry
+         *  holds a shared_ptr into the generation's blob arena, so
+         *  caching one costs a refcount, not a copy. The gap between
+         *  this and the wire bytes served is the dedupe win. */
+        size_t owned_bytes = 0;
     };
 
     /**
@@ -65,12 +72,12 @@ class ResponseCache
      *  generation). The epoch is deliberately non-defaulted: put()
      *  requires one, and a mismatched epoch is a silent 0% hit rate,
      *  not an error. */
-    std::optional<HttpResponse> get(const std::string &key,
+    std::optional<HttpResponse> get(std::string_view key,
                                     uint64_t epoch);
 
     /** Insert (or overwrite) an entry, evicting the shard's LRU
      *  tail. */
-    void put(const std::string &key, uint64_t epoch,
+    void put(std::string_view key, uint64_t epoch,
              const HttpResponse &response);
 
     Stats stats() const;
@@ -95,9 +102,10 @@ class ResponseCache
         std::atomic<uint64_t> misses{0};
         std::atomic<uint64_t> insertions{0};
         std::atomic<uint64_t> evictions{0};
+        size_t owned_bytes = 0;  ///< guarded by mutex
     };
 
-    Shard &shardFor(const std::string &key);
+    Shard &shardFor(std::string_view key);
 
     std::vector<std::unique_ptr<Shard>> shards_;
     size_t capacity_per_shard_;

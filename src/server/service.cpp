@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "isa/kernel.h"
+#include "server/blob_store.h"
 #include "server/json.h"
 #include "support/status.h"
 #include "support/strings.h"
@@ -12,52 +13,6 @@
 namespace uops::server {
 
 namespace {
-
-/** Render one database record as a JSON object. */
-void
-writeRecord(JsonWriter &json, const db::RecordView &view)
-{
-    json.beginObject();
-    json.member("name", std::string_view(view.name()));
-    json.member("mnemonic", std::string_view(view.mnemonic()));
-    json.member("extension", std::string_view(view.extension()));
-    json.member("uarch", std::string_view(
-                             uarch::uarchShortName(view.arch())));
-    json.member("ports",
-                std::string_view(view.portUsage().toString()));
-    json.member("uops", view.uopCount());
-    json.member("max_latency", view.maxLatency());
-
-    json.key("throughput").beginObject();
-    json.member("measured", view.tpMeasured());
-    if (auto v = view.tpWithBreakers())
-        json.member("with_dep_breakers", *v);
-    if (auto v = view.tpSlow())
-        json.member("slow_values", *v);
-    if (auto v = view.tpFromPorts())
-        json.member("from_ports", *v);
-    json.endObject();
-
-    json.key("latency").beginArray();
-    for (const isa::ResultLatency &pair : view.latencies()) {
-        json.beginObject();
-        json.member("src_op", pair.src_op);
-        json.member("dst_op", pair.dst_op);
-        json.member("cycles", pair.cycles);
-        if (pair.upper_bound)
-            json.member("upper_bound", true);
-        if (pair.slow_cycles)
-            json.member("slow_cycles", *pair.slow_cycles);
-        json.endObject();
-    }
-    json.endArray();
-
-    if (auto v = view.sameRegCycles())
-        json.member("latency_same_reg", *v);
-    if (auto v = view.storeRoundTrip())
-        json.member("store_load_roundtrip", *v);
-    json.endObject();
-}
 
 std::optional<uarch::UArch>
 parseArchParam(const HttpRequest &request, const std::string &key)
@@ -172,6 +127,28 @@ QueryService::registerInstruments()
     rejected_budget_ = rejected("budget");
     rejected_busy_ = rejected("busy");
 
+    blob_hits_ = &registry_.counter(
+        "uops_blob_hits_total",
+        "Responses served from a precomputed per-generation blob");
+    blob_misses_ = &registry_.counter(
+        "uops_blob_misses_total",
+        "Blob-eligible lookups with no precomputed body (404s)");
+    not_modified_ = &registry_.counter(
+        "uops_not_modified_total",
+        "If-None-Match revalidations answered 304 without a body");
+    registry_.gaugeCallback(
+        "uops_blob_bytes",
+        "Body bytes owned by the serving generation's blob store", {},
+        [this] {
+            return static_cast<double>(state()->blobs->stats().bytes);
+        });
+    registry_.gaugeCallback(
+        "uops_blob_count",
+        "Distinct variant names with a precomputed /instr body", {},
+        [this] {
+            return static_cast<double>(state()->blobs->stats().names);
+        });
+
     reloads_ = &registry_.counter("uops_reloads_total",
                                   "Catalog generations installed");
     reload_rejections_ =
@@ -219,6 +196,14 @@ QueryService::registerInstruments()
             "uops_response_cache_entries", "Entries resident",
             {{"cache", which}}, [&cache] {
                 return static_cast<double>(cache.stats().entries);
+            });
+        registry_.gaugeCallback(
+            "uops_response_cache_owned_bytes",
+            "Body bytes copied into entries (shared blob bodies "
+            "excluded)",
+            {{"cache", which}}, [&cache] {
+                return static_cast<double>(
+                    cache.stats().owned_bytes);
             });
     };
     cache_series("response", cache_);
@@ -291,6 +276,10 @@ QueryService::installCatalog(CatalogPtr next)
     fatalIf(next == nullptr, "QueryService: null catalog");
     auto fresh = std::make_shared<ServingState>();
     fresh->catalog = std::move(next);
+    // The swap is the blob-build hook: every response body the new
+    // generation can precompute is rendered here, off the request
+    // path, so the serving hot path never renders these at all.
+    fresh->blobs = BlobStore::build(*fresh->catalog);
     // Epoch assignment happens under the same lock as the install so
     // concurrent swaps can neither interleave (installing an older
     // epoch over a newer one) nor observe a regressing epoch(); the
@@ -368,6 +357,7 @@ QueryService::reloadState(db::RecoveryReport &report)
         .num("epoch", installed->epoch)
         .num("records",
              static_cast<uint64_t>(installed->catalog->numRecords()))
+        .num("blob_build_us", installed->blobs->stats().build_us)
         .boolean("recovered", report.recovered)
         .num("recovery_events",
              static_cast<uint64_t>(report.events.size()))
@@ -468,6 +458,39 @@ QueryService::handle(const HttpRequest &request)
             cache_.put(request.target, st->epoch, response);
     }
 
+    finishResponse(request, endpoint, *st, response, t0_us,
+                   cacheable ? (from_cache ? "hit" : "miss") : "none",
+                   tracer);
+    return response;
+}
+
+void
+QueryService::finishResponse(const HttpRequest &request,
+                             Endpoint endpoint,
+                             const ServingState &state,
+                             HttpResponse &response, uint64_t t0_us,
+                             const char *cache_disposition,
+                             obs::ChromeTracer *tracer)
+{
+    EndpointInstruments &ins =
+        instruments_[static_cast<size_t>(endpoint)];
+
+    // Conditional GET: when the client's If-None-Match names the
+    // entity this response carries, the transfer is pure waste — the
+    // response collapses to a bodiless 304 with the same ETag.
+    // Running after both the cache and the handlers means cached and
+    // fresh 200s revalidate identically, and the blob-backed paths
+    // never rendered anything to begin with.
+    if (response.status == 200 && !response.etag.empty() &&
+        ifNoneMatch(request, response.etag)) {
+        HttpResponse not_modified;
+        not_modified.status = 304;
+        not_modified.etag = response.etag;
+        not_modified.cache_hit = response.cache_hit;
+        response = std::move(not_modified);
+        not_modified_->inc();
+    }
+
     if (response.status >= 400)
         ins.errors->inc();
     uint64_t us = obs::traceNowUs() - t0_us;
@@ -483,18 +506,15 @@ QueryService::handle(const HttpRequest &request)
         response.request_id = obs::newTraceId();
 
     if (logger_.enabled(obs::LogLevel::Info)) {
-        const char *disposition = cacheable
-                                      ? (from_cache ? "hit" : "miss")
-                                      : "none";
         logger_.event(obs::LogLevel::Info, "http", "access")
             .str("id", response.request_id)
             .str("method", request.method)
             .str("endpoint", endpointName(endpoint))
             .num("status", static_cast<int64_t>(response.status))
             .num("us", us)
-            .str("cache", disposition)
-            .num("generation", st->catalog->generation())
-            .num("epoch", st->epoch);
+            .str("cache", cache_disposition)
+            .num("generation", state.catalog->generation())
+            .num("epoch", state.epoch);
     }
     if (options_.slow_request_us > 0 &&
         us >= options_.slow_request_us &&
@@ -509,7 +529,213 @@ QueryService::handle(const HttpRequest &request)
     }
     if (tracer != nullptr)
         tracer->complete(endpointName(endpoint), "http", t0_us, us);
-    return response;
+}
+
+bool
+QueryService::tryServeFast(const HttpRequest &request,
+                           HttpResponse &response)
+{
+    if (request.method != "GET")
+        return false;
+    Endpoint endpoint = route(request);
+    bool blob_backed = endpoint == Endpoint::UArchs ||
+                       endpoint == Endpoint::Instr;
+    if (!blob_backed && endpoint != Endpoint::Search &&
+        endpoint != Endpoint::Diff && endpoint != Endpoint::Predict)
+        return false;
+    // Debug-timings responses are per-request by contract; they
+    // never touch the cache, so they never have a fast path.
+    if (endpoint == Endpoint::Predict && request.param("debug"))
+        return false;
+
+    uint64_t t0_us = obs::traceNowUs();
+    StatePtr st = state();
+    // /uarchs is pure blob — caching it would only duplicate the
+    // lookup. Everything else mirrors handle()'s cacheable set.
+    bool cacheable = endpoint != Endpoint::UArchs;
+
+    HttpResponse out;
+    bool served = false;
+    bool from_cache = false;
+    if (cacheable) {
+        if (auto cached = cache_.get(request.target, st->epoch)) {
+            out = *cached;
+            out.cache_hit = true;
+            served = from_cache = true;
+        }
+    }
+    if (!served && blob_backed) {
+        // Blob-backed endpoints are *always* cheap — a hash lookup
+        // for the body (or a 400/404 error render) — so every GET
+        // /uarchs and /instr request completes inline.
+        try {
+            out = endpoint == Endpoint::UArchs
+                      ? handleUArchs(*st)
+                      : handleInstr(request, *st);
+        } catch (const FatalError &e) {
+            out = errorResponse(400, e.what());
+        } catch (const std::exception &e) {
+            out = errorResponse(500, e.what());
+        }
+        served = true;
+        if (cacheable && out.status == 200)
+            cache_.put(request.target, st->epoch, out);
+    }
+    if (!served)
+        return false;  // cold /search, /diff, /predict: real work
+
+    EndpointInstruments &ins =
+        instruments_[static_cast<size_t>(endpoint)];
+    ins.requests->inc();
+    if (from_cache)
+        ins.cache_hits->inc();
+    finishResponse(request, endpoint, *st, out, t0_us,
+                   cacheable ? (from_cache ? "hit" : "miss") : "none",
+                   obs::ChromeTracer::fromEnv());
+    response = std::move(out);
+    return true;
+}
+
+bool
+QueryService::tryServeRaw(const FastGetView &raw,
+                          HttpResponse &response)
+{
+    // Endpoint by literal target prefix. Percent-escaped spellings
+    // of these paths miss here and take the decoding parser — same
+    // answer, slower lane.
+    std::string_view target = raw.target;
+    Endpoint endpoint;
+    if (target == "/uarchs")
+        endpoint = Endpoint::UArchs;
+    else if (target.starts_with("/instr/"))
+        endpoint = Endpoint::Instr;
+    else if (target.starts_with("/search?"))
+        endpoint = Endpoint::Search;
+    else if (target.starts_with("/diff?"))
+        endpoint = Endpoint::Diff;
+    else if (target.starts_with("/predict?"))
+        endpoint = Endpoint::Predict;
+    else
+        return false;
+    // Debug-timings /predict responses are per-request by contract;
+    // the substring test is coarser than param("debug") but only
+    // errs toward the full parser.
+    if (endpoint == Endpoint::Predict &&
+        target.find("debug") != std::string_view::npos)
+        return false;
+
+    uint64_t t0_us = obs::traceNowUs();
+    StatePtr st = state();
+    bool cacheable = endpoint != Endpoint::UArchs;
+
+    HttpResponse out;
+    bool served = false;
+    bool from_cache = false;
+    if (cacheable) {
+        if (auto cached = cache_.get(target, st->epoch)) {
+            out = std::move(*cached);
+            out.cache_hit = true;
+            served = from_cache = true;
+        }
+    }
+    if (!served && endpoint == Endpoint::UArchs) {
+        out = handleUArchs(*st);
+        served = true;
+    }
+    if (!served && endpoint == Endpoint::Instr) {
+        // "/instr/NAME" or "/instr/NAME?uarch=SHORT", all literal:
+        // escapes, extra parameters, unknown names and unknown
+        // uarchs fall back so error rendering stays in one place.
+        std::string_view rest = target.substr(strlen("/instr/"));
+        std::string_view name = rest;
+        std::string_view query;
+        if (size_t q = rest.find('?'); q != std::string_view::npos) {
+            name = rest.substr(0, q);
+            query = rest.substr(q + 1);
+        }
+        if (name.empty() ||
+            name.find_first_of("%+") != std::string_view::npos)
+            return false;
+        std::shared_ptr<const std::string> blob;
+        if (query.empty()) {
+            blob = st->blobs->instrBody(name);
+        } else if (query.starts_with("uarch=")) {
+            std::string_view arch = query.substr(strlen("uarch="));
+            if (arch.empty() ||
+                arch.find_first_of("%+&=") != std::string_view::npos)
+                return false;
+            try {
+                blob = st->blobs->instrBody(
+                    name, uarch::parseUArch(std::string(arch)));
+            } catch (const FatalError &) {
+                return false;  // unknown uarch: full path renders 400
+            }
+        } else {
+            return false;
+        }
+        if (blob == nullptr)
+            return false;  // unknown variant: full path renders 404
+        blob_hits_->inc();
+        out.blob = std::move(blob);
+        out.etag = st->blobs->etag();
+        served = true;
+        cache_.put(target, st->epoch, out);
+    }
+    if (!served)
+        return false;  // cold /search, /diff, /predict: real work
+
+    EndpointInstruments &ins =
+        instruments_[static_cast<size_t>(endpoint)];
+    ins.requests->inc();
+    if (from_cache)
+        ins.cache_hits->inc();
+
+    // Finalization, mirroring finishResponse() field for field: the
+    // 304 collapse, latency, correlation ID, access/slow logs.
+    if (out.status == 200 && !out.etag.empty() &&
+        ifNoneMatchValue(raw.if_none_match, out.etag)) {
+        HttpResponse not_modified;
+        not_modified.status = 304;
+        not_modified.etag = std::move(out.etag);
+        not_modified.cache_hit = out.cache_hit;
+        out = std::move(not_modified);
+        not_modified_->inc();
+    }
+    if (out.status >= 400)
+        ins.errors->inc();
+    uint64_t us = obs::traceNowUs() - t0_us;
+    ins.latency->observe(us);
+    if (!raw.request_id.empty() && acceptableRequestId(raw.request_id))
+        out.request_id.assign(raw.request_id);
+    else
+        out.request_id = obs::newTraceId();
+
+    if (logger_.enabled(obs::LogLevel::Info)) {
+        logger_.event(obs::LogLevel::Info, "http", "access")
+            .str("id", out.request_id)
+            .str("method", "GET")
+            .str("endpoint", endpointName(endpoint))
+            .num("status", static_cast<int64_t>(out.status))
+            .num("us", us)
+            .str("cache",
+                 cacheable ? (from_cache ? "hit" : "miss") : "none")
+            .num("generation", st->catalog->generation())
+            .num("epoch", st->epoch);
+    }
+    if (options_.slow_request_us > 0 &&
+        us >= options_.slow_request_us &&
+        logger_.enabled(obs::LogLevel::Warn)) {
+        logger_.event(obs::LogLevel::Warn, "http", "slow_request")
+            .str("id", out.request_id)
+            .str("target", target.substr(0, 256))
+            .num("status", static_cast<int64_t>(out.status))
+            .num("us", us)
+            .num("threshold_us", options_.slow_request_us);
+    }
+    if (obs::ChromeTracer *tracer = obs::ChromeTracer::fromEnv())
+        tracer->complete(endpointName(endpoint), "http", t0_us, us);
+    response = std::move(out);
+    return true;
 }
 
 HttpResponse
@@ -563,54 +789,39 @@ QueryService::handleHealthz(const ServingState &state)
 HttpResponse
 QueryService::handleUArchs(const ServingState &state)
 {
-    const db::DatabaseCatalog &catalog = *state.catalog;
-    JsonWriter json;
-    json.beginObject();
-    json.key("uarchs").beginArray();
-    for (uarch::UArch arch : catalog.uarches()) {
-        const uarch::UArchInfo &info = uarch::uarchInfo(arch);
-        json.beginObject();
-        json.member("name", std::string_view(info.short_name));
-        json.member("full_name", std::string_view(info.full_name));
-        json.member("processor", std::string_view(info.processor));
-        json.member("ports", info.num_ports);
-        json.member("records", catalog.numRecords(arch));
-        json.endObject();
-    }
-    json.endArray();
-    json.endObject();
-    return jsonResponse(std::move(json).str());
+    blob_hits_->inc();
+    HttpResponse response;
+    response.blob = state.blobs->uarchsBody();
+    response.etag = state.blobs->etag();
+    return response;
 }
 
 HttpResponse
 QueryService::handleInstr(const HttpRequest &request,
                           const ServingState &state)
 {
-    const db::DatabaseCatalog &catalog = *state.catalog;
     if (request.path == "/instr" || request.path == "/instr/")
         return errorResponse(400, "usage: /instr/{variant-name}");
     std::string name = request.path.substr(strlen("/instr/"));
 
-    std::vector<db::RecordView> records;
-    if (auto arch = parseArchParam(request, "uarch")) {
-        if (auto view = catalog.find(*arch, name))
-            records.push_back(*view);
-    } else {
-        records = catalog.findByName(name);
-    }
-    if (records.empty())
+    // Precomputed at install time: the full body is one lookup, the
+    // ?uarch= variant is assembled from slices of it. No record is
+    // ever rendered on the request path.
+    std::shared_ptr<const std::string> blob;
+    if (auto arch = parseArchParam(request, "uarch"))
+        blob = state.blobs->instrBody(name, *arch);
+    else
+        blob = state.blobs->instrBody(name);
+    if (blob == nullptr) {
+        blob_misses_->inc();
         return errorResponse(404, "no results for variant '" + name +
                                       "'");
-
-    JsonWriter json;
-    json.beginObject();
-    json.member("name", std::string_view(name));
-    json.key("results").beginArray();
-    for (const db::RecordView &view : records)
-        writeRecord(json, view);
-    json.endArray();
-    json.endObject();
-    return jsonResponse(std::move(json).str());
+    }
+    blob_hits_->inc();
+    HttpResponse response;
+    response.blob = std::move(blob);
+    response.etag = state.blobs->etag();
+    return response;
 }
 
 HttpResponse
@@ -660,7 +871,7 @@ QueryService::handleSearch(const HttpRequest &request,
     json.member("count", records.size());
     json.key("results").beginArray();
     for (const db::RecordView &view : records)
-        writeRecord(json, view);
+        writeRecordJson(json, view);
     json.endArray();
     json.endObject();
     return jsonResponse(std::move(json).str());
@@ -1082,10 +1293,23 @@ QueryService::handleStats(const ServingState &state)
         json.member("entries", cache.entries);
         json.member("shards", cache.shards);
         json.member("capacity", cache.capacity);
+        json.member("owned_bytes", cache.owned_bytes);
         json.endObject();
     };
     cache_section("cache", cache_.stats());
     cache_section("kernel_memo", kernel_memo_.stats());
+
+    BlobStore::Stats blobs = state.blobs->stats();
+    json.key("blobs").beginObject();
+    json.member("etag", std::string_view(state.blobs->etag()));
+    json.member("names", blobs.names);
+    json.member("records", blobs.records);
+    json.member("bytes", blobs.bytes);
+    json.member("build_us", blobs.build_us);
+    json.member("hits", blob_hits_->value());
+    json.member("misses", blob_misses_->value());
+    json.member("not_modified", not_modified_->value());
+    json.endObject();
 
     json.key("reload").beginObject();
     json.member("reloads",

@@ -84,6 +84,7 @@
 
 #include "core/predictor.h"
 #include "db/catalog.h"
+#include "server/blob_store.h"
 #include "server/http.h"
 #include "server/predict_engine.h"
 #include "server/response_cache.h"
@@ -194,6 +195,36 @@ class QueryService
     /** Route one request to a response (thread-safe). */
     HttpResponse handle(const HttpRequest &request);
 
+    /**
+     * The serving fast path: answer @p request *without* rendering
+     * when a precomputed body exists — a response-cache hit, a
+     * blob-store hit (/uarchs, /instr), or an If-None-Match
+     * revalidation against the generation ETag (304, no body at
+     * all). Returns true with @p response filled (metrics, request
+     * ID and access log all applied — the request is finished);
+     * false when the request needs real work (cold /search, /diff,
+     * /predict, POSTs, admin endpoints), in which case the caller
+     * dispatches it to handle() on a worker thread. Thread-safe;
+     * byte-identical to handle() for every request it serves, since
+     * both paths share the same handlers and finalization.
+     */
+    bool tryServeFast(const HttpRequest &request,
+                      HttpResponse &response);
+
+    /**
+     * The same fast path driven by a zero-parse head scan
+     * (scanFastGet): target prefixes select the endpoint, the
+     * response cache is probed by raw target, and blob-store hits
+     * are assembled straight from views — no HttpRequest, no query
+     * map, no percent decoding. Returns true with @p response
+     * finished exactly as tryServeFast() would have; false for
+     * anything it is not certain about (unknown names, escaped
+     * targets, error renders, cold work), in which case the caller
+     * must fall back to the full parser — the two lanes are
+     * byte-identical wherever both serve.
+     */
+    bool tryServeRaw(const FastGetView &raw, HttpResponse &response);
+
     /** Counters for one endpoint (read from the registry — the same
      *  series /metrics renders, so the two can never disagree). */
     EndpointMetrics metrics(Endpoint endpoint) const;
@@ -280,6 +311,10 @@ class QueryService
         CatalogPtr catalog;
         uint64_t epoch = 0;
 
+        /** Precomputed response bodies + generation ETag, built once
+         *  at install time (the swapCatalog hook). Never null. */
+        std::shared_ptr<const BlobStore> blobs;
+
         std::mutex predict_mutex;
         std::map<uarch::UArch, std::unique_ptr<PredictContext>>
             predict_contexts;
@@ -296,6 +331,15 @@ class QueryService
                           ServingState &state, obs::SpanSet *spans,
                           bool debug_timings);
     void registerInstruments();
+
+    /** Shared tail of handle() and tryServeFast(): If-None-Match ->
+     *  304 conversion, error/latency metrics, request-ID resolution,
+     *  access + slow-request logging, tracer completion. */
+    void finishResponse(const HttpRequest &request, Endpoint endpoint,
+                        const ServingState &state,
+                        HttpResponse &response, uint64_t t0_us,
+                        const char *cache_disposition,
+                        obs::ChromeTracer *tracer);
 
     HttpResponse handleHealthz(const ServingState &state);
     HttpResponse handleUArchs(const ServingState &state);
@@ -335,6 +379,11 @@ class QueryService
     obs::Counter *rejected_oversize_ = nullptr;  ///< 413
     obs::Counter *rejected_budget_ = nullptr;    ///< 429 (cycles)
     obs::Counter *rejected_busy_ = nullptr;      ///< 429 (queue)
+
+    /** Precomputed-blob serving (/uarchs, /instr bodies). */
+    obs::Counter *blob_hits_ = nullptr;
+    obs::Counter *blob_misses_ = nullptr;
+    obs::Counter *not_modified_ = nullptr;  ///< 304 revalidations
 
     /** Reload/recovery health (reported under /stats "reload"). */
     obs::Counter *reloads_ = nullptr;            ///< swaps installed

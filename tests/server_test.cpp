@@ -267,16 +267,21 @@ TEST(Service, HealthzReportsRecordsAndUArches)
 TEST(Service, InstrEndpointReturnsRecordsAndHonorsUArchParam)
 {
     auto service = makeService();
+    // /instr is blob-backed: the payload lives in bodyView(), shared
+    // with the serving generation's blob store.
     HttpResponse all = service->handle(get("/instr/ADD_R64_R64"));
     EXPECT_EQ(all.status, 200);
     // One record per uarch.
-    EXPECT_NE(all.body.find("\"uarch\":\"NHM\""), std::string::npos);
-    EXPECT_NE(all.body.find("\"uarch\":\"SKL\""), std::string::npos);
+    EXPECT_NE(all.bodyView().find("\"uarch\":\"NHM\""),
+              std::string_view::npos);
+    EXPECT_NE(all.bodyView().find("\"uarch\":\"SKL\""),
+              std::string_view::npos);
 
     HttpResponse one =
         service->handle(get("/instr/ADD_R64_R64?uarch=SKL"));
     EXPECT_EQ(one.status, 200);
-    EXPECT_EQ(one.body.find("\"uarch\":\"NHM\""), std::string::npos);
+    EXPECT_EQ(one.bodyView().find("\"uarch\":\"NHM\""),
+              std::string_view::npos);
 
     EXPECT_EQ(service->handle(get("/instr/NO_SUCH")).status, 404);
     EXPECT_EQ(service->handle(get("/instr")).status, 400);
@@ -464,7 +469,12 @@ TEST(Service, RepeatedGetHitsCacheWithIdenticalBody)
     EXPECT_EQ(first.status, 200);
     EXPECT_FALSE(first.cache_hit);
     EXPECT_TRUE(second.cache_hit);
-    EXPECT_EQ(first.body, second.body);
+    EXPECT_EQ(first.bodyView(), second.bodyView());
+    // Blob-backed entries are shared, not copied: the cached response
+    // points at the same bytes, and the cache owns no body of its own.
+    EXPECT_EQ(first.blob.get(), second.blob.get());
+    EXPECT_NE(first.blob.get(), nullptr);
+    EXPECT_EQ(service->cacheStats().owned_bytes, 0u);
 
     auto metrics = service->metrics(Endpoint::Instr);
     EXPECT_EQ(metrics.requests, 2u);
@@ -606,7 +616,7 @@ TEST(ServiceSwap, CacheNeverServesAcrossGenerations)
     HttpResponse back = service->handle(get(target));
     EXPECT_FALSE(back.cache_hit);
     EXPECT_EQ(back.status, 200);
-    EXPECT_EQ(back.body, original.body);
+    EXPECT_EQ(back.bodyView(), original.bodyView());
 }
 
 TEST(ServiceSwap, PredictContextsAreRebuiltPerGeneration)
@@ -676,7 +686,8 @@ TEST(ServiceConcurrency, HammeredEndpointsStaySnapshotIdentical)
     };
     std::vector<std::string> baseline;
     for (const std::string &target : targets)
-        baseline.push_back(service->handle(get(target)).body);
+        baseline.push_back(
+            std::string(service->handle(get(target)).bodyView()));
 
     std::atomic<size_t> mismatches{0};
     ThreadPool pool(8);
@@ -684,7 +695,7 @@ TEST(ServiceConcurrency, HammeredEndpointsStaySnapshotIdentical)
         size_t pick = i % targets.size();
         HttpResponse response = service->handle(get(targets[pick]));
         if (response.status != 200 ||
-            response.body != baseline[pick])
+            response.bodyView() != baseline[pick])
             ++mismatches;
     });
     EXPECT_EQ(mismatches.load(), 0u);
@@ -942,7 +953,8 @@ TEST(HttpServerSocket, HotSwapUnderConcurrentLoadIsAtomic)
             server::QueryService isolated(catalog, defaultDb());
             std::vector<std::string> out;
             for (const std::string &target : targets)
-                out.push_back(isolated.handle(get(target)).body);
+                out.push_back(std::string(
+                    isolated.handle(get(target)).bodyView()));
             return out;
         };
     const std::vector<std::string> baseline_a =
@@ -1080,8 +1092,8 @@ TEST(ServiceReload, CorruptCatalogKeepsOldGenerationWith503)
 
     // Capture answers from the pinned generation, then break every
     // on-disk generation (a single manifest with a bad magic).
-    const std::string instr_before =
-        service->handle(get("/instr/ADD_R64_R64")).body;
+    const std::string instr_before = std::string(
+        service->handle(get("/instr/ADD_R64_R64")).bodyView());
     uint64_t epoch_before = service->epoch();
     overwriteFile(dir + "/" + db::manifestFileName(1),
                   "not a manifest");
@@ -1097,7 +1109,7 @@ TEST(ServiceReload, CorruptCatalogKeepsOldGenerationWith503)
 
     // Fail-operational: nothing swapped, answers byte-identical.
     EXPECT_EQ(service->epoch(), epoch_before);
-    EXPECT_EQ(service->handle(get("/instr/ADD_R64_R64")).body,
+    EXPECT_EQ(service->handle(get("/instr/ADD_R64_R64")).bodyView(),
               instr_before);
 
     // The rejection is visible in /stats.
@@ -1438,7 +1450,7 @@ TEST(Observability, CachedResponsesGetFreshRequestIds)
     HttpResponse first = service->handle(get(target));
     HttpResponse second = service->handle(get(target));
     ASSERT_TRUE(second.cache_hit);
-    EXPECT_EQ(first.body, second.body);
+    EXPECT_EQ(first.bodyView(), second.bodyView());
     // Correlation must stay per-request even when the body is shared.
     EXPECT_NE(first.request_id, second.request_id);
 }
