@@ -33,10 +33,11 @@
  *       hashes. PATH may be a catalog dir or a legacy v2 snapshot.
  *
  *   uopsq query PATH [--uarch SKL] [--name N] [--mnemonic M]
- *                    [--extension E] [--uses p05] [--tp-min X]
- *                    [--tp-max X] [--lat-min N] [--lat-max N]
- *                    [--limit N]
- *       Indexed search; prints one line per matching record.
+ *                    [--extension E] [--uses p05] [--uses-only p015]
+ *                    [--uses-exact p05] [--tp-min X] [--tp-max X]
+ *                    [--lat-min N] [--lat-max N] [--uops-min N]
+ *                    [--uops-max N] [--limit N]
+ *       Scan-executor search; prints one line per matching record.
  *
  *   uopsq diff PATH ARCH_A ARCH_B
  *       Cross-uarch comparison of shared variants.
@@ -395,15 +396,23 @@ cmdQuery(const Args &args)
         query.extension = *v;
     if (const std::string *v = args.option("uses"))
         query.uses_ports = uarch::parsePortMask(*v);
+    if (const std::string *v = args.option("uses-only"))
+        query.ports_subset = uarch::parsePortMask(*v);
+    if (const std::string *v = args.option("uses-exact"))
+        query.ports_exact = uarch::parsePortMask(*v);
+    // Double-valued CLI bounds convert to fixed point exactly once,
+    // here; Query carries Cycles.
     if (const std::string *v = args.option("tp-min")) {
-        query.tp_min = parseDouble(*v);
-        fatalIf(!query.tp_min, "option --tp-min expects a number, "
-                               "got '", *v, "'");
+        auto parsed = parseDouble(*v);
+        fatalIf(!parsed, "option --tp-min expects a number, "
+                         "got '", *v, "'");
+        query.tp_min = db::tpBoundMin(*parsed);
     }
     if (const std::string *v = args.option("tp-max")) {
-        query.tp_max = parseDouble(*v);
-        fatalIf(!query.tp_max, "option --tp-max expects a number, "
-                               "got '", *v, "'");
+        auto parsed = parseDouble(*v);
+        fatalIf(!parsed, "option --tp-max expects a number, "
+                         "got '", *v, "'");
+        query.tp_max = db::tpBoundMax(*parsed);
     }
     query.lat_min = args.option("lat-min")
                         ? std::optional<int>(static_cast<int>(
@@ -413,6 +422,14 @@ cmdQuery(const Args &args)
                         ? std::optional<int>(static_cast<int>(
                               args.intOption("lat-max", 0)))
                         : std::nullopt;
+    query.uops_min = args.option("uops-min")
+                         ? std::optional<int>(static_cast<int>(
+                               args.intOption("uops-min", 0)))
+                         : std::nullopt;
+    query.uops_max = args.option("uops-max")
+                         ? std::optional<int>(static_cast<int>(
+                               args.intOption("uops-max", 0)))
+                         : std::nullopt;
     query.limit =
         static_cast<size_t>(args.intOption("limit", 1 << 20));
 

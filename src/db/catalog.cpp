@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "db/scan.h"
 #include "support/hash.h"
 #include "support/io.h"
 #include "support/obs/log.h"
@@ -298,6 +299,85 @@ DatabaseCatalog::diff(uarch::UArch a, uarch::UArch b) const
             out.changed.push_back(entry);
         ++i;
         ++j;
+    }
+    return out;
+}
+
+AnalyticsResult
+DatabaseCatalog::analytics(const AnalyticsQuery &query) const
+{
+    AnalyticsResult out;
+    const InstructionDatabase *db_from = shard(query.from);
+    const InstructionDatabase *db_to = shard(query.to);
+    if (db_from == nullptr || db_to == nullptr)
+        return out;
+
+    // One filtered executor scan per side, name-sorted; the merge
+    // below then pairs and classifies. The filter's arch constraint
+    // is meaningless here (each side *is* one uarch) and its limit
+    // must not truncate a side mid-merge, so both are neutralized.
+    Query filter = query.filter;
+    filter.arch.reset();
+    filter.limit = SIZE_MAX;
+    PredicateSet preds = predicatesFromQuery(filter);
+    auto side = [&preds](const InstructionDatabase &db) {
+        std::vector<std::pair<std::string_view, uint32_t>> names;
+        std::vector<uint32_t> rows = ScanExecutor(db).run(preds);
+        names.reserve(rows.size());
+        for (uint32_t row : rows)
+            names.emplace_back(db.record(row).name(), row);
+        std::sort(names.begin(), names.end());
+        return names;
+    };
+    auto names_from = side(*db_from);
+    auto names_to = side(*db_to);
+
+    using Metric = AnalyticsQuery::Metric;
+    using Direction = AnalyticsQuery::Direction;
+    size_t i = 0, j = 0;
+    while (i < names_from.size() && j < names_to.size()) {
+        if (names_from[i].first < names_to[j].first) {
+            ++i;
+            continue;
+        }
+        if (names_to[j].first < names_from[i].first) {
+            ++j;
+            continue;
+        }
+        ++out.common;
+        AnalyticsEntry entry{db_from->record(names_from[i].second),
+                             db_to->record(names_to[j].second)};
+        ++i;
+        ++j;
+
+        Cycles tp_from = entry.from.tpMeasured();
+        Cycles tp_to = entry.to.tpMeasured();
+        int lat_from = entry.from.maxLatency();
+        int lat_to = entry.to.maxLatency();
+        entry.tp_changed = tp_from != tp_to;
+        entry.lat_changed = lat_from != lat_to;
+
+        // Higher cycles-per-instruction / higher latency == slower.
+        bool tp_on = query.metric != Metric::Latency;
+        bool lat_on = query.metric != Metric::Tp;
+        bool regressed = (tp_on && tp_to > tp_from) ||
+                         (lat_on && lat_to > lat_from);
+        bool improved = (tp_on && tp_to < tp_from) ||
+                        (lat_on && lat_to < lat_from);
+        bool hit = false;
+        switch (query.direction) {
+        case Direction::Regressed: hit = regressed; break;
+        case Direction::Improved: hit = improved; break;
+        case Direction::Changed:
+            hit = (tp_on && entry.tp_changed) ||
+                  (lat_on && entry.lat_changed);
+            break;
+        }
+        if (!hit)
+            continue;
+        ++out.matched;
+        if (out.entries.size() < query.limit)
+            out.entries.push_back(entry);
     }
     return out;
 }

@@ -128,6 +128,51 @@ struct CatalogDiff
     std::vector<std::string> only_b;
 };
 
+/**
+ * Cross-generation analytics: which instructions got slower (or
+ * faster) between two microarchitecture generations — the
+ * "uops.info changelog" view. Unlike diff(), which reports any
+ * difference, analytics is direction- and metric-aware and composes
+ * with the scan executor's predicates, so "SSE2 instructions whose
+ * throughput regressed from HSW to SKL" is one query.
+ */
+struct AnalyticsQuery
+{
+    uarch::UArch from = uarch::UArch::Nehalem;
+    uarch::UArch to = uarch::UArch::Nehalem;
+
+    enum class Metric : uint8_t { Tp, Latency, Any };
+    enum class Direction : uint8_t { Regressed, Improved, Changed };
+
+    Metric metric = Metric::Any;
+    Direction direction = Direction::Regressed;
+
+    /** Scan filter applied to both sides before the merge (mnemonic,
+     *  extension, port constraints, ranges...). Its arch and limit
+     *  fields are ignored — both sides are scanned whole and the cap
+     *  below applies to merged entries. */
+    Query filter;
+
+    /** Cap on reported entries (matched counts are exact anyway). */
+    size_t limit = SIZE_MAX;
+};
+
+/** One variant present on both sides whose metrics moved. */
+struct AnalyticsEntry
+{
+    RecordView from;
+    RecordView to;
+    bool tp_changed = false;
+    bool lat_changed = false;
+};
+
+struct AnalyticsResult
+{
+    size_t common = 0;   ///< variants on both sides (post-filter)
+    size_t matched = 0;  ///< entries matching metric+direction
+    std::vector<AnalyticsEntry> entries;  ///< name-ordered, capped
+};
+
 class DatabaseCatalog
 {
   public:
@@ -178,6 +223,10 @@ class DatabaseCatalog
     std::vector<RecordView> search(const Query &query) const;
 
     CatalogDiff diff(uarch::UArch a, uarch::UArch b) const;
+
+    /** Two filtered shard scans plus a name merge; see
+     *  AnalyticsQuery. Empty result when either uarch is absent. */
+    AnalyticsResult analytics(const AnalyticsQuery &query) const;
 
     core::CharacterizationSet
     toCharacterizationSet(uarch::UArch arch,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "db/scan.h"
 #include "support/status.h"
 #include "support/strings.h"
 
@@ -55,6 +56,20 @@ centsBound(double v, double (*rounder)(double))
 }
 
 } // namespace
+
+Cycles
+tpBoundMin(double v)
+{
+    return Cycles::fromHundredths(
+        centsBound(v, [](double x) { return std::ceil(x); }));
+}
+
+Cycles
+tpBoundMax(double v)
+{
+    return Cycles::fromHundredths(
+        centsBound(v, [](double x) { return std::floor(x); }));
+}
 
 // ---------------------------------------------------------------------
 // RecordView
@@ -383,6 +398,17 @@ InstructionDatabase::rebuildIndexes()
     fill_order(lat_order_, [this](uint32_t row) {
         return static_cast<double>(max_latency_[row]);
     });
+
+    arch_runs_.fill({});
+    for (uint32_t row = 0; row < n; ++row) {
+        ArchRun &run = arch_runs_[arch_[row]];
+        if (run.begin == run.end)
+            run = {row, row + 1, true};
+        else if (run.end == row)
+            run.end = row + 1;
+        else
+            run.contiguous = false;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -437,113 +463,11 @@ InstructionDatabase::findByName(std::string_view name) const
 std::vector<uint32_t>
 InstructionDatabase::search(const Query &query) const
 {
-    // Pick the most selective pre-index, then apply the remaining
-    // predicates as a columnar scan over the candidate rows.
-    std::vector<uint32_t> candidates;
-    bool have_candidates = false;
-
-    auto narrow = [&](const std::vector<uint32_t> &rows) {
-        if (!have_candidates) {
-            candidates = rows;
-            have_candidates = true;
-            return;
-        }
-        std::vector<uint32_t> merged;
-        std::set_intersection(candidates.begin(), candidates.end(),
-                              rows.begin(), rows.end(),
-                              std::back_inserter(merged));
-        candidates = std::move(merged);
-    };
-
-    if (query.name) {
-        narrow(findByName(*query.name));
-    }
-    if (query.mnemonic) {
-        auto it = by_mnemonic_.find(std::string_view(*query.mnemonic));
-        narrow(it != by_mnemonic_.end() ? it->second
-                                        : std::vector<uint32_t>{});
-    }
-    if (query.extension) {
-        auto it = by_extension_.find(std::string_view(*query.extension));
-        narrow(it != by_extension_.end() ? it->second
-                                         : std::vector<uint32_t>{});
-    }
-    // The double-valued throughput range is converted to fixed-point
-    // bounds once; everything after is exact integer comparison.
-    std::optional<Cycles> tp_lo, tp_hi;
-    if (query.tp_min)
-        tp_lo = Cycles::fromHundredths(centsBound(
-            *query.tp_min, [](double x) { return std::ceil(x); }));
-    if (query.tp_max)
-        tp_hi = Cycles::fromHundredths(centsBound(
-            *query.tp_max, [](double x) { return std::floor(x); }));
-
-    // Range scans over a sorted order index (throughput preferred,
-    // then max latency) when no name/mnemonic/extension narrowed the
-    // candidates already.
-    auto range_scan = [this, &narrow](const std::vector<uint32_t>
-                                          &order,
-                                      auto key_fn, auto lo, auto hi) {
-        using Key = decltype(lo);
-        auto begin = std::lower_bound(
-            order.begin(), order.end(), lo,
-            [&](uint32_t row, Key v) { return key_fn(row) < v; });
-        auto end = std::upper_bound(
-            order.begin(), order.end(), hi,
-            [&](Key v, uint32_t row) { return v < key_fn(row); });
-        std::vector<uint32_t> rows(begin, end);
-        std::sort(rows.begin(), rows.end());
-        narrow(rows);
-    };
-    if (!have_candidates && (tp_lo || tp_hi)) {
-        range_scan(
-            tp_order_,
-            [this](uint32_t row) { return tp_measured_[row]; },
-            tp_lo.value_or(Cycles::fromHundredths(
-                std::numeric_limits<int64_t>::min())),
-            tp_hi.value_or(Cycles::fromHundredths(
-                std::numeric_limits<int64_t>::max())));
-    }
-    if (!have_candidates && (query.lat_min || query.lat_max)) {
-        constexpr double kInf =
-            std::numeric_limits<double>::infinity();
-        range_scan(
-            lat_order_,
-            [this](uint32_t row) {
-                return static_cast<double>(max_latency_[row]);
-            },
-            query.lat_min ? static_cast<double>(*query.lat_min)
-                          : -kInf,
-            query.lat_max ? static_cast<double>(*query.lat_max)
-                          : kInf);
-    }
-    if (!have_candidates) {
-        candidates.resize(arch_.size());
-        for (uint32_t i = 0; i < candidates.size(); ++i)
-            candidates[i] = i;
-    }
-
-    std::vector<uint32_t> out;
-    for (uint32_t row : candidates) {
-        if (out.size() >= query.limit)
-            break;
-        if (query.arch &&
-            arch_[row] != static_cast<uint8_t>(*query.arch))
-            continue;
-        if (query.uses_ports &&
-            (port_union_[row] & query.uses_ports) != query.uses_ports)
-            continue;
-        if (tp_lo && tp_measured_[row] < *tp_lo)
-            continue;
-        if (tp_hi && tp_measured_[row] > *tp_hi)
-            continue;
-        if (query.lat_min && max_latency_[row] < *query.lat_min)
-            continue;
-        if (query.lat_max && max_latency_[row] > *query.lat_max)
-            continue;
-        out.push_back(row);
-    }
-    return out;
+    // The scan executor owns the whole strategy: index short-circuits
+    // for the string predicates, arch-run range restriction, order-
+    // index pre-filters, and batched bitmap scans for the rest.
+    return ScanExecutor(*this).run(predicatesFromQuery(query),
+                                   query.limit);
 }
 
 DiffResult

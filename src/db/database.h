@@ -41,6 +41,7 @@
 #ifndef UOPS_DB_DATABASE_H
 #define UOPS_DB_DATABASE_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -69,15 +70,46 @@ struct Query
      *  ("everything that uses p0+p5"). 0: no constraint. */
     uarch::PortMask uses_ports = 0;
 
-    /** Measured-throughput range (inclusive). */
-    std::optional<double> tp_min, tp_max;
+    /** Records whose port-usage union stays within these ports
+     *  ("everything dispatching only to p0/p1/p5"). */
+    std::optional<uarch::PortMask> ports_subset;
+
+    /** Records whose port-usage union equals exactly this mask. */
+    std::optional<uarch::PortMask> ports_exact;
+
+    /** Measured-throughput range (inclusive), in the database's
+     *  fixed-point representation. Double-valued user input converts
+     *  once at the boundary via tpBoundMin / tpBoundMax. */
+    std::optional<Cycles> tp_min, tp_max;
 
     /** Max-latency range (inclusive, over all operand pairs). */
     std::optional<int> lat_min, lat_max;
 
+    /** Fused-uop-count range (inclusive). */
+    std::optional<int> uops_min, uops_max;
+
+    /** RecordFlag bits that must all be present (e.g. "has a
+     *  with-blocking-instructions throughput"). 0: no constraint. */
+    uint8_t has_flags = 0;
+
     /** Result cap (applied after filtering, in row order). */
     size_t limit = SIZE_MAX;
 };
+
+/**
+ * Fixed-point bound of a double-valued throughput constraint: the
+ * smallest (Min) / largest (Max) representable hundredth-of-a-cycle
+ * inside [v, +inf) / (-inf, v]. Exact hundredths (up to binary
+ * representation slop, e.g. 0.33 * 100 = 32.999...96) map to
+ * themselves, so a converted range matches records precisely where a
+ * double comparison against toDouble() would. The conversion happens
+ * once where doubles enter the system (HTTP parameters, CLI flags);
+ * Query itself carries Cycles.
+ *
+ * @throws FatalError on NaN (the service layer answers 400).
+ */
+Cycles tpBoundMin(double v);
+Cycles tpBoundMax(double v);
 
 class InstructionDatabase;
 
@@ -229,6 +261,7 @@ class InstructionDatabase
 
   private:
     friend class RecordView;
+    friend class ScanExecutor;
     friend class SweepIngestor;
     friend class CatalogSweepIngestor;
     friend class DatabaseCatalog;
@@ -296,6 +329,18 @@ class InstructionDatabase
     std::map<std::string_view, std::vector<uint32_t>> by_extension_;
     std::vector<uint32_t> tp_order_;   ///< rows by tp_measured
     std::vector<uint32_t> lat_order_;  ///< rows by max_latency
+
+    /** Row run of one uarch. Ingest appends per-uarch blocks, so a
+     *  uarch's rows are normally one contiguous [begin, end) and a
+     *  uarch-filtered scan becomes a range restriction (scan.cpp);
+     *  contiguous=false (interleaved rows) falls back to a per-row
+     *  arch compare. begin == end: uarch absent. */
+    struct ArchRun
+    {
+        uint32_t begin = 0, end = 0;
+        bool contiguous = false;
+    };
+    std::array<ArchRun, 256> arch_runs_{};
 };
 
 /** Presence bits in the per-record flags_ column. */

@@ -178,4 +178,19 @@ BlobStore::hasInstr(std::string_view name) const
     return instr_.find(name) != instr_.end();
 }
 
+std::string_view
+BlobStore::recordFragment(std::string_view name,
+                          uarch::UArch arch) const
+{
+    auto it = instr_.find(name);
+    if (it == instr_.end())
+        return {};
+    const Entry &entry = it->second;
+    for (const Fragment &fragment : entry.fragments)
+        if (fragment.arch == arch)
+            return std::string_view(*entry.body)
+                .substr(fragment.offset, fragment.length);
+    return {};
+}
+
 } // namespace uops::server

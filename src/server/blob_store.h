@@ -103,6 +103,16 @@ class BlobStore
     /** Whether any record with this variant name exists. */
     bool hasInstr(std::string_view name) const;
 
+    /**
+     * View of one record's precomputed JSON object — the exact
+     * writeRecordJson render of (name, arch), as sliced into the full
+     * /instr body. /search splices these into its results array
+     * (JsonWriter::raw) instead of re-rendering each hit; empty view
+     * when the pair is absent. Valid for the store's lifetime.
+     */
+    std::string_view recordFragment(std::string_view name,
+                                    uarch::UArch arch) const;
+
     Stats stats() const { return stats_; }
 
   private:

@@ -46,6 +46,7 @@ endpointName(Endpoint endpoint)
       case Endpoint::Reload: return "/reload";
       case Endpoint::Stats: return "/stats";
       case Endpoint::Metrics: return "/metrics";
+      case Endpoint::Analytics: return "/analytics";
       case Endpoint::Other: return "other";
     }
     return "?";
@@ -396,6 +397,8 @@ QueryService::route(const HttpRequest &request) const
         return Endpoint::Stats;
     if (path == "/metrics")
         return Endpoint::Metrics;
+    if (path == "/analytics/regressions")
+        return Endpoint::Analytics;
     return Endpoint::Other;
 }
 
@@ -433,7 +436,8 @@ QueryService::handle(const HttpRequest &request)
     bool cacheable =
         request.method == "GET" && !debug_timings &&
         (endpoint == Endpoint::Instr || endpoint == Endpoint::Search ||
-         endpoint == Endpoint::Diff || endpoint == Endpoint::Predict);
+         endpoint == Endpoint::Diff || endpoint == Endpoint::Predict ||
+         endpoint == Endpoint::Analytics);
 
     bool from_cache = false;
     if (cacheable) {
@@ -541,7 +545,8 @@ QueryService::tryServeFast(const HttpRequest &request,
     bool blob_backed = endpoint == Endpoint::UArchs ||
                        endpoint == Endpoint::Instr;
     if (!blob_backed && endpoint != Endpoint::Search &&
-        endpoint != Endpoint::Diff && endpoint != Endpoint::Predict)
+        endpoint != Endpoint::Diff && endpoint != Endpoint::Predict &&
+        endpoint != Endpoint::Analytics)
         return false;
     // Debug-timings responses are per-request by contract; they
     // never touch the cache, so they never have a fast path.
@@ -615,6 +620,8 @@ QueryService::tryServeRaw(const FastGetView &raw,
         endpoint = Endpoint::Diff;
     else if (target.starts_with("/predict?"))
         endpoint = Endpoint::Predict;
+    else if (target.starts_with("/analytics/regressions?"))
+        endpoint = Endpoint::Analytics;
     else
         return false;
     // Debug-timings /predict responses are per-request by contract;
@@ -763,6 +770,8 @@ QueryService::dispatch(Endpoint endpoint, const HttpRequest &request,
       case Endpoint::Reload: return handleReload(request);
       case Endpoint::Stats: return handleStats(state);
       case Endpoint::Metrics: return handleMetrics();
+      case Endpoint::Analytics:
+        return handleAnalytics(request, state);
       case Endpoint::Other: break;
     }
     return errorResponse(404, "no such endpoint: " + request.path);
@@ -824,18 +833,54 @@ QueryService::handleInstr(const HttpRequest &request,
     return response;
 }
 
-HttpResponse
-QueryService::handleSearch(const HttpRequest &request,
-                           const ServingState &state)
+namespace {
+
+/** Decode a comma-separated has= flag list ("breakers,slow") into
+ *  RecordFlag presence bits. @throws FatalError on unknown names. */
+uint8_t
+parseHasFlags(std::string_view spec)
 {
-    const db::DatabaseCatalog &catalog = *state.catalog;
-    db::Query query;
+    uint8_t flags = 0;
+    while (true) {
+        size_t comma = spec.find(',');
+        std::string_view token = spec.substr(0, comma);
+        if (token == "breakers")
+            flags |= db::kHasTpBreakers;
+        else if (token == "slow")
+            flags |= db::kHasTpSlow;
+        else if (token == "ports")
+            flags |= db::kHasTpPorts;
+        else if (token == "same_reg")
+            flags |= db::kHasSameReg;
+        else if (token == "store")
+            flags |= db::kHasStoreRt;
+        else
+            fatalIf(true, "unknown has= flag '", std::string(token),
+                    "' (breakers, slow, ports, same_reg, store)");
+        if (comma == std::string_view::npos)
+            return flags;
+        spec.remove_prefix(comma + 1);
+    }
+}
+
+/**
+ * Decode the scan-predicate parameters — shared verbatim between
+ * /search and /analytics/regressions (where they pre-filter both
+ * sides of the merge). @throws FatalError (-> 400) on bad values.
+ */
+void
+parseScanParams(const HttpRequest &request, db::Query &query)
+{
     query.arch = parseArchParam(request, "uarch");
     query.name = request.param("name");
     query.mnemonic = request.param("mnemonic");
     query.extension = request.param("extension");
     if (auto uses = request.param("uses"))
         query.uses_ports = uarch::parsePortMask(*uses);
+    if (auto only = request.param("uses_only"))
+        query.ports_subset = uarch::parsePortMask(*only);
+    if (auto exact = request.param("uses_exact"))
+        query.ports_exact = uarch::parsePortMask(*exact);
     auto double_param = [&](const char *key) {
         std::optional<double> out;
         if (auto text = request.param(key)) {
@@ -855,23 +900,148 @@ QueryService::handleSearch(const HttpRequest &request,
         }
         return out;
     };
-    query.tp_min = double_param("tp_min");
-    query.tp_max = double_param("tp_max");
+    // Double-valued bounds cross into fixed point exactly once, here
+    // at the boundary; everything downstream compares raw integers.
+    if (auto v = double_param("tp_min"))
+        query.tp_min = db::tpBoundMin(*v);
+    if (auto v = double_param("tp_max"))
+        query.tp_max = db::tpBoundMax(*v);
     query.lat_min = int_param("lat_min");
     query.lat_max = int_param("lat_max");
+    query.uops_min = int_param("uops_min");
+    query.uops_max = int_param("uops_max");
+    if (auto has = request.param("has"))
+        query.has_flags = parseHasFlags(*has);
     if (auto limit = int_param("limit")) {
         fatalIf(*limit < 0, "negative limit");
         query.limit = static_cast<size_t>(*limit);
     }
+}
+
+} // namespace
+
+HttpResponse
+QueryService::handleSearch(const HttpRequest &request,
+                           const ServingState &state)
+{
+    const db::DatabaseCatalog &catalog = *state.catalog;
+    db::Query query;
+    parseScanParams(request, query);
 
     std::vector<db::RecordView> records = catalog.search(query);
 
+    // Hits are spliced from the blob store's per-(name, uarch)
+    // fragments — the writeRecordJson bytes rendered once at install
+    // time — so the request path never re-renders a record. The
+    // fallback keeps the render total for states whose store predates
+    // a record (not reachable today: blobs are built from the same
+    // catalog being searched).
     JsonWriter json;
     json.beginObject();
     json.member("count", records.size());
     json.key("results").beginArray();
-    for (const db::RecordView &view : records)
-        writeRecordJson(json, view);
+    for (const db::RecordView &view : records) {
+        std::string_view fragment =
+            state.blobs->recordFragment(view.name(), view.arch());
+        if (!fragment.empty())
+            json.raw(fragment);
+        else
+            writeRecordJson(json, view);
+    }
+    json.endArray();
+    json.endObject();
+    return jsonResponse(std::move(json).str());
+}
+
+HttpResponse
+QueryService::handleAnalytics(const HttpRequest &request,
+                              const ServingState &state)
+{
+    const db::DatabaseCatalog &catalog = *state.catalog;
+    auto from = parseArchParam(request, "from");
+    auto to = parseArchParam(request, "to");
+    if (!from || !to)
+        return errorResponse(
+            400,
+            "usage: /analytics/regressions?from=HSW&to=SKL"
+            "[&metric=tp|latency|any]"
+            "[&direction=regressed|improved|changed]"
+            "[&mnemonic=...&extension=...&uses=...&limit=...]");
+
+    using Metric = db::AnalyticsQuery::Metric;
+    using Direction = db::AnalyticsQuery::Direction;
+    db::AnalyticsQuery query;
+    query.from = *from;
+    query.to = *to;
+    std::string_view metric_name = "any";
+    if (auto metric = request.param("metric")) {
+        if (*metric == "tp")
+            query.metric = Metric::Tp;
+        else if (*metric == "latency")
+            query.metric = Metric::Latency;
+        else if (*metric != "any")
+            return errorResponse(400, "unknown metric '" + *metric +
+                                          "' (tp, latency, any)");
+    }
+    std::string_view direction_name = "regressed";
+    if (auto direction = request.param("direction")) {
+        if (*direction == "improved")
+            query.direction = Direction::Improved;
+        else if (*direction == "changed")
+            query.direction = Direction::Changed;
+        else if (*direction != "regressed")
+            return errorResponse(
+                400, "unknown direction '" + *direction +
+                         "' (regressed, improved, changed)");
+    }
+    switch (query.metric) {
+      case Metric::Tp: metric_name = "tp"; break;
+      case Metric::Latency: metric_name = "latency"; break;
+      case Metric::Any: break;
+    }
+    switch (query.direction) {
+      case Direction::Improved: direction_name = "improved"; break;
+      case Direction::Changed: direction_name = "changed"; break;
+      case Direction::Regressed: break;
+    }
+    parseScanParams(request, query.filter);
+    query.limit = query.filter.limit;
+
+    db::AnalyticsResult result = catalog.analytics(query);
+
+    JsonWriter json;
+    json.beginObject();
+    json.member("from",
+                std::string_view(uarch::uarchShortName(*from)));
+    json.member("to", std::string_view(uarch::uarchShortName(*to)));
+    json.member("metric", metric_name);
+    json.member("direction", direction_name);
+    json.member("common", result.common);
+    json.member("matched", result.matched);
+    json.key("entries").beginArray();
+    for (const db::AnalyticsEntry &entry : result.entries) {
+        json.beginObject();
+        json.member("name", std::string_view(entry.from.name()));
+        json.member("mnemonic",
+                    std::string_view(entry.from.mnemonic()));
+        json.member("extension",
+                    std::string_view(entry.from.extension()));
+        json.member("tp_changed", entry.tp_changed);
+        json.member("lat_changed", entry.lat_changed);
+        json.key("from").beginObject();
+        json.member("tp", entry.from.tpMeasured());
+        json.member("max_latency", entry.from.maxLatency());
+        json.member("ports", std::string_view(
+                                 entry.from.portUsage().toString()));
+        json.endObject();
+        json.key("to").beginObject();
+        json.member("tp", entry.to.tpMeasured());
+        json.member("max_latency", entry.to.maxLatency());
+        json.member("ports", std::string_view(
+                                 entry.to.portUsage().toString()));
+        json.endObject();
+        json.endObject();
+    }
     json.endArray();
     json.endObject();
     return jsonResponse(std::move(json).str());

@@ -9,10 +9,20 @@
  *                                      serving generation
  *   GET  /uarchs                       served microarchitectures
  *   GET  /instr/{name}[?uarch=SKL]     one variant, all/one uarch(s)
- *   GET  /search?...                   indexed search; parameters:
- *         uarch=SKL mnemonic=ADD extension=SSE2 uses=p05
- *         tp_min= tp_max= lat_min= lat_max= limit=
+ *   GET  /search?...                   scan-executor search; params:
+ *         uarch=SKL name= mnemonic=ADD extension=SSE2
+ *         uses=p05 uses_only=p015 uses_exact=p05
+ *         tp_min= tp_max= lat_min= lat_max=
+ *         uops_min= uops_max= has=breakers,slow,ports,same_reg,store
+ *         limit=
  *   GET  /diff?a=NHM&b=SKL             cross-uarch differences
+ *   GET  /analytics/regressions        cross-generation analytics:
+ *         ?from=HSW&to=SKL             variants present on both
+ *         [&metric=tp|latency|any]     uarches whose metrics moved in
+ *         [&direction=regressed|       the requested direction,
+ *           improved|changed]          optionally pre-filtered by the
+ *         [&mnemonic=&extension=       same compound predicates
+ *          &uses=&...&limit=]          /search accepts
  *   GET  /predict?uarch=SKL&asm=...    simulate a multi-instruction
  *   POST /predict?uarch=SKL             kernel (';' or newlines
  *                                       separate instructions; POST
@@ -105,10 +115,11 @@ enum class Endpoint : uint8_t {
     Reload,
     Stats,
     Metrics,
+    Analytics,
     Other,
 };
 
-constexpr size_t kNumEndpoints = 10;
+constexpr size_t kNumEndpoints = 11;
 
 /** Metrics name of a route ("/instr", ...). */
 const char *endpointName(Endpoint endpoint);
@@ -349,6 +360,8 @@ class QueryService
                               const ServingState &state);
     HttpResponse handleDiff(const HttpRequest &request,
                             const ServingState &state);
+    HttpResponse handleAnalytics(const HttpRequest &request,
+                                 const ServingState &state);
     HttpResponse handlePredict(const HttpRequest &request,
                                ServingState &state,
                                obs::SpanSet *spans,

@@ -306,8 +306,8 @@ TEST(DbQuery, ThroughputAndLatencyRanges)
 {
     const db::InstructionDatabase &database = sliceDb();
     db::Query query;
-    query.tp_min = 0.9;
-    query.tp_max = 30.0;
+    query.tp_min = db::tpBoundMin(0.9);
+    query.tp_max = db::tpBoundMax(30.0);
     auto rows = database.search(query);
     ASSERT_FALSE(rows.empty());
     for (uint32_t row : rows) {

@@ -30,6 +30,7 @@
 #include "core/predictor.h"
 #include "db/catalog.h"
 #include "obs_util.h"
+#include "server/blob_store.h"
 #include "server/http_server.h"
 #include "server/json.h"
 #include "sim/block_predict.h"
@@ -315,6 +316,163 @@ TEST(Service, SearchEndpointFiltersAndCounts)
         service->handle(get("/search?uarch=SKL&tp_max=inf&limit=1"))
             .status,
         200);
+}
+
+/** The "count" field of a /search or /analytics JSON body. */
+size_t
+jsonCount(std::string_view body, std::string_view key)
+{
+    std::string needle = "\"" + std::string(key) + "\":";
+    size_t pos = body.find(needle);
+    EXPECT_NE(pos, std::string_view::npos) << key << " in " << body;
+    return std::stoul(std::string(body.substr(pos + needle.size())));
+}
+
+TEST(Service, SearchResponseIsByteIdenticalToDirectRender)
+{
+    // The /search hot path splices pre-rendered blob-store fragments
+    // instead of re-rendering each record; the splice must be
+    // byte-identical to a fresh writeRecordJson render of the same
+    // result set.
+    auto service = makeService();
+    HttpResponse response =
+        service->handle(get("/search?uarch=SKL&uses=p0&limit=50"));
+    ASSERT_EQ(response.status, 200);
+
+    db::Query query;
+    query.arch = uarch::UArch::Skylake;
+    query.uses_ports = uarch::portMask({0});
+    query.limit = 50;
+    std::vector<db::RecordView> records =
+        sliceCatalog()->search(query);
+    ASSERT_FALSE(records.empty());
+
+    server::JsonWriter json;
+    json.beginObject();
+    json.member("count", records.size());
+    json.key("results").beginArray();
+    for (const db::RecordView &view : records)
+        server::writeRecordJson(json, view);
+    json.endArray();
+    json.endObject();
+    EXPECT_EQ(response.bodyView(), std::move(json).str());
+}
+
+TEST(Service, SearchCompoundPredicatesNarrowAndValidate)
+{
+    auto service = makeService();
+    auto count = [&](const std::string &target) {
+        HttpResponse response = service->handle(get(target));
+        EXPECT_EQ(response.status, 200) << target;
+        return jsonCount(response.bodyView(), "count");
+    };
+
+    // Each added conjunct can only narrow the result set.
+    size_t base = count("/search?uarch=SKL");
+    size_t ports = count("/search?uarch=SKL&uses=p0");
+    size_t uops = count("/search?uarch=SKL&uses=p0&uops_max=1");
+    size_t lat = count("/search?uarch=SKL&uses=p0&uops_max=1&lat_max=3");
+    ASSERT_GT(base, 0u);
+    EXPECT_GE(base, ports);
+    EXPECT_GE(ports, uops);
+    EXPECT_GE(uops, lat);
+
+    // uses_only / uses_exact / has are accepted and consistent:
+    // an exact mask is a subset of "only these ports".
+    size_t exact = count("/search?uarch=SKL&uses_exact=p0");
+    size_t only = count("/search?uarch=SKL&uses_only=p0");
+    EXPECT_LE(exact, only);
+    count("/search?uarch=SKL&has=breakers,slow");
+    count("/search?uarch=SKL&uops_min=2&lat_min=1");
+
+    // Bad operand values are user errors (400), not 500s.
+    EXPECT_EQ(service->handle(get("/search?uses_only=zz")).status,
+              400);
+    EXPECT_EQ(service->handle(get("/search?uses_exact=qq")).status,
+              400);
+    EXPECT_EQ(service->handle(get("/search?uops_min=abc")).status,
+              400);
+    EXPECT_EQ(service->handle(get("/search?lat_max=abc")).status,
+              400);
+    EXPECT_EQ(service->handle(get("/search?has=bogus")).status, 400);
+    EXPECT_EQ(service->handle(get("/search?limit=-1")).status, 400);
+}
+
+TEST(Service, AnalyticsEndpointValidatesParameters)
+{
+    auto service = makeService();
+    // Missing or unknown uarches: usage error.
+    EXPECT_EQ(service->handle(get("/analytics/regressions")).status,
+              400);
+    EXPECT_EQ(
+        service->handle(get("/analytics/regressions?from=NHM"))
+            .status,
+        400);
+    EXPECT_EQ(service
+                  ->handle(get(
+                      "/analytics/regressions?from=XYZ&to=SKL"))
+                  .status,
+              400);
+    // Unknown metric / direction names.
+    EXPECT_EQ(
+        service
+            ->handle(get("/analytics/regressions?from=NHM&to=SKL"
+                         "&metric=bogus"))
+            .status,
+        400);
+    EXPECT_EQ(
+        service
+            ->handle(get("/analytics/regressions?from=NHM&to=SKL"
+                         "&direction=sideways"))
+            .status,
+        400);
+}
+
+TEST(Service, AnalyticsDirectionsPartitionChangesAndEchoParams)
+{
+    auto service = makeService();
+    auto matched = [&](const std::string &direction) {
+        HttpResponse response = service->handle(
+            get("/analytics/regressions?from=NHM&to=SKL&metric=tp"
+                "&direction=" +
+                direction));
+        EXPECT_EQ(response.status, 200);
+        return jsonCount(response.bodyView(), "matched");
+    };
+    size_t changed = matched("changed");
+    size_t regressed = matched("regressed");
+    size_t improved = matched("improved");
+    ASSERT_GT(changed, 0u)
+        << "fixture drift: no NHM->SKL throughput movement";
+    EXPECT_EQ(changed, regressed + improved);
+
+    HttpResponse response = service->handle(
+        get("/analytics/regressions?from=NHM&to=SKL&metric=latency"
+            "&direction=improved&mnemonic=ADD"));
+    ASSERT_EQ(response.status, 200);
+    std::string_view body = response.bodyView();
+    EXPECT_NE(body.find("\"from\":\"NHM\""), std::string_view::npos);
+    EXPECT_NE(body.find("\"to\":\"SKL\""), std::string_view::npos);
+    EXPECT_NE(body.find("\"metric\":\"latency\""),
+              std::string_view::npos);
+    EXPECT_NE(body.find("\"direction\":\"improved\""),
+              std::string_view::npos);
+}
+
+TEST(Service, AnalyticsResponsesAreCached)
+{
+    auto service = makeService();
+    const std::string target =
+        "/analytics/regressions?from=NHM&to=SKL&direction=changed";
+    HttpResponse first = service->handle(get(target));
+    HttpResponse second = service->handle(get(target));
+    ASSERT_EQ(first.status, 200);
+    EXPECT_FALSE(first.cache_hit);
+    EXPECT_TRUE(second.cache_hit);
+    EXPECT_EQ(first.bodyView(), second.bodyView());
+    auto metrics = service->metrics(Endpoint::Analytics);
+    EXPECT_EQ(metrics.requests, 2u);
+    EXPECT_EQ(metrics.cache_hits, 1u);
 }
 
 TEST(Service, DiffEndpointComparesUArches)

@@ -6,7 +6,7 @@ bench_db_query) against the committed baseline files and fails when
 any matched run is slower than baseline by more than the tolerance.
 
     check_perf.py CURRENT.json BASELINE.json [CURRENT2.json BASELINE2.json ...]
-                  [--tolerance 0.25]
+                  [--tolerance 0.25] [--require NAME:RATIO ...]
 
 Any number of (current, baseline) pairs may be given; CI guards both
 BENCH_sweep.json and BENCH_db.json in one invocation. Matching is
@@ -21,6 +21,15 @@ Only slowdowns fail the check; speedups are reported but fine. The
 default tolerance is deliberately wide (25%) because shared CI
 runners jitter — the guard exists to catch real regressions (2x
 slower hot path), not scheduling noise.
+
+``--require NAME:RATIO`` (repeatable) additionally asserts a speedup
+floor: the current run NAME must be at least RATIO times the figure
+recorded for it in the baseline file's ``reference`` section — a
+frozen pre-optimization measurement that is *not* refreshed when the
+rolling baseline is re-recorded (falling back to the baseline runs
+when no reference section exists). This pins "the vectorized scan
+stays >= 10x the pre-executor loop" as a CI invariant rather than a
+one-off claim in a PR description.
 
 Uses only the Python standard library.
 """
@@ -58,7 +67,51 @@ def run_metric(run):
     raise SystemExit(f"error: run without a throughput metric: {run}")
 
 
-def compare_pair(current_path, baseline_path, tolerance, failures):
+def reference_runs(doc):
+    """The frozen pre-optimization runs, if the baseline carries any."""
+    section = doc.get("reference")
+    if isinstance(section, dict) and section.get("runs"):
+        return {run_key(r): r for r in section["runs"]}
+    return {}
+
+
+def check_requires(current, baseline_doc, requires, failures):
+    """Assert --require speedup floors against the reference runs."""
+    reference = reference_runs(baseline_doc)
+    for name, floor in requires.items():
+        ref_run = reference.get(name)
+        source = "reference"
+        if ref_run is None:
+            # No frozen reference recorded: fall back to the rolling
+            # baseline so the floor still binds to something.
+            source = "baseline"
+            ref_run = {
+                run_key(r): r for r in load_runs(baseline_doc)
+            }.get(name)
+        if ref_run is None or name not in current:
+            continue  # not this pair's benchmark file
+        _, ref_value = run_metric(ref_run)
+        _, cur_value = run_metric(current[name])
+        if ref_value <= 0:
+            continue
+        ratio = cur_value / ref_value
+        ok = ratio >= floor
+        requires_seen.add(name)
+        marker = "" if ok else "  << BELOW FLOOR"
+        print(
+            f"require {name:<16} {ref_value:>12.1f} ({source})"
+            f" {cur_value:>12.1f} {ratio:>7.2f}x (floor "
+            f"{floor:.1f}x){marker}"
+        )
+        if not ok:
+            failures.append((f"require:{name}", ratio))
+
+
+requires_seen = set()
+
+
+def compare_pair(current_path, baseline_path, tolerance, requires,
+                 failures):
     """Compare one (current, baseline) file pair; returns runs compared."""
     with open(current_path) as f:
         current_doc = json.load(f)
@@ -92,6 +145,7 @@ def compare_pair(current_path, baseline_path, tolerance, failures):
     for key in current:
         if key not in baseline:
             print(f"{key:<24} {'(new run, no baseline yet)':>34}")
+    check_requires(current, baseline_doc, requires, failures)
     return compared
 
 
@@ -109,20 +163,49 @@ def main():
         default=0.25,
         help="maximum allowed fractional slowdown (default 0.25)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME:RATIO",
+        help="speedup floor vs the baseline file's reference section "
+        "(e.g. port_mask_scan:10); repeatable",
+    )
     args = parser.parse_args()
     if len(args.files) % 2 != 0:
         raise SystemExit(
             "error: expected CURRENT BASELINE pairs, got an odd number "
             "of files"
         )
+    requires = {}
+    for spec in args.require:
+        name, sep, ratio = spec.rpartition(":")
+        if not sep or not name:
+            raise SystemExit(
+                f"error: --require expects NAME:RATIO, got {spec!r}"
+            )
+        try:
+            requires[name] = float(ratio)
+        except ValueError:
+            raise SystemExit(
+                f"error: --require ratio must be a number, got {spec!r}"
+            )
 
     failures = []
     compared = 0
     for i in range(0, len(args.files), 2):
         compared += compare_pair(
-            args.files[i], args.files[i + 1], args.tolerance, failures
+            args.files[i], args.files[i + 1], args.tolerance,
+            requires, failures
         )
         print()
+
+    for name in requires:
+        if name not in requires_seen:
+            raise SystemExit(
+                f"error: --require {name}: no such run in any "
+                "current/reference pair"
+            )
 
     if compared == 0:
         raise SystemExit("error: no comparable runs between the files")
